@@ -1,0 +1,32 @@
+# Convenience targets for the Phoenix reproduction.
+
+GO ?= go
+
+.PHONY: all build test race vet bench experiments figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark harness: one bench per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure (tables to stdout, CSVs + SVGs to results/).
+experiments:
+	$(GO) run ./cmd/experiments -run all -csv results -svg results/figures
+
+figures: experiments
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,204 @@
+package phoenix_test
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/core"
+	"github.com/phoenix-sched/phoenix/internal/experiments"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// benchOptions is the scaled-down configuration the benchmark harness
+// uses: every ratio of the paper-scale experiments is preserved, but node
+// and job counts shrink so `go test -bench=.` finishes in minutes. Raise
+// Scale (and Seeds) to approach the paper's absolute numbers.
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Scale = 0.06
+	o.Seeds = 2
+	return o
+}
+
+// benchExperiment regenerates one paper table/figure per iteration and
+// reports the first data row's last column as a custom metric so that
+// benchmark logs double as a coarse regression record of the science, not
+// just the speed.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) > 0 {
+			row := rep.Rows[0]
+			if v, err := strconv.ParseFloat(row[len(row)-1], 64); err == nil {
+				b.ReportMetric(v, "row0")
+			}
+		}
+	}
+}
+
+// One benchmark per table and figure of the paper's evaluation (§V-VI).
+
+func BenchmarkFig2aYahooQueuingCDF(b *testing.B)    { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bClouderaQueuingCDF(b *testing.B) { benchExperiment(b, "fig2b") }
+func BenchmarkFig3QueuingTimeSeries(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4aYahooPenalty(b *testing.B)       { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bClouderaPenalty(b *testing.B)    { benchExperiment(b, "fig4b") }
+func BenchmarkFig4cGooglePenalty(b *testing.B)      { benchExperiment(b, "fig4c") }
+func BenchmarkFig6SupplyDemand(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7aYahooVsEagle(b *testing.B)       { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bClouderaVsEagle(b *testing.B)    { benchExperiment(b, "fig7b") }
+func BenchmarkFig7cGoogleVsEagle(b *testing.B)      { benchExperiment(b, "fig7c") }
+func BenchmarkFig8aYahooLongJobs(b *testing.B)      { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bClouderaLongJobs(b *testing.B)   { benchExperiment(b, "fig8b") }
+func BenchmarkFig8cGoogleLongJobs(b *testing.B)     { benchExperiment(b, "fig8c") }
+func BenchmarkFig9QueuingDelayBreakdown(b *testing.B) {
+	benchExperiment(b, "fig9")
+}
+func BenchmarkFig10VsHawk(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11VsSparrow(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkTableIIConstraintSlowdowns(b *testing.B) {
+	benchExperiment(b, "table2")
+}
+func BenchmarkTableIIIReorderingStats(b *testing.B) { benchExperiment(b, "table3") }
+
+// Supporting design-space explorations (paper §V-A / §VI-C prose) and
+// extension experiments.
+
+func BenchmarkSensProbeRatio(b *testing.B)       { benchExperiment(b, "sens-probe") }
+func BenchmarkSensHeartbeat(b *testing.B)        { benchExperiment(b, "sens-heartbeat") }
+func BenchmarkExtDesignSpace(b *testing.B)       { benchExperiment(b, "ext-designspace") }
+func BenchmarkExtPlacementImpact(b *testing.B)   { benchExperiment(b, "ext-placement") }
+func BenchmarkExtFailureImpact(b *testing.B)     { benchExperiment(b, "ext-failures") }
+func BenchmarkExtFairness(b *testing.B)          { benchExperiment(b, "ext-fairness") }
+func BenchmarkExtEstimatorAccuracy(b *testing.B) { benchExperiment(b, "ext-estimator") }
+
+// Ablation benches quantify the design choices DESIGN.md calls out: each
+// runs Phoenix with one mechanism toggled and reports the constrained
+// short-job p99 (seconds) as a custom metric, so `-bench Ablation` prints a
+// side-by-side of the variants.
+
+// ablationBed builds a fixed google-profile testbed at high load.
+func ablationBed(b *testing.B) (*cluster.Cluster, *trace.Trace) {
+	b.Helper()
+	cfg := trace.GoogleConfig(0.08)
+	cl, err := cluster.GoogleProfile().GenerateCluster(cfg.NumNodes, simulation.NewRNG(42).Stream("bench/machines"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(cfg, cl, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl, tr
+}
+
+func benchAblation(b *testing.B, mutate func(*core.Options)) {
+	b.Helper()
+	cl, tr := ablationBed(b)
+	opts := core.DefaultOptions()
+	if mutate != nil {
+		mutate(&opts)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, p, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p99 := res.Collector.ResponsePercentiles(metrics.AndFilter(metrics.Short, metrics.Constrained)).P99
+		b.ReportMetric(p99, "conP99s")
+	}
+}
+
+// BenchmarkAblationFull is Phoenix with every mechanism at its default.
+func BenchmarkAblationFull(b *testing.B) { benchAblation(b, nil) }
+
+// BenchmarkAblationNoCRVReordering disables the CRV queue discipline
+// (workers keep SRPT even when marked).
+func BenchmarkAblationNoCRVReordering(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.CRVReordering = false })
+}
+
+// BenchmarkAblationNoRescheduling disables heartbeat probe rescheduling.
+func BenchmarkAblationNoRescheduling(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.RescheduleBudget = 0 })
+}
+
+// BenchmarkAblationNoWaitAwareProbing disables estimator-guided probe
+// placement (uniform sampling even during contention).
+func BenchmarkAblationNoWaitAwareProbing(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.WaitAwareProbing = false })
+}
+
+// BenchmarkAblationBareEagleEquivalent turns every Phoenix mechanism off,
+// leaving the Eagle-equivalent hybrid core.
+func BenchmarkAblationBareEagleEquivalent(b *testing.B) {
+	benchAblation(b, func(o *core.Options) {
+		o.CRVReordering = false
+		o.WaitAwareProbing = false
+		o.RescheduleBudget = 0
+	})
+}
+
+// BenchmarkAblationSlack2/10 sweep the starvation threshold around the
+// paper's value of 5.
+func BenchmarkAblationSlack2(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.Slack = 2 })
+}
+func BenchmarkAblationSlack10(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.Slack = 10 })
+}
+
+// BenchmarkAblationRareFamilyReserve enables the rare-hardware reserve the
+// default configuration leaves off (DESIGN.md §5 explains why carving
+// capacity out loses when long jobs dominate total work).
+func BenchmarkAblationRareFamilyReserve(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.RareFamilyFraction = 0.05 })
+}
+
+// BenchmarkAblationDemandScorePlacement enables demand-credit long-job
+// placement tie-breaking.
+func BenchmarkAblationDemandScorePlacement(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.DemandScorePlacement = true })
+}
+
+// BenchmarkDriverThroughput measures raw simulation speed: tasks simulated
+// per second of wall clock for the full Phoenix stack.
+func BenchmarkDriverThroughput(b *testing.B) {
+	cl, tr := ablationBed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, p, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.NumTasks()*b.N)/b.Elapsed().Seconds(), "tasks/s")
+}

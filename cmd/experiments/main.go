@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig7c
+//	experiments -run all -scale 0.2 -seeds 5 -csv out/
+//
+// Each experiment prints an aligned text table whose rows mirror the
+// paper's plot; -csv additionally writes one CSV per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/phoenix-sched/phoenix/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list  = fs.Bool("list", false, "list experiment IDs and exit")
+		runID = fs.String("run", "all", "experiment ID, comma-separated list, or 'all'")
+		scale = fs.Float64("scale", 0, "workload scale override (0 = default)")
+		seeds = fs.Int("seeds", 0, "repetitions per data point override (0 = default)")
+		csv   = fs.String("csv", "", "directory to also write per-experiment CSV files into")
+		svg   = fs.String("svg", "", "directory to also render per-experiment SVG figures into")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	opts := experiments.DefaultOptions()
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *seeds > 0 {
+		opts.Seeds = *seeds
+	}
+
+	ids := experiments.IDs()
+	if *runID != "all" {
+		ids = strings.Split(*runID, ",")
+	}
+	for _, dir := range []string{*csv, *svg} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("%s[%v]\n", rep, time.Since(start).Round(time.Millisecond))
+		if *csv != "" {
+			path := filepath.Join(*csv, id+".csv")
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+		if *svg != "" {
+			chart, err := experiments.Figure(rep)
+			if err != nil {
+				return err
+			}
+			img, err := chart.SVG()
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*svg, id+".svg")
+			if err := os.WriteFile(path, []byte(img), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneWithOutputs(t *testing.T) {
+	dir := t.TempDir()
+	csvDir := filepath.Join(dir, "csv")
+	svgDir := filepath.Join(dir, "svg")
+	err := run([]string{"-run", "fig6", "-scale", "0.02", "-seeds", "1", "-csv", csvDir, "-svg", svgDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(filepath.Join(csvDir, "fig6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "constraints,") {
+		t.Errorf("unexpected CSV header: %q", string(csv[:30]))
+	}
+	svg, err := os.ReadFile(filepath.Join(svgDir, "fig6.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Error("SVG output malformed")
+	}
+}
+
+func TestRunCommaSeparated(t *testing.T) {
+	if err := run([]string{"-run", "fig6, table3", "-scale", "0.02", "-seeds", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-run", "fig99", "-scale", "0.02"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

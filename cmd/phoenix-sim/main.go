@@ -1,0 +1,163 @@
+// Command phoenix-sim runs one trace-driven scheduling simulation and
+// prints the outcome: response-time and queuing-delay percentiles for
+// short/long and constrained/unconstrained jobs, plus scheduler counters.
+//
+// Usage:
+//
+//	phoenix-sim -scheduler phoenix -profile google -scale 0.1 -seed 1
+//	phoenix-sim -scheduler eagle-c -trace workload.jsonl -nodes 5000
+//
+// Without -trace, a synthetic workload is generated from the named profile
+// at the given scale; with -trace, the JSONL file written by tracegen is
+// replayed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/experiments"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "phoenix-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("phoenix-sim", flag.ContinueOnError)
+	var (
+		schedName = fs.String("scheduler", "phoenix", "scheduler: phoenix, eagle-c, hawk-c, sparrow-c, yacc-d")
+		profile   = fs.String("profile", "google", "workload profile: google, yahoo, cloudera")
+		scale     = fs.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
+		tracePath = fs.String("trace", "", "replay a JSONL trace instead of generating one")
+		nodes     = fs.Int("nodes", 0, "cluster size override (default: the trace's calibrated size)")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+		traceSeed = fs.Uint64("trace-seed", 1000, "trace generation seed")
+		load      = fs.Float64("load", 0, "target offered load override (0 = profile default)")
+		failRate  = fs.Float64("failure-rate", 0, "worker failures per node-hour (0 = off)")
+
+		crvThreshold = fs.Float64("crv-threshold", 0, "Phoenix CRV contention threshold override (0 = default)")
+		qwait        = fs.Float64("qwait", 0, "Phoenix Qwait threshold seconds override (0 = default)")
+		noCRV        = fs.Bool("no-crv-reorder", false, "disable Phoenix CRV queue reordering")
+		noWaitAware  = fs.Bool("no-waitaware", false, "disable Phoenix wait-aware probing")
+		reschedule   = fs.Int("reschedule-budget", -1, "Phoenix per-worker probe reschedule budget (-1 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	prof, err := cluster.ProfileByName(*profile)
+	if err != nil {
+		return err
+	}
+
+	var tr *trace.Trace
+	clusterSize := *nodes
+	if *tracePath != "" {
+		tr, err = trace.ReadFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		if clusterSize == 0 {
+			clusterSize = tr.NumNodes
+		}
+	} else {
+		cfg, err := trace.ConfigByName(*profile, *scale)
+		if err != nil {
+			return err
+		}
+		if *load > 0 {
+			cfg.TargetLoad = *load
+		}
+		if clusterSize == 0 {
+			clusterSize = cfg.NumNodes
+		}
+		anchor, err := prof.GenerateCluster(maxInt(clusterSize, cfg.NumNodes), simulation.NewRNG(42).Stream("cli/machines"))
+		if err != nil {
+			return err
+		}
+		tr, err = trace.Generate(cfg, anchor, *traceSeed)
+		if err != nil {
+			return err
+		}
+	}
+
+	cl, err := prof.GenerateCluster(clusterSize, simulation.NewRNG(42).Stream("cli/machines"))
+	if err != nil {
+		return err
+	}
+
+	opts := experiments.DefaultOptions()
+	if *crvThreshold > 0 {
+		opts.Phoenix.CRVThreshold = *crvThreshold
+	}
+	if *qwait > 0 {
+		opts.Phoenix.QwaitThresholdSeconds = *qwait
+	}
+	if *noCRV {
+		opts.Phoenix.CRVReordering = false
+	}
+	if *noWaitAware {
+		opts.Phoenix.WaitAwareProbing = false
+	}
+	if *reschedule >= 0 {
+		opts.Phoenix.RescheduleBudget = *reschedule
+	}
+	s, err := opts.NewScheduler(*schedName)
+	if err != nil {
+		return err
+	}
+
+	simCfg := sched.DefaultConfig()
+	simCfg.FailureRatePerHour = *failRate
+	d, err := sched.NewDriver(simCfg, cl, tr, s, *seed)
+	if err != nil {
+		return err
+	}
+	res, err := d.Run()
+	if err != nil {
+		return err
+	}
+	printResult(tr, cl, res)
+	return nil
+}
+
+func printResult(tr *trace.Trace, cl *cluster.Cluster, res *sched.Result) {
+	c := res.Collector
+	fmt.Printf("scheduler      %s\n", res.Scheduler)
+	fmt.Printf("cluster        %d workers\n", res.NumWorkers)
+	fmt.Printf("workload       %s: %d jobs, %d tasks, offered load %.2f\n",
+		tr.Name, len(tr.Jobs), tr.NumTasks(), tr.OfferedLoad(cl.Size()))
+	fmt.Printf("span           %s (utilization over span %.2f)\n", res.Span, res.Utilization)
+	fmt.Println()
+
+	row := func(label string, f metrics.Filter) {
+		p := c.ResponsePercentiles(f)
+		q := c.QueueDelayPercentiles(f)
+		fmt.Printf("%-22s response p50=%8.2fs p90=%8.2fs p99=%8.2fs | queue p99=%8.2fs\n",
+			label, p.P50, p.P90, p.P99, q.P99)
+	}
+	row("short constrained", metrics.AndFilter(metrics.Short, metrics.Constrained))
+	row("short unconstrained", metrics.AndFilter(metrics.Short, metrics.Unconstrained))
+	row("long", metrics.Long)
+	row("all", metrics.All)
+	fmt.Println()
+	fmt.Printf("probes=%d reordered=%d crv_reordered=%d stolen=%d rescheduled=%d relaxed_jobs=%d\n",
+		c.Probes, c.ReorderedTasks, c.CRVReorderedTasks, c.StolenTasks, c.RescheduledProbes, c.RelaxedJobs)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

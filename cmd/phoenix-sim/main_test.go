@@ -1,0 +1,60 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func TestRunSynthetic(t *testing.T) {
+	for _, s := range []string{"phoenix", "eagle-c", "centralized"} {
+		if err := run([]string{"-scheduler", s, "-profile", "google", "-scale", "0.01"}); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestRunWithFailures(t *testing.T) {
+	if err := run([]string{"-scale", "0.01", "-failure-rate", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReplaysTraceFile(t *testing.T) {
+	cl, err := cluster.GoogleProfile().GenerateCluster(100, simulation.NewRNG(1).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = 100
+	cfg.NumJobs = 50
+	tr, err := trace.Generate(cfg, cl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", path, "-scheduler", "eagle-c"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scheduler", "mesos", "-scale", "0.01"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if err := run([]string{"-profile", "azure"}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run([]string{"-trace", "/nonexistent.jsonl"}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run([]string{"-notaflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

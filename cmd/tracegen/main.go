@@ -1,0 +1,79 @@
+// Command tracegen generates a synthetic constrained workload trace and
+// writes it as JSONL, or summarizes an existing trace file.
+//
+// Usage:
+//
+//	tracegen -profile google -scale 0.2 -seed 1000 -o google.jsonl
+//	tracegen -summarize google.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		profile   = fs.String("profile", "google", "workload profile: google, yahoo, cloudera")
+		scale     = fs.Float64("scale", 0.1, "workload scale (1.0 = paper scale)")
+		seed      = fs.Uint64("seed", 1000, "generation seed")
+		out       = fs.String("o", "", "output path (default: <profile>.jsonl)")
+		summarize = fs.String("summarize", "", "summarize an existing trace file and exit")
+		load      = fs.Float64("load", 0, "target offered load override (0 = profile default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *summarize != "" {
+		tr, err := trace.ReadFile(*summarize)
+		if err != nil {
+			return err
+		}
+		fmt.Println(trace.Summarize(tr))
+		return nil
+	}
+
+	cfg, err := trace.ConfigByName(*profile, *scale)
+	if err != nil {
+		return err
+	}
+	if *load > 0 {
+		cfg.TargetLoad = *load
+	}
+	prof, err := cluster.ProfileByName(*profile)
+	if err != nil {
+		return err
+	}
+	cl, err := prof.GenerateCluster(cfg.NumNodes, simulation.NewRNG(42).Stream("cli/machines"))
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Generate(cfg, cl, *seed)
+	if err != nil {
+		return err
+	}
+
+	path := *out
+	if path == "" {
+		path = *profile + ".jsonl"
+	}
+	if err := trace.WriteFile(path, tr); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n%s\n", path, trace.Summarize(tr))
+	return nil
+}

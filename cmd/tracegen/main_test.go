@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndSummarize(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run([]string{"-profile", "yahoo", "-scale", "0.01", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	if err := run([]string{"-summarize", out}); err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+}
+
+func TestLoadOverride(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run([]string{"-profile", "google", "-scale", "0.01", "-load", "0.5", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-profile", "azure"}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run([]string{"-summarize", "/nonexistent.jsonl"}); err == nil {
+		t.Error("missing summarize target accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

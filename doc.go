@@ -1,0 +1,31 @@
+// Package phoenix is a from-scratch reproduction of "Phoenix: A
+// Constraint-aware Scheduler for Heterogeneous Datacenters" (Thinakaran et
+// al., ICDCS 2017): a trace-driven simulation study of hybrid datacenter
+// schedulers under task placement constraints.
+//
+// The repository contains the complete system the paper describes and
+// everything it depends on, built on the Go standard library alone:
+//
+//   - internal/simulation — deterministic discrete-event engine
+//   - internal/constraint, internal/cluster — the constraint model and the
+//     heterogeneous machine substrate
+//   - internal/trace — synthetic Google/Yahoo/Cloudera workloads with
+//     Table II-calibrated constraint synthesis
+//   - internal/sched — the scheduling framework (workers, probes, late
+//     binding, queue policies, centralized placement)
+//   - internal/schedulers/{sparrow,hawk,eagle,yaccd,centralized} — the
+//     baselines
+//   - internal/core — Phoenix itself (CRV monitor, P-K wait estimation,
+//     CRV-based reordering, probe rescheduling)
+//   - internal/experiments — regenerates every table and figure of the
+//     paper's evaluation
+//   - internal/plot — renders the figures as SVG
+//
+// See README.md for a guided tour, DESIGN.md for the reproduction plan,
+// and EXPERIMENTS.md for paper-vs-measured results. The root package is
+// the public API: a documented facade (phoenix.go) over the internal
+// packages — clusters, workloads, schedulers, drivers, metrics, and the
+// experiment harness — plus the repository-level benchmark suite
+// (bench_test.go), one benchmark per paper table/figure and a set of
+// design-choice ablations.
+package phoenix

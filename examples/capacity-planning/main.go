@@ -1,0 +1,83 @@
+// Capacity planning: use the simulator as a what-if tool. Constrained
+// short jobs queue on the premium (10 GbE-class) machines; how much of the
+// constrained tail would buying more premium hardware remove, at the same
+// total cluster size? We sweep the premium share of the hardware mix and
+// re-run Phoenix on a workload whose demand skew stays fixed.
+//
+//	go run ./examples/capacity-planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/core"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// premiumProfile rebalances the Google hardware mix: extra points of
+// premium share come out of the two standard x86 families,
+// proportionally.
+func premiumProfile(extraPremium float64) *cluster.Profile {
+	p := cluster.GoogleProfile()
+	boosted := *p
+	boosted.SKUs = append([]cluster.SKU(nil), p.SKUs...)
+	for i := range boosted.SKUs {
+		switch boosted.SKUs[i].Name {
+		case "std-x86-large", "himem-x86":
+			boosted.SKUs[i].Weight += extraPremium / 2
+		case "std-x86-small", "std-x86-med":
+			boosted.SKUs[i].Weight -= extraPremium / 2
+		}
+	}
+	return &boosted
+}
+
+func run() error {
+	fmt.Printf("%-18s %12s %12s %12s\n", "premium share", "con_p50", "con_p90", "con_p99")
+	for _, extra := range []float64{0, 0.05, 0.10, 0.20} {
+		prof := premiumProfile(extra)
+		cl, err := prof.GenerateCluster(1500, simulation.NewRNG(42).Stream("machines"))
+		if err != nil {
+			return err
+		}
+		cfg := trace.GoogleConfig(1.0)
+		cfg.NumNodes = cl.Size()
+		cfg.NumJobs = 4000
+		tr, err := trace.Generate(cfg, cl, 9)
+		if err != nil {
+			return err
+		}
+		phoenix, err := core.New(core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, phoenix, 1)
+		if err != nil {
+			return err
+		}
+		res, err := d.Run()
+		if err != nil {
+			return err
+		}
+		p := res.Collector.ResponsePercentiles(metrics.AndFilter(metrics.Short, metrics.Constrained))
+		// The baseline premium share in the google profile is ~22%
+		// (std-large 12% + himem 8% + accel 2%); arm-large and power add
+		// a little more 10 GbE capacity.
+		fmt.Printf("%-18s %11.2fs %11.2fs %11.2fs\n",
+			fmt.Sprintf("base+%d%%", int(100*extra)), p.P50, p.P90, p.P99)
+	}
+	fmt.Println("\nmore premium supply drains the constrained hot set: the tail")
+	fmt.Println("shrinks without touching the scheduler at all.")
+	return nil
+}

@@ -1,0 +1,87 @@
+// Custom scheduler: the framework is not limited to the five built-in
+// policies. This example implements "PowerOfTwo", a minimal
+// constraint-aware scheduler — every task (long or short) probes the two
+// least-loaded satisfying workers — and races it against Phoenix.
+//
+//	go run ./examples/custom-scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/core"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// powerOfTwo probes, per task, the less-loaded of two random satisfying
+// workers (Mitzenmacher's power of two choices, applied per placement).
+type powerOfTwo struct {
+	stream *simulation.Stream
+}
+
+var _ sched.Scheduler = (*powerOfTwo)(nil)
+
+func (p *powerOfTwo) Name() string { return "power-of-two" }
+
+func (p *powerOfTwo) Init(d *sched.Driver) error {
+	p.stream = d.Stream("p2/probes")
+	d.SetAllPolicies(sched.SRPT{Slack: d.Config().SlackThreshold})
+	return nil
+}
+
+func (p *powerOfTwo) SubmitJob(d *sched.Driver, js *sched.JobState) {
+	cands := d.CandidateWorkers(js)
+	for i := 0; i < len(js.Job.Tasks); i++ {
+		pair := d.SampleWorkers(cands, 2, p.stream)
+		w := d.LeastBacklog(pair)
+		if w == nil {
+			return
+		}
+		d.EnqueueProbe(w, js)
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := simulation.NewRNG(42)
+	cl, err := cluster.GoogleProfile().GenerateCluster(1200, rng.Stream("machines"))
+	if err != nil {
+		return err
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = cl.Size()
+	cfg.NumJobs = 2000
+	tr, err := trace.Generate(cfg, cl, 5)
+	if err != nil {
+		return err
+	}
+
+	phoenix, err := core.New(core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	for _, s := range []sched.Scheduler{&powerOfTwo{}, phoenix} {
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 1)
+		if err != nil {
+			return err
+		}
+		res, err := d.Run()
+		if err != nil {
+			return err
+		}
+		p := res.Collector.ResponsePercentiles(metrics.Short)
+		fmt.Printf("%-14s short jobs: p50=%7.2fs p90=%7.2fs p99=%7.2fs\n",
+			s.Name(), p.P50, p.P90, p.P99)
+	}
+	return nil
+}

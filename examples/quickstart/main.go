@@ -1,0 +1,79 @@
+// Quickstart: build a heterogeneous cluster, generate a constrained
+// workload, run Phoenix over it, and print tail-latency metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/core"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A heterogeneous cluster: 1,000 machines sampled from the
+	//    Google-like hardware mix (several x86 generations, ARM, POWER).
+	rng := simulation.NewRNG(42)
+	cl, err := cluster.GoogleProfile().GenerateCluster(1000, rng.Stream("machines"))
+	if err != nil {
+		return err
+	}
+
+	// 2. A bursty constrained workload calibrated to that cluster: ~90%
+	//    short jobs, half of all jobs carrying 1-6 placement constraints
+	//    anchored to real machine configurations.
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = cl.Size()
+	cfg.NumJobs = 2000
+	tr, err := trace.Generate(cfg, cl, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Println(trace.Summarize(tr))
+	fmt.Println()
+
+	// 3. Phoenix with the paper's defaults: hybrid scheduling, CRV
+	//    monitoring every 9s heartbeat, CRV-based queue reordering and
+	//    probe rescheduling during contention.
+	phoenix, err := core.New(core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	driver, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, phoenix, 1)
+	if err != nil {
+		return err
+	}
+	res, err := driver.Run()
+	if err != nil {
+		return err
+	}
+
+	// 4. The numbers the paper cares about: short-job tail latency, split
+	//    by constrained vs unconstrained.
+	for _, c := range []struct {
+		label  string
+		filter metrics.Filter
+	}{
+		{"short constrained", metrics.AndFilter(metrics.Short, metrics.Constrained)},
+		{"short unconstrained", metrics.AndFilter(metrics.Short, metrics.Unconstrained)},
+		{"long", metrics.Long},
+	} {
+		p := res.Collector.ResponsePercentiles(c.filter)
+		fmt.Printf("%-22s response p50=%7.2fs  p90=%7.2fs  p99=%7.2fs\n", c.label, p.P50, p.P90, p.P99)
+	}
+	fmt.Printf("\nCRV monitor: %d heartbeats, %d CRV reorders, %d rescheduled probes\n",
+		phoenix.Monitor().Heartbeats(), res.Collector.CRVReorderedTasks, res.Collector.RescheduledProbes)
+	return nil
+}

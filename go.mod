@@ -1,0 +1,3 @@
+module github.com/phoenix-sched/phoenix
+
+go 1.22

@@ -1,0 +1,253 @@
+// Package cluster models the static hardware of a heterogeneous datacenter:
+// machines with per-dimension attributes (ISA, cores, NIC speed, disks,
+// kernel, platform, clock) and a constraint index that answers "which
+// machines satisfy this constraint set" in a few word-wise bitset
+// operations.
+//
+// The dynamic side — workers, slots, queues — lives in internal/sched;
+// cluster deliberately holds only what is fixed for the lifetime of a
+// simulation, so it can be shared read-only across concurrent runs.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+)
+
+// Machine is one worker node's hardware description.
+type Machine struct {
+	// ID is the dense machine index in [0, cluster size).
+	ID int
+	// Attrs is the machine's value on every constraint dimension.
+	Attrs constraint.Attributes
+}
+
+// RackSize is the number of consecutive machines grouped into one physical
+// rack for placement (affinity/anti-affinity) constraints. The paper's
+// placement constraints (§III-A) reference rack identity — spreading tasks
+// across racks for fault tolerance, or packing them together for locality.
+// Rack grouping is by machine ID, independent of the hardware mix: real
+// racks hold whatever was delivered that quarter.
+const RackSize = 40
+
+// Cluster is an immutable set of machines plus a constraint index.
+type Cluster struct {
+	machines []Machine
+	index    *Index
+}
+
+// New builds a cluster from machines. Machine IDs must be dense 0..n-1 in
+// order; New re-checks and returns an error otherwise, because the bitset
+// index addresses machines by position.
+func New(machines []Machine) (*Cluster, error) {
+	for i := range machines {
+		if machines[i].ID != i {
+			return nil, fmt.Errorf("cluster: machine at position %d has ID %d, want dense IDs", i, machines[i].ID)
+		}
+	}
+	c := &Cluster{machines: machines}
+	c.index = buildIndex(machines)
+	return c, nil
+}
+
+// RackOf reports the rack a machine belongs to.
+func (c *Cluster) RackOf(id int) int { return id / RackSize }
+
+// NumRacks reports the number of (possibly partial) racks.
+func (c *Cluster) NumRacks() int {
+	return (len(c.machines) + RackSize - 1) / RackSize
+}
+
+// RackMembers returns a fresh bitset of the machines in the given rack.
+func (c *Cluster) RackMembers(rack int) *bitset.Set {
+	out := bitset.New(len(c.machines))
+	lo := rack * RackSize
+	hi := lo + RackSize
+	if hi > len(c.machines) {
+		hi = len(c.machines)
+	}
+	for i := lo; i < hi; i++ {
+		out.Set(i)
+	}
+	return out
+}
+
+// Size reports the number of machines.
+func (c *Cluster) Size() int { return len(c.machines) }
+
+// Machine returns the machine with the given ID. It returns nil for
+// out-of-range IDs.
+func (c *Cluster) Machine(id int) *Machine {
+	if id < 0 || id >= len(c.machines) {
+		return nil
+	}
+	return &c.machines[id]
+}
+
+// Machines returns the backing machine slice. Callers must treat it as
+// read-only; it is shared, not copied, because experiment sweeps hold
+// clusters of up to 19,000 machines.
+func (c *Cluster) Machines() []Machine { return c.machines }
+
+// Satisfying returns a fresh bitset of the machines satisfying every
+// constraint in s. An empty set matches the whole cluster.
+func (c *Cluster) Satisfying(s constraint.Set) *bitset.Set {
+	out := bitset.New(len(c.machines))
+	out.SetAll()
+	for _, cn := range s {
+		c.index.apply(out, cn)
+		if !out.Any() {
+			return out
+		}
+	}
+	return out
+}
+
+// SatisfyingInto intersects the machines satisfying s into dst, which must
+// have capacity equal to the cluster size. It avoids the allocation of
+// Satisfying on hot paths.
+func (c *Cluster) SatisfyingInto(dst *bitset.Set, s constraint.Set) error {
+	if dst.Len() != len(c.machines) {
+		return fmt.Errorf("cluster: bitset capacity %d != cluster size %d", dst.Len(), len(c.machines))
+	}
+	dst.SetAll()
+	for _, cn := range s {
+		c.index.apply(dst, cn)
+		if !dst.Any() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SatisfyingCount reports how many machines satisfy s without materializing
+// the index list.
+func (c *Cluster) SatisfyingCount(s constraint.Set) int {
+	return c.Satisfying(s).Count()
+}
+
+// SatisfyingOne reports how many machines satisfy the single constraint cn.
+// Used by the CRV monitor's supply side.
+func (c *Cluster) SatisfyingOne(cn constraint.Constraint) int {
+	out := bitset.New(len(c.machines))
+	out.SetAll()
+	c.index.apply(out, cn)
+	return out.Count()
+}
+
+// Index answers per-constraint machine-membership queries. For every
+// dimension it keeps the sorted distinct attribute values, an equality
+// bitset per value, and prefix-union bitsets, so EQ/LT/GT queries each cost
+// one binary search plus one bitset AND.
+type Index struct {
+	n    int
+	dims [constraint.NumDims]dimIndex
+}
+
+type dimIndex struct {
+	values []int64       // sorted distinct attribute values
+	eq     []*bitset.Set // eq[i]: machines with value == values[i]
+	le     []*bitset.Set // le[i]: machines with value <= values[i]
+}
+
+func buildIndex(machines []Machine) *Index {
+	idx := &Index{n: len(machines)}
+	for _, d := range constraint.Dims {
+		di := &idx.dims[d.Index()]
+
+		byValue := make(map[int64][]int)
+		for i := range machines {
+			v := machines[i].Attrs.Get(d)
+			byValue[v] = append(byValue[v], i)
+		}
+		di.values = make([]int64, 0, len(byValue))
+		for v := range byValue {
+			di.values = append(di.values, v)
+		}
+		sort.Slice(di.values, func(i, j int) bool { return di.values[i] < di.values[j] })
+
+		di.eq = make([]*bitset.Set, len(di.values))
+		di.le = make([]*bitset.Set, len(di.values))
+		var running *bitset.Set
+		for i, v := range di.values {
+			s := bitset.New(len(machines))
+			for _, m := range byValue[v] {
+				s.Set(m)
+			}
+			di.eq[i] = s
+			if running == nil {
+				running = s.Clone()
+			} else {
+				running = running.Clone()
+				// Or cannot fail: both sets share the cluster capacity.
+				_ = running.Or(s)
+			}
+			di.le[i] = running
+		}
+	}
+	return idx
+}
+
+// empty is a reusable all-zero mask the size of the cluster; apply
+// intersects with it for unsatisfiable constraints.
+func (ix *Index) applyEmpty(dst *bitset.Set) {
+	dst.Reset()
+}
+
+// apply intersects dst with the machines satisfying cn.
+func (ix *Index) apply(dst *bitset.Set, cn constraint.Constraint) {
+	di := &ix.dims[cn.Dim.Index()]
+	switch cn.Op {
+	case constraint.OpEQ:
+		i := sort.Search(len(di.values), func(i int) bool { return di.values[i] >= cn.Value })
+		if i >= len(di.values) || di.values[i] != cn.Value {
+			ix.applyEmpty(dst)
+			return
+		}
+		_ = dst.And(di.eq[i]) // capacities match by construction
+	case constraint.OpLT:
+		// Largest index with values[i] < cn.Value.
+		i := sort.Search(len(di.values), func(i int) bool { return di.values[i] >= cn.Value })
+		if i == 0 {
+			ix.applyEmpty(dst)
+			return
+		}
+		_ = dst.And(di.le[i-1])
+	case constraint.OpGT:
+		// Machines NOT in le[largest index with values[i] <= cn.Value].
+		i := sort.Search(len(di.values), func(i int) bool { return di.values[i] > cn.Value })
+		if i == 0 {
+			return // every machine exceeds the value: no-op intersection
+		}
+		if i >= len(di.values) {
+			ix.applyEmpty(dst)
+			return
+		}
+		_ = dst.AndNot(di.le[i-1])
+	default:
+		ix.applyEmpty(dst)
+	}
+}
+
+// Prefix returns a new cluster over the first k machines. Machines are
+// sampled i.i.d. from a profile, so a prefix is itself an unbiased sample —
+// the experiment harness uses this to sweep cluster sizes (and thereby
+// utilization, as the paper's Figs. 7-11 do) against one fixed workload.
+func (c *Cluster) Prefix(k int) (*Cluster, error) {
+	if k < 0 || k > len(c.machines) {
+		return nil, fmt.Errorf("cluster: prefix %d out of [0, %d]", k, len(c.machines))
+	}
+	return New(c.machines[:k])
+}
+
+// ValuesOn reports the sorted distinct machine values on dimension d;
+// useful to the constraint synthesizer for picking realistic thresholds.
+func (c *Cluster) ValuesOn(d constraint.Dim) []int64 {
+	src := c.index.dims[d.Index()].values
+	out := make([]int64, len(src))
+	copy(out, src)
+	return out
+}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// testCluster builds a small cluster with known attributes.
+func testCluster(t *testing.T) *Cluster {
+	t.Helper()
+	mk := func(id int, isa, cores, clock int64) Machine {
+		var a constraint.Attributes
+		a.Set(constraint.DimISA, isa)
+		a.Set(constraint.DimCores, cores)
+		a.Set(constraint.DimClock, clock)
+		return Machine{ID: id, Attrs: a}
+	}
+	c, err := New([]Machine{
+		mk(0, 1, 4, 2000),
+		mk(1, 1, 8, 2600),
+		mk(2, 2, 8, 2100),
+		mk(3, 1, 16, 2600),
+		mk(4, 3, 32, 3100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsNonDenseIDs(t *testing.T) {
+	_, err := New([]Machine{{ID: 1}})
+	if err == nil {
+		t.Fatal("non-dense IDs accepted")
+	}
+}
+
+func TestSatisfyingEQ(t *testing.T) {
+	c := testCluster(t)
+	got := c.Satisfying(constraint.Set{{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: 1}})
+	want := []int{0, 1, 3}
+	assertBits(t, got, want)
+}
+
+func TestSatisfyingGT(t *testing.T) {
+	c := testCluster(t)
+	got := c.Satisfying(constraint.Set{{Dim: constraint.DimCores, Op: constraint.OpGT, Value: 8}})
+	assertBits(t, got, []int{3, 4})
+
+	// GT below the minimum matches everything.
+	got = c.Satisfying(constraint.Set{{Dim: constraint.DimCores, Op: constraint.OpGT, Value: 1}})
+	assertBits(t, got, []int{0, 1, 2, 3, 4})
+
+	// GT at or above the maximum matches nothing.
+	got = c.Satisfying(constraint.Set{{Dim: constraint.DimCores, Op: constraint.OpGT, Value: 32}})
+	assertBits(t, got, nil)
+}
+
+func TestSatisfyingLT(t *testing.T) {
+	c := testCluster(t)
+	got := c.Satisfying(constraint.Set{{Dim: constraint.DimCores, Op: constraint.OpLT, Value: 8}})
+	assertBits(t, got, []int{0})
+
+	// LT at or below the minimum matches nothing.
+	got = c.Satisfying(constraint.Set{{Dim: constraint.DimCores, Op: constraint.OpLT, Value: 4}})
+	assertBits(t, got, nil)
+
+	// LT above the maximum matches everything.
+	got = c.Satisfying(constraint.Set{{Dim: constraint.DimCores, Op: constraint.OpLT, Value: 100}})
+	assertBits(t, got, []int{0, 1, 2, 3, 4})
+}
+
+func TestSatisfyingEQMissingValue(t *testing.T) {
+	c := testCluster(t)
+	got := c.Satisfying(constraint.Set{{Dim: constraint.DimCores, Op: constraint.OpEQ, Value: 6}})
+	assertBits(t, got, nil)
+}
+
+func TestSatisfyingConjunction(t *testing.T) {
+	c := testCluster(t)
+	got := c.Satisfying(constraint.Set{
+		{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: 1},
+		{Dim: constraint.DimCores, Op: constraint.OpGT, Value: 4},
+	})
+	assertBits(t, got, []int{1, 3})
+}
+
+func TestSatisfyingEmptySetMatchesAll(t *testing.T) {
+	c := testCluster(t)
+	got := c.Satisfying(nil)
+	if got.Count() != c.Size() {
+		t.Errorf("empty set matched %d machines, want %d", got.Count(), c.Size())
+	}
+}
+
+func TestSatisfyingInto(t *testing.T) {
+	c := testCluster(t)
+	dst := bitset.New(c.Size())
+	if err := c.SatisfyingInto(dst, constraint.Set{{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	assertBits(t, dst, []int{2})
+
+	bad := bitset.New(3)
+	if err := c.SatisfyingInto(bad, nil); err == nil {
+		t.Error("capacity mismatch accepted")
+	}
+}
+
+func TestSatisfyingOneAndCount(t *testing.T) {
+	c := testCluster(t)
+	n := c.SatisfyingOne(constraint.Constraint{Dim: constraint.DimClock, Op: constraint.OpGT, Value: 2500})
+	if n != 3 {
+		t.Errorf("SatisfyingOne(clock>2500) = %d, want 3", n)
+	}
+	if got := c.SatisfyingCount(constraint.Set{{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: 3}}); got != 1 {
+		t.Errorf("SatisfyingCount = %d, want 1", got)
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	c := testCluster(t)
+	if m := c.Machine(2); m == nil || m.Attrs.Get(constraint.DimISA) != 2 {
+		t.Errorf("Machine(2) = %+v", m)
+	}
+	if c.Machine(-1) != nil || c.Machine(99) != nil {
+		t.Error("out-of-range Machine not nil")
+	}
+	if len(c.Machines()) != 5 {
+		t.Errorf("Machines() len = %d", len(c.Machines()))
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	c := testCluster(t)
+	p, err := c.Prefix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 3 {
+		t.Fatalf("prefix size = %d", p.Size())
+	}
+	for i := 0; i < 3; i++ {
+		if p.Machine(i).Attrs != c.Machine(i).Attrs {
+			t.Fatalf("prefix machine %d differs", i)
+		}
+	}
+	// The prefix index must answer queries over only its machines.
+	got := p.Satisfying(constraint.Set{{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: 1}})
+	assertBits(t, got, []int{0, 1})
+
+	if _, err := c.Prefix(-1); err == nil {
+		t.Error("negative prefix accepted")
+	}
+	if _, err := c.Prefix(c.Size() + 1); err == nil {
+		t.Error("oversized prefix accepted")
+	}
+	whole, err := c.Prefix(c.Size())
+	if err != nil || whole.Size() != c.Size() {
+		t.Errorf("full prefix failed: %v", err)
+	}
+}
+
+func TestValuesOn(t *testing.T) {
+	c := testCluster(t)
+	vals := c.ValuesOn(constraint.DimCores)
+	want := []int64{4, 8, 16, 32}
+	if len(vals) != len(want) {
+		t.Fatalf("ValuesOn = %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("ValuesOn = %v, want %v", vals, want)
+		}
+	}
+}
+
+// Property: the index agrees with brute-force satisfaction checking.
+func TestIndexMatchesBruteForce(t *testing.T) {
+	s := simulation.NewRNG(99).Stream("machines")
+	machines, err := GoogleProfile().Generate(200, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := func(rawDim, rawOp uint8, rawVal int16) bool {
+		cn := constraint.Constraint{
+			Dim:   constraint.Dims[int(rawDim)%constraint.NumDims],
+			Op:    constraint.Op(int(rawOp)%3) + constraint.OpEQ,
+			Value: int64(rawVal),
+		}
+		got := c.Satisfying(constraint.Set{cn})
+		for i := range machines {
+			want := cn.SatisfiedBy(&machines[i].Attrs)
+			if got.Test(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the index agrees with brute force on multi-constraint sets with
+// realistic values drawn from the cluster's own value space.
+func TestIndexMatchesBruteForceOnSets(t *testing.T) {
+	stream := simulation.NewRNG(7).Stream("machines")
+	machines, err := GoogleProfile().Generate(300, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := simulation.NewRNG(8).Stream("pick")
+	for trial := 0; trial < 300; trial++ {
+		var set constraint.Set
+		n := 1 + pick.Intn(4)
+		for i := 0; i < n; i++ {
+			d := constraint.Dims[pick.Intn(constraint.NumDims)]
+			vals := c.ValuesOn(d)
+			set = append(set, constraint.Constraint{
+				Dim:   d,
+				Op:    constraint.Op(pick.Intn(3)) + constraint.OpEQ,
+				Value: vals[pick.Intn(len(vals))],
+			})
+		}
+		got := c.Satisfying(set)
+		for i := range machines {
+			if got.Test(i) != set.SatisfiedBy(&machines[i].Attrs) {
+				t.Fatalf("trial %d: index disagrees with brute force on machine %d for %v", trial, i, set)
+			}
+		}
+	}
+}
+
+func assertBits(t *testing.T, got *bitset.Set, want []int) {
+	t.Helper()
+	idx := got.Indices()
+	if len(idx) != len(want) {
+		t.Fatalf("satisfying = %v, want %v", idx, want)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("satisfying = %v, want %v", idx, want)
+		}
+	}
+}

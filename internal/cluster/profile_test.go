@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+func TestProfilesGenerateRequestedSize(t *testing.T) {
+	for _, name := range []string{"google", "yahoo", "cloudera"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := simulation.NewRNG(1).Stream("m")
+		c, err := p.GenerateCluster(1000, s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Size() != 1000 {
+			t.Errorf("%s: size = %d", name, c.Size())
+		}
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("azure"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestEmptyProfileRejected(t *testing.T) {
+	p := &Profile{Name: "empty"}
+	if _, err := p.Generate(10, simulation.NewRNG(1).Stream("m")); err == nil {
+		t.Error("empty profile accepted")
+	}
+}
+
+func TestNegativeWeightRejected(t *testing.T) {
+	p := &Profile{Name: "bad", SKUs: []SKU{{Name: "x", Weight: -1}}}
+	if _, err := p.Generate(10, simulation.NewRNG(1).Stream("m")); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestGoogleSKUSharesMatchWeights(t *testing.T) {
+	p := GoogleProfile()
+	s := simulation.NewRNG(42).Stream("m")
+	const n = 50000
+	machines, err := p.Generate(n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count machines per (platform, cores) signature, which uniquely
+	// identifies a SKU in the google profile.
+	counts := make(map[[2]int64]int)
+	for i := range machines {
+		key := [2]int64{
+			machines[i].Attrs.Get(constraint.DimPlatform),
+			machines[i].Attrs.Get(constraint.DimCores),
+		}
+		counts[key]++
+	}
+	var total float64
+	for _, sku := range p.SKUs {
+		total += sku.Weight
+	}
+	for _, sku := range p.SKUs {
+		key := [2]int64{sku.Attrs.Get(constraint.DimPlatform), sku.Attrs.Get(constraint.DimCores)}
+		got := float64(counts[key]) / n
+		want := sku.Weight / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("SKU %s share = %.3f, want ~%.3f", sku.Name, got, want)
+		}
+	}
+}
+
+func TestProfileGenerationIsDeterministic(t *testing.T) {
+	p := GoogleProfile()
+	a, err := p.Generate(500, simulation.NewRNG(7).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(500, simulation.NewRNG(7).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Attrs != b[i].Attrs {
+			t.Fatalf("machine %d differs across same-seed generations", i)
+		}
+	}
+}
+
+func TestGoogleProfileArchitectureMix(t *testing.T) {
+	s := simulation.NewRNG(3).Stream("m")
+	c, err := GoogleProfile().GenerateCluster(10000, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Architecture constraints must be restrictive (Table II: 2.03x
+	// slowdown): no single architecture value may dominate the cluster.
+	for _, arch := range []int64{ArchX86Legacy, ArchX86Std, ArchX86Haswell, ArchARM, ArchPOWER} {
+		n := c.SatisfyingCount(constraint.Set{{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: arch}})
+		frac := float64(n) / float64(c.Size())
+		if frac > 0.55 {
+			t.Errorf("architecture %d supplies %.2f of the cluster; constraints would be trivial", arch, frac)
+		}
+	}
+}

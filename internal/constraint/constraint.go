@@ -1,0 +1,290 @@
+// Package constraint models task placement constraints and the Constraint
+// Resource Vector (CRV) that Phoenix schedules on.
+//
+// The attribute space mirrors Table II of the paper: the nine machine
+// properties the Google cluster trace exposes as constraint targets (ISA,
+// rack size, Ethernet speed, core count, disk counts, kernel version,
+// platform family, CPU clock). A task carries a Set of constraints, each a
+// (dimension, operator, value) triple with one of the three comparison
+// operators the trace uses (<, >, =); a machine carries Attributes, one
+// value per dimension. The CRV of the cluster is a per-dimension
+// demand/supply ratio (Vector) that the Phoenix CRV monitor recomputes
+// every heartbeat.
+package constraint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dim identifies one constraint dimension (machine attribute). The nine
+// dimensions are exactly the constraint types reported for the Google trace
+// in Table II of the paper.
+type Dim int
+
+const (
+	// DimISA is the instruction-set architecture (80.64% of constrained
+	// tasks in the Google trace).
+	DimISA Dim = iota + 1
+	// DimNumNodes is the size of the rack/sub-cluster the machine belongs
+	// to ("Number of Nodes" in Table II).
+	DimNumNodes
+	// DimEthSpeed is the NIC speed in Mbit/s.
+	DimEthSpeed
+	// DimCores is the number of physical cores.
+	DimCores
+	// DimMaxDisks is the number of data disks attached.
+	DimMaxDisks
+	// DimKernel is the OS kernel version, encoded as an integer.
+	DimKernel
+	// DimPlatform is the platform (micro-architecture) family.
+	DimPlatform
+	// DimClock is the CPU clock speed in MHz.
+	DimClock
+	// DimMinDisks is the number of spare/minimum disks ("Minimum Disks" in
+	// Table II).
+	DimMinDisks
+)
+
+// NumDims is the number of constraint dimensions.
+const NumDims = 9
+
+// Dims lists every dimension in Table II order.
+var Dims = [NumDims]Dim{
+	DimISA, DimNumNodes, DimEthSpeed, DimCores, DimMaxDisks,
+	DimKernel, DimPlatform, DimClock, DimMinDisks,
+}
+
+var dimNames = map[Dim]string{
+	DimISA:      "isa",
+	DimNumNodes: "num_nodes",
+	DimEthSpeed: "eth_speed",
+	DimCores:    "cores",
+	DimMaxDisks: "max_disks",
+	DimKernel:   "kernel",
+	DimPlatform: "platform",
+	DimClock:    "clock",
+	DimMinDisks: "min_disks",
+}
+
+// String returns the dimension's trace name, e.g. "isa".
+func (d Dim) String() string {
+	if s, ok := dimNames[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("dim(%d)", int(d))
+}
+
+// Valid reports whether d is one of the defined dimensions.
+func (d Dim) Valid() bool { return d >= DimISA && d <= DimMinDisks }
+
+// Index returns the dense index of d in [0, NumDims).
+func (d Dim) Index() int { return int(d) - 1 }
+
+// DimFromName resolves a trace name back to a dimension.
+func DimFromName(name string) (Dim, error) {
+	for d, s := range dimNames {
+		if s == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("constraint: unknown dimension %q", name)
+}
+
+// Soft reports whether the dimension is a soft constraint in the paper's
+// classification (§III-A): CPU clock speed and network bandwidth can be
+// relaxed or negotiated by trading off performance, while the remaining
+// dimensions are hard requirements without which the task cannot run.
+func (d Dim) Soft() bool {
+	return d == DimClock || d == DimEthSpeed
+}
+
+// Op is a constraint comparison operator. Constraints in the Google trace
+// carry one of three operators (paper §V-A).
+type Op int
+
+const (
+	// OpEQ requires the machine attribute to equal the constraint value.
+	OpEQ Op = iota + 1
+	// OpLT requires the machine attribute to be strictly below the value.
+	OpLT
+	// OpGT requires the machine attribute to be strictly above the value.
+	OpGT
+)
+
+// String returns the operator symbol.
+func (o Op) String() string {
+	switch o {
+	case OpEQ:
+		return "="
+	case OpLT:
+		return "<"
+	case OpGT:
+		return ">"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Valid reports whether o is a defined operator.
+func (o Op) Valid() bool { return o >= OpEQ && o <= OpGT }
+
+// Attributes is a machine's value for every constraint dimension, indexed
+// by Dim.Index().
+type Attributes [NumDims]int64
+
+// Get returns the machine's value on dimension d.
+func (a *Attributes) Get(d Dim) int64 { return a[d.Index()] }
+
+// Set assigns the machine's value on dimension d.
+func (a *Attributes) Set(d Dim, v int64) { a[d.Index()] = v }
+
+// String renders the attributes as "isa=1 num_nodes=40 ...".
+func (a *Attributes) String() string {
+	parts := make([]string, 0, NumDims)
+	for _, d := range Dims {
+		parts = append(parts, fmt.Sprintf("%s=%d", d, a.Get(d)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Constraint is a single task placement requirement: attribute <op> value.
+type Constraint struct {
+	Dim   Dim   `json:"dim"`
+	Op    Op    `json:"op"`
+	Value int64 `json:"value"`
+}
+
+// SatisfiedBy reports whether a machine with the given attributes satisfies
+// the constraint.
+func (c Constraint) SatisfiedBy(a *Attributes) bool {
+	v := a.Get(c.Dim)
+	switch c.Op {
+	case OpEQ:
+		return v == c.Value
+	case OpLT:
+		return v < c.Value
+	case OpGT:
+		return v > c.Value
+	}
+	return false
+}
+
+// Validate reports an error for malformed constraints.
+func (c Constraint) Validate() error {
+	if !c.Dim.Valid() {
+		return fmt.Errorf("constraint: invalid dimension %d", int(c.Dim))
+	}
+	if !c.Op.Valid() {
+		return fmt.Errorf("constraint: invalid operator %d", int(c.Op))
+	}
+	return nil
+}
+
+// String renders the constraint, e.g. "cores>8".
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s%s%d", c.Dim, c.Op, c.Value)
+}
+
+// Set is a task's conjunction of constraints. A nil or empty Set means the
+// task is unconstrained.
+type Set []Constraint
+
+// SatisfiedBy reports whether a machine satisfies every constraint.
+func (s Set) SatisfiedBy(a *Attributes) bool {
+	for _, c := range s {
+		if !c.SatisfiedBy(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the set carries no constraints.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// Validate reports the first malformed constraint, plus duplicate
+// dimensions, which the synthesis model never produces and the schedulers
+// do not expect.
+func (s Set) Validate() error {
+	var mask DimMask
+	for _, c := range s {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if mask.Has(c.Dim) {
+			return fmt.Errorf("constraint: duplicate dimension %s", c.Dim)
+		}
+		mask = mask.With(c.Dim)
+	}
+	return nil
+}
+
+// Dims returns the mask of dimensions the set constrains.
+func (s Set) Dims() DimMask {
+	var mask DimMask
+	for _, c := range s {
+		mask = mask.With(c.Dim)
+	}
+	return mask
+}
+
+// Hard returns the subset of hard constraints.
+func (s Set) Hard() Set {
+	var out Set
+	for _, c := range s {
+		if !c.Dim.Soft() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SoftCount reports how many constraints in the set are soft.
+func (s Set) SoftCount() int {
+	n := 0
+	for _, c := range s {
+		if c.Dim.Soft() {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	if s == nil {
+		return nil
+	}
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// String renders the set, e.g. "[isa=1 cores>8]".
+func (s Set) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// DimMask is a bitmask over constraint dimensions.
+type DimMask uint16
+
+// With returns the mask with dimension d added.
+func (m DimMask) With(d Dim) DimMask { return m | 1<<uint(d.Index()) }
+
+// Has reports whether dimension d is in the mask.
+func (m DimMask) Has(d Dim) bool { return m&(1<<uint(d.Index())) != 0 }
+
+// Count reports the number of dimensions in the mask.
+func (m DimMask) Count() int {
+	n := 0
+	for _, d := range Dims {
+		if m.Has(d) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+package constraint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func machine(vals map[Dim]int64) *Attributes {
+	var a Attributes
+	for d, v := range vals {
+		a.Set(d, v)
+	}
+	return &a
+}
+
+func TestConstraintOperators(t *testing.T) {
+	a := machine(map[Dim]int64{DimCores: 8})
+	cases := []struct {
+		c    Constraint
+		want bool
+	}{
+		{Constraint{DimCores, OpEQ, 8}, true},
+		{Constraint{DimCores, OpEQ, 4}, false},
+		{Constraint{DimCores, OpLT, 16}, true},
+		{Constraint{DimCores, OpLT, 8}, false},
+		{Constraint{DimCores, OpLT, 4}, false},
+		{Constraint{DimCores, OpGT, 4}, true},
+		{Constraint{DimCores, OpGT, 8}, false},
+		{Constraint{DimCores, OpGT, 16}, false},
+	}
+	for _, c := range cases {
+		if got := c.c.SatisfiedBy(a); got != c.want {
+			t.Errorf("%v.SatisfiedBy(cores=8) = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestInvalidOpNeverSatisfies(t *testing.T) {
+	a := machine(map[Dim]int64{DimCores: 8})
+	c := Constraint{DimCores, Op(99), 8}
+	if c.SatisfiedBy(a) {
+		t.Error("invalid operator satisfied a machine")
+	}
+}
+
+func TestSetConjunction(t *testing.T) {
+	a := machine(map[Dim]int64{DimISA: 1, DimCores: 16, DimClock: 2600})
+	s := Set{
+		{DimISA, OpEQ, 1},
+		{DimCores, OpGT, 8},
+		{DimClock, OpGT, 2000},
+	}
+	if !s.SatisfiedBy(a) {
+		t.Error("satisfiable set reported unsatisfied")
+	}
+	s = append(s, Constraint{DimKernel, OpGT, 100})
+	if s.SatisfiedBy(a) {
+		t.Error("set with unsatisfied kernel constraint reported satisfied")
+	}
+	if !Set(nil).SatisfiedBy(a) {
+		t.Error("empty set must satisfy every machine")
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	valid := Set{{DimISA, OpEQ, 1}, {DimCores, OpGT, 4}}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid set: %v", err)
+	}
+	dupe := Set{{DimISA, OpEQ, 1}, {DimISA, OpEQ, 2}}
+	if err := dupe.Validate(); err == nil {
+		t.Error("duplicate dimension not rejected")
+	}
+	badDim := Set{{Dim(0), OpEQ, 1}}
+	if err := badDim.Validate(); err == nil {
+		t.Error("invalid dimension not rejected")
+	}
+	badOp := Set{{DimISA, Op(0), 1}}
+	if err := badOp.Validate(); err == nil {
+		t.Error("invalid operator not rejected")
+	}
+}
+
+func TestSetDimsMask(t *testing.T) {
+	s := Set{{DimISA, OpEQ, 1}, {DimClock, OpGT, 2000}}
+	mask := s.Dims()
+	if !mask.Has(DimISA) || !mask.Has(DimClock) {
+		t.Error("mask missing constrained dims")
+	}
+	if mask.Has(DimCores) {
+		t.Error("mask contains unconstrained dim")
+	}
+	if mask.Count() != 2 {
+		t.Errorf("mask.Count = %d, want 2", mask.Count())
+	}
+}
+
+func TestSoftHardSplit(t *testing.T) {
+	s := Set{
+		{DimISA, OpEQ, 1},         // hard
+		{DimClock, OpGT, 2000},    // soft
+		{DimEthSpeed, OpEQ, 1000}, // soft
+		{DimCores, OpGT, 4},       // hard
+	}
+	hard := s.Hard()
+	if len(hard) != 2 {
+		t.Fatalf("Hard() len = %d, want 2", len(hard))
+	}
+	for _, c := range hard {
+		if c.Dim.Soft() {
+			t.Errorf("Hard() contains soft dim %s", c.Dim)
+		}
+	}
+	if got := s.SoftCount(); got != 2 {
+		t.Errorf("SoftCount = %d, want 2", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := Set{{DimISA, OpEQ, 1}}
+	c := s.Clone()
+	c[0].Value = 99
+	if s[0].Value != 1 {
+		t.Error("mutating clone changed original")
+	}
+	if Set(nil).Clone() != nil {
+		t.Error("nil clone should stay nil")
+	}
+}
+
+func TestDimNamesRoundTrip(t *testing.T) {
+	for _, d := range Dims {
+		got, err := DimFromName(d.String())
+		if err != nil {
+			t.Fatalf("DimFromName(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Errorf("round trip %s -> %s", d, got)
+		}
+	}
+	if _, err := DimFromName("bogus"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if Dim(42).String() != "dim(42)" {
+		t.Errorf("unknown dim String = %q", Dim(42).String())
+	}
+	if Op(42).String() != "op(42)" {
+		t.Errorf("unknown op String = %q", Op(42).String())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	c := Constraint{DimCores, OpGT, 8}
+	if got := c.String(); got != "cores>8" {
+		t.Errorf("Constraint.String = %q", got)
+	}
+	s := Set{{DimISA, OpEQ, 1}, {DimCores, OpGT, 8}}
+	if got := s.String(); got != "[isa=1 cores>8]" {
+		t.Errorf("Set.String = %q", got)
+	}
+}
+
+// Property: a set is satisfied iff each member constraint is satisfied.
+func TestSetSatisfactionIsConjunction(t *testing.T) {
+	f := func(vals [NumDims]int64, rawDims []uint8, rawOps []uint8, cVals []int64) bool {
+		var a Attributes
+		for i, v := range vals {
+			a[i] = v % 100
+		}
+		n := len(rawDims)
+		if len(rawOps) < n {
+			n = len(rawOps)
+		}
+		if len(cVals) < n {
+			n = len(cVals)
+		}
+		if n > 6 {
+			n = 6
+		}
+		var s Set
+		for i := 0; i < n; i++ {
+			s = append(s, Constraint{
+				Dim:   Dims[int(rawDims[i])%NumDims],
+				Op:    Op(int(rawOps[i])%3) + OpEQ,
+				Value: cVals[i] % 100,
+			})
+		}
+		want := true
+		for _, c := range s {
+			if !c.SatisfiedBy(&a) {
+				want = false
+			}
+		}
+		return s.SatisfiedBy(&a) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttributesString(t *testing.T) {
+	a := machine(map[Dim]int64{DimISA: 2})
+	s := a.String()
+	if s == "" {
+		t.Error("empty Attributes string")
+	}
+}

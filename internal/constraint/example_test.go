@@ -1,0 +1,43 @@
+package constraint_test
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+)
+
+func ExampleSet_SatisfiedBy() {
+	// A machine: x86 generation 2, 16 cores, 2.6 GHz.
+	var machine constraint.Attributes
+	machine.Set(constraint.DimISA, 2)
+	machine.Set(constraint.DimCores, 16)
+	machine.Set(constraint.DimClock, 2600)
+
+	// A task demanding that generation with at least 8 cores.
+	task := constraint.Set{
+		{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: 2},
+		{Dim: constraint.DimCores, Op: constraint.OpGT, Value: 7},
+	}
+	fmt.Println(task, "->", task.SatisfiedBy(&machine))
+
+	// The same task on a 4-core machine.
+	machine.Set(constraint.DimCores, 4)
+	fmt.Println(task, "->", task.SatisfiedBy(&machine))
+	// Output:
+	// [isa=2 cores>7] -> true
+	// [isa=2 cores>7] -> false
+}
+
+func ExampleVector_MaxOver() {
+	// The CRV after a heartbeat: ISA demand is 3x its supply, cores 0.4x.
+	var crv constraint.Vector
+	crv.Set(constraint.DimISA, 3.0)
+	crv.Set(constraint.DimCores, 0.4)
+
+	// A task constraining both dimensions scores at its hottest one.
+	mask := constraint.DimMask(0).With(constraint.DimISA).With(constraint.DimCores)
+	dim, ratio := crv.MaxOver(mask)
+	fmt.Printf("%s %.1f\n", dim, ratio)
+	// Output:
+	// isa 3.0
+}

@@ -1,0 +1,90 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is a Constraint Resource Vector: one value per constraint
+// dimension. The Phoenix CRV monitor uses Vectors of demand/supply ratios —
+// element d is (tasks currently demanding dimension d) / (workers able to
+// supply dimension d) — recomputed every heartbeat (paper §IV-A). A ratio
+// above CRVThreshold marks the dimension as contended.
+type Vector [NumDims]float64
+
+// Get returns the value on dimension d.
+func (v *Vector) Get(d Dim) float64 { return v[d.Index()] }
+
+// Set assigns the value on dimension d.
+func (v *Vector) Set(d Dim, x float64) { v[d.Index()] = x }
+
+// Add accumulates other into v element-wise.
+func (v *Vector) Add(other *Vector) {
+	for i := range v {
+		v[i] += other[i]
+	}
+}
+
+// Scale multiplies every element by f.
+func (v *Vector) Scale(f float64) {
+	for i := range v {
+		v[i] *= f
+	}
+}
+
+// Max returns the dimension with the largest value and that value. Ties
+// resolve to the earlier dimension in Table II order, which keeps runs
+// deterministic. An all-zero vector returns (0, 0) with an invalid Dim.
+func (v *Vector) Max() (Dim, float64) {
+	var (
+		bestDim Dim
+		bestVal float64
+	)
+	for _, d := range Dims {
+		if x := v.Get(d); x > bestVal {
+			bestVal = x
+			bestDim = d
+		}
+	}
+	return bestDim, bestVal
+}
+
+// MaxOver returns the largest value among the dimensions in mask, and the
+// dimension that attains it. Used to score a task: the task's CRV value is
+// the max contention ratio over the dimensions it constrains (Algorithm 1,
+// Max_CRV).
+func (v *Vector) MaxOver(mask DimMask) (Dim, float64) {
+	var (
+		bestDim Dim
+		bestVal float64
+	)
+	for _, d := range Dims {
+		if !mask.Has(d) {
+			continue
+		}
+		if x := v.Get(d); x > bestVal || bestDim == 0 {
+			bestVal = x
+			bestDim = d
+		}
+	}
+	return bestDim, bestVal
+}
+
+// AnyAbove reports whether any element exceeds threshold.
+func (v *Vector) AnyAbove(threshold float64) bool {
+	for i := range v {
+		if v[i] > threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the vector with dimension labels.
+func (v *Vector) String() string {
+	parts := make([]string, 0, NumDims)
+	for _, d := range Dims {
+		parts = append(parts, fmt.Sprintf("%s:%.3f", d, v.Get(d)))
+	}
+	return "<" + strings.Join(parts, " ") + ">"
+}

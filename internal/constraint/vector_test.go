@@ -1,0 +1,128 @@
+package constraint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorGetSet(t *testing.T) {
+	var v Vector
+	v.Set(DimISA, 1.5)
+	v.Set(DimClock, 0.25)
+	if got := v.Get(DimISA); got != 1.5 {
+		t.Errorf("Get(ISA) = %v", got)
+	}
+	if got := v.Get(DimCores); got != 0 {
+		t.Errorf("Get(Cores) = %v, want 0", got)
+	}
+}
+
+func TestVectorMax(t *testing.T) {
+	var v Vector
+	v.Set(DimCores, 0.5)
+	v.Set(DimISA, 2.0)
+	v.Set(DimKernel, 1.9)
+	d, x := v.Max()
+	if d != DimISA || x != 2.0 {
+		t.Errorf("Max = (%s, %v), want (isa, 2)", d, x)
+	}
+
+	var zero Vector
+	d, x = zero.Max()
+	if d != 0 || x != 0 {
+		t.Errorf("zero Max = (%d, %v), want (0, 0)", d, x)
+	}
+}
+
+func TestVectorMaxTieBreaksByTableOrder(t *testing.T) {
+	var v Vector
+	v.Set(DimClock, 1.0)
+	v.Set(DimEthSpeed, 1.0) // earlier in Table II order than clock
+	d, _ := v.Max()
+	if d != DimEthSpeed {
+		t.Errorf("tie Max = %s, want eth_speed (earlier in Table II order)", d)
+	}
+}
+
+func TestVectorMaxOver(t *testing.T) {
+	var v Vector
+	v.Set(DimISA, 5.0)
+	v.Set(DimCores, 2.0)
+	v.Set(DimClock, 3.0)
+
+	mask := DimMask(0).With(DimCores).With(DimClock)
+	d, x := v.MaxOver(mask)
+	if d != DimClock || x != 3.0 {
+		t.Errorf("MaxOver = (%s, %v), want (clock, 3) — ISA not in mask", d, x)
+	}
+
+	// Mask over zero-valued dims still yields a valid dim with value 0.
+	mask = DimMask(0).With(DimKernel)
+	d, x = v.MaxOver(mask)
+	if d != DimKernel || x != 0 {
+		t.Errorf("MaxOver zero dims = (%s, %v), want (kernel, 0)", d, x)
+	}
+
+	// Empty mask returns invalid dim.
+	d, _ = v.MaxOver(0)
+	if d != 0 {
+		t.Errorf("MaxOver(empty) dim = %s, want invalid", d)
+	}
+}
+
+func TestVectorAddScale(t *testing.T) {
+	var a, b Vector
+	a.Set(DimISA, 1)
+	b.Set(DimISA, 2)
+	b.Set(DimCores, 3)
+	a.Add(&b)
+	if a.Get(DimISA) != 3 || a.Get(DimCores) != 3 {
+		t.Errorf("Add result = %v", a)
+	}
+	a.Scale(0.5)
+	if a.Get(DimISA) != 1.5 {
+		t.Errorf("Scale result = %v", a)
+	}
+}
+
+func TestVectorAnyAbove(t *testing.T) {
+	var v Vector
+	v.Set(DimKernel, 0.8)
+	if v.AnyAbove(0.9) {
+		t.Error("AnyAbove(0.9) = true, want false")
+	}
+	if !v.AnyAbove(0.7) {
+		t.Error("AnyAbove(0.7) = false, want true")
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	var v Vector
+	if v.String() == "" {
+		t.Error("empty vector string")
+	}
+}
+
+// Property: Max returns an element-wise upper bound.
+func TestVectorMaxIsUpperBound(t *testing.T) {
+	f := func(raw [NumDims]float64) bool {
+		var v Vector
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v[i] = math.Abs(x)
+		}
+		_, m := v.Max()
+		for i := range v {
+			if v[i] > m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+// Package core implements Phoenix, the paper's contribution: a
+// constraint-aware hybrid scheduler that minimizes tail latency for
+// constrained short jobs.
+//
+// Phoenix inherits Eagle's machinery — centralized placement for long jobs,
+// distributed probe-based late binding for short jobs, succinct state
+// sharing, sticky batch probing, SRPT worker queues with a starvation bound
+// — and adds three mechanisms (paper §IV):
+//
+//   - A CRV monitor that, every heartbeat interval, computes the Constraint
+//     Resource Vector: per constraint dimension, the ratio of demand
+//     (queued tasks asking for the dimension) to supply (workers able to
+//     satisfy the demanded constraints). Each queued constrained entry
+//     contributes 1/|satisfying workers| to the dimensions it constrains,
+//     so a vector element is the mean queued depth per satisfying worker.
+//   - A Pollaczek–Khinchin M/G/1 waiting-time estimate per worker
+//     (Equation 1 of the paper), marking workers whose expected wait
+//     exceeds the Qwait threshold.
+//   - CRV-based queue reordering (Algorithm 1): while some dimension's CRV
+//     ratio exceeds the CRV threshold, marked workers switch from SRPT to
+//     serving the entry with the highest CRV value first — draining the
+//     most-contended constrained resources — bounded by the same
+//     starvation slack. All other workers, and all workers in calm
+//     periods, keep SRPT, which is tail-optimal for heavy-tailed service
+//     distributions below saturation (paper §IV-A).
+//
+// During contended intervals Phoenix also probes wait-aware: it oversamples
+// candidate workers and keeps those with the smallest estimated waits,
+// instead of relying on uniform sampling ("during peak congestions Phoenix
+// does not rely on SBP and instead dynamically estimates the wait time of
+// highly constrained nodes", §VI-A).
+package core

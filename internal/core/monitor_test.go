@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func TestObserveDemandCreditsCandidates(t *testing.T) {
+	m := NewMonitor(10)
+	cands := bitset.New(10)
+	cands.Set(2)
+	cands.Set(5)
+	m.ObserveDemand(cands)
+	// Quadratic scarcity weight: 1/|cands|^2 per candidate.
+	want := 1.0 / 4.0
+	if got := m.DemandCredit(2); got != want {
+		t.Errorf("credit(2) = %v, want %v", got, want)
+	}
+	if got := m.DemandCredit(5); got != want {
+		t.Errorf("credit(5) = %v, want %v", got, want)
+	}
+	if got := m.DemandCredit(0); got != 0 {
+		t.Errorf("credit(0) = %v, want 0", got)
+	}
+
+	// Scarcer sets credit more per worker.
+	scarce := bitset.New(10)
+	scarce.Set(7)
+	m.ObserveDemand(scarce)
+	if got := m.DemandCredit(7); got != 1.0 {
+		t.Errorf("credit(7) = %v, want 1", got)
+	}
+
+	// Empty candidate sets are ignored.
+	m.ObserveDemand(bitset.New(10))
+}
+
+func TestDemandCreditDecays(t *testing.T) {
+	// Decay happens inside Refresh; exercise it end-to-end via a real run
+	// would be slow, so drive Refresh against an empty driver: build the
+	// smallest possible simulation and refresh twice.
+	cl, tr := phoenixTestbedT(t)
+	p, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Init(d); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Monitor()
+	cands := bitset.New(cl.Size())
+	cands.Set(0)
+	m.ObserveDemand(cands)
+	before := m.DemandCredit(0)
+	m.Refresh(d, 1, 1)
+	after := m.Refresh(d, 1, 1) // second refresh decays again
+	_ = after
+	if got := m.DemandCredit(0); got >= before || got != before*demandDecay*demandDecay {
+		t.Errorf("credit after two refreshes = %v, want %v", got, before*demandDecay*demandDecay)
+	}
+}
+
+func TestRefreshOnIdleClusterIsCalm(t *testing.T) {
+	cl, tr := phoenixTestbedT(t)
+	p, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Init(d); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Monitor()
+	if m.Refresh(d, 0.25, 5) {
+		t.Error("empty cluster reported hot")
+	}
+	for i := 0; i < cl.Size(); i++ {
+		if m.Marked(i) {
+			t.Fatalf("idle worker %d marked", i)
+		}
+	}
+	if m.Heartbeats() != 1 {
+		t.Errorf("heartbeats = %d", m.Heartbeats())
+	}
+}
+
+func TestRareFamilyWorkers(t *testing.T) {
+	cl, tr := phoenixTestbedT(t)
+	p, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rareFamilyWorkers(d, 0); got != nil {
+		t.Error("zero fraction should disable the reserve")
+	}
+	rare := rareFamilyWorkers(d, 0.06)
+	if rare == nil {
+		t.Fatal("nil reserve for positive fraction")
+	}
+	// The google profile has families at 2-4% shares; a 6% cutoff must
+	// reserve some but not most of the cluster.
+	n := rare.Count()
+	if n == 0 || n > cl.Size()/2 {
+		t.Errorf("reserve size = %d of %d", n, cl.Size())
+	}
+	// Everything must be reserved under an impossible cutoff.
+	all := rareFamilyWorkers(d, 0.999)
+	if all.Count() != cl.Size() {
+		t.Errorf("0.999 cutoff reserved %d of %d", all.Count(), cl.Size())
+	}
+}
+
+// phoenixTestbedT is a tiny fixture shared by monitor tests.
+func phoenixTestbedT(t *testing.T) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	return phoenixTestbed(t, 50, 20, 0.3)
+}

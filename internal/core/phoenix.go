@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// Options configure Phoenix. The defaults reproduce the paper's settings.
+type Options struct {
+	// CRVThreshold is the per-dimension contention level above which
+	// CRV-based reordering activates. The CRV ratio is queued tasks per
+	// satisfying worker, so 1.0 marks the point where a constrained
+	// resource has a full task of backlog per machine able to serve it.
+	CRVThreshold float64
+	// QwaitThresholdSeconds marks a worker congested when its estimated
+	// P-K waiting time exceeds it ("conservatively set ... translates to
+	// peak utilization in the datacenter", §IV-B).
+	QwaitThresholdSeconds float64
+	// CRVReordering enables switching congested workers to the CRV queue
+	// policy during contended intervals (Algorithm 1). Disabling it
+	// isolates the other mechanisms for ablation.
+	CRVReordering bool
+	// WaitAwareProbing enables oversample-then-pick-least-wait probe
+	// placement during contended intervals.
+	WaitAwareProbing bool
+	// OversampleFactor is how many times more candidates than probes the
+	// wait-aware path inspects.
+	OversampleFactor int
+	// Slack bounds how often an entry can be bypassed; zero means "use
+	// the driver's SlackThreshold".
+	Slack int
+	// RareFamilyFraction soft-reserves rare hardware for constrained
+	// tasks: workers whose configuration family covers less than this
+	// fraction of the cluster are avoided by the centralized long-job
+	// placer and by short jobs that have alternatives. Zero (the default)
+	// disables the reserve: when long jobs carry the bulk of the work,
+	// carving capacity out shrinks the whole cluster's effective size and
+	// hurts more than it protects — the ablation bench quantifies this.
+	RareFamilyFraction float64
+	// DemandScorePlacement additionally breaks long-placement load ties
+	// away from workers carrying live constrained demand. Off by default
+	// for the same reason as the reserve; kept for the ablation bench.
+	DemandScorePlacement bool
+	// RescheduleBudget is the per-congested-worker number of constrained
+	// short probes the monitor may migrate to calmer satisfying workers
+	// each heartbeat — the paper's "dynamically rescheduling the probes
+	// of constrained tasks based on CRV" (§VI-B2). Zero disables
+	// rescheduling.
+	RescheduleBudget int
+	// RescheduleSample is how many alternative satisfying workers a
+	// rescheduled probe considers.
+	RescheduleSample int
+	// ValidateEstimates records an (estimate, realized) waiting-time pair
+	// for every task start, for the estimator-accuracy experiment. Off by
+	// default: it allocates one sample per task.
+	ValidateEstimates bool
+}
+
+// DefaultOptions returns the paper-calibrated configuration.
+func DefaultOptions() Options {
+	return Options{
+		CRVThreshold:          0.25,
+		QwaitThresholdSeconds: 5,
+		CRVReordering:         true,
+		WaitAwareProbing:      true,
+		OversampleFactor:      2,
+		RescheduleBudget:      4,
+		RescheduleSample:      8,
+	}
+}
+
+// Validate reports option errors.
+func (o *Options) Validate() error {
+	switch {
+	case o.CRVThreshold <= 0:
+		return fmt.Errorf("phoenix: CRV threshold %v must be positive", o.CRVThreshold)
+	case o.QwaitThresholdSeconds <= 0:
+		return fmt.Errorf("phoenix: Qwait threshold %v must be positive", o.QwaitThresholdSeconds)
+	case o.OversampleFactor < 1:
+		return fmt.Errorf("phoenix: oversample factor %d must be >= 1", o.OversampleFactor)
+	case o.Slack < 0:
+		return fmt.Errorf("phoenix: negative slack")
+	case o.RareFamilyFraction < 0 || o.RareFamilyFraction >= 1:
+		return fmt.Errorf("phoenix: rare family fraction %v out of [0, 1)", o.RareFamilyFraction)
+	case o.RescheduleBudget < 0:
+		return fmt.Errorf("phoenix: negative reschedule budget")
+	case o.RescheduleBudget > 0 && o.RescheduleSample < 1:
+		return fmt.Errorf("phoenix: reschedule sample %d must be >= 1", o.RescheduleSample)
+	}
+	return nil
+}
+
+// Scheduler is Phoenix.
+type Scheduler struct {
+	opts    Options
+	monitor *Monitor
+	stream  *simulation.Stream
+	placer  sched.CentralPlacer
+	// reserve is the rare-hardware set the long placer avoids; short jobs
+	// also steer around it unless their candidates leave no choice, so
+	// the reserve stays available for the constrained tasks that need it.
+	reserve *bitset.Set
+
+	srpt sched.QueuePolicy
+	crv  *CRVPolicy
+}
+
+var (
+	_ sched.Scheduler        = (*Scheduler)(nil)
+	_ sched.HeartbeatHandler = (*Scheduler)(nil)
+	_ sched.StickyProvider   = (*Scheduler)(nil)
+	_ sched.StartObserver    = (*Scheduler)(nil)
+)
+
+// New returns a Phoenix scheduler.
+func New(opts Options) (*Scheduler, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{opts: opts}, nil
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "phoenix" }
+
+// Monitor exposes the CRV monitor (for tests and the experiment harness).
+func (s *Scheduler) Monitor() *Monitor { return s.monitor }
+
+// Init implements sched.Scheduler.
+func (s *Scheduler) Init(d *sched.Driver) error {
+	slack := s.opts.Slack
+	if slack == 0 {
+		slack = d.Config().SlackThreshold
+	}
+	s.monitor = NewMonitor(d.Cluster().Size())
+	s.stream = d.Stream("phoenix/probes")
+	s.srpt = sched.SRPT{Slack: slack}
+	s.crv = &CRVPolicy{Monitor: s.monitor, Slack: slack, Threshold: s.opts.CRVThreshold}
+	s.reserve = rareFamilyWorkers(d, s.opts.RareFamilyFraction)
+	s.placer = sched.CentralPlacer{Reserved: s.reserve}
+	if s.opts.DemandScorePlacement {
+		s.placer.Score = func(w *sched.Worker) float64 { return s.monitor.DemandCredit(w.ID) }
+	}
+	d.SetAllPolicies(s.srpt)
+	return nil
+}
+
+// rareFamilyWorkers returns the set of workers whose exact configuration
+// family covers less than frac of the cluster — the hardware that
+// constrained tasks have the fewest alternatives to. Returns nil when the
+// reserve is disabled.
+func rareFamilyWorkers(d *sched.Driver, frac float64) *bitset.Set {
+	if frac <= 0 {
+		return nil
+	}
+	machines := d.Cluster().Machines()
+	counts := make(map[constraint.Attributes]int)
+	for i := range machines {
+		counts[machines[i].Attrs]++
+	}
+	cutoff := int(frac * float64(len(machines)))
+	rare := bitset.New(len(machines))
+	for i := range machines {
+		if counts[machines[i].Attrs] < cutoff {
+			rare.Set(i)
+		}
+	}
+	return rare
+}
+
+// OnHeartbeat implements sched.HeartbeatHandler: refresh the CRV lookup
+// table and the per-worker wait estimates, then switch marked workers to
+// CRV-based reordering while any dimension is contended (Algorithm 1).
+// Everyone else runs SRPT, which below saturation gives at least 99% of
+// jobs a response time no worse than any other discipline (§IV-A).
+func (s *Scheduler) OnHeartbeat(d *sched.Driver, _ simulation.Time) {
+	hot := s.monitor.Refresh(d, s.opts.CRVThreshold, s.opts.QwaitThresholdSeconds)
+	if s.opts.CRVReordering {
+		for _, w := range d.Workers() {
+			if hot && s.monitor.Marked(w.ID) {
+				d.SetPolicy(w, s.crv)
+			} else {
+				d.SetPolicy(w, s.srpt)
+			}
+		}
+	}
+	if hot && s.opts.RescheduleBudget > 0 {
+		// Per-beat caps: a congested cluster can have thousands of marked
+		// workers all wanting to dump probes on the few calm ones; without
+		// a per-target cap the calm workers become the next hotspot before
+		// the next heartbeat can see it.
+		globalBudget := d.Cluster().Size() / 8
+		if globalBudget < s.opts.RescheduleBudget {
+			globalBudget = s.opts.RescheduleBudget
+		}
+		targetLoad := make(map[int]int)
+		for _, w := range d.Workers() {
+			if globalBudget <= 0 {
+				break
+			}
+			if s.monitor.Marked(w.ID) {
+				globalBudget -= s.rescheduleStuckProbes(d, w, targetLoad, globalBudget)
+			}
+		}
+	}
+}
+
+// rescheduleStuckProbes migrates up to RescheduleBudget constrained short
+// probes from a congested worker to calmer satisfying workers — the dynamic
+// probe rescheduling of §VI-B2. Only probes whose job still has unclaimed
+// tasks are worth moving; each move pays one network delay. targetLoad
+// tracks per-beat arrivals per target so no calm worker absorbs more than
+// a couple of migrations; the return value counts moves performed, bounded
+// by remaining.
+func (s *Scheduler) rescheduleStuckProbes(d *sched.Driver, w *sched.Worker, targetLoad map[int]int, remaining int) int {
+	budget := s.opts.RescheduleBudget
+	if budget > remaining {
+		budget = remaining
+	}
+	// Collect victims first: moving entries mutates the queue.
+	type victim struct {
+		idx int
+		e   *sched.Entry
+	}
+	var victims []victim
+	for i, e := range w.Queue() {
+		if !e.IsProbe() || !e.Job.Short || !e.Job.Constrained || e.Job.Unclaimed() == 0 {
+			continue
+		}
+		victims = append(victims, victim{i, e})
+		if len(victims) == budget {
+			break
+		}
+	}
+	moved := 0
+	// Move from the back so earlier indices stay valid.
+	for i := len(victims) - 1; i >= 0; i-- {
+		v := victims[i]
+		cands := d.Cluster().Satisfying(v.e.Job.Constraints)
+		best := s.calmestTarget(d, cands, w, targetLoad)
+		if best == nil {
+			continue
+		}
+		if d.MoveEntry(w, best, v.idx) {
+			d.Collector().RescheduledProbes++
+			targetLoad[best.ID]++
+			moved++
+		}
+	}
+	return moved
+}
+
+// maxMovesPerTarget bounds how many rescheduled probes one worker may
+// receive within a single heartbeat.
+const maxMovesPerTarget = 2
+
+// calmestTarget samples satisfying workers and returns the unmarked,
+// not-yet-saturated one with the smallest backlog, or nil when every
+// sampled alternative is as congested as the source.
+func (s *Scheduler) calmestTarget(d *sched.Driver, cands *bitset.Set, src *sched.Worker, targetLoad map[int]int) *sched.Worker {
+	sample := d.SampleWorkers(cands, s.opts.RescheduleSample, s.stream)
+	now := d.Now()
+	var (
+		best  *sched.Worker
+		bestB simulation.Time
+	)
+	for _, cand := range sample {
+		if cand == src || s.monitor.Marked(cand.ID) || targetLoad[cand.ID] >= maxMovesPerTarget {
+			continue
+		}
+		b := cand.Backlog(now)
+		if best == nil || b < bestB || (b == bestB && cand.ID < best.ID) {
+			best = cand
+			bestB = b
+		}
+	}
+	return best
+}
+
+// SubmitJob implements sched.Scheduler.
+func (s *Scheduler) SubmitJob(d *sched.Driver, js *sched.JobState) {
+	if !js.Short || js.Placement != trace.PlacementNone {
+		// Long jobs, and any job with a rack placement constraint: the
+		// combinatorial decision needs the centralized global view.
+		s.placer.PlaceJob(d, js)
+		return
+	}
+	cands := d.CandidateWorkers(js)
+	if js.Constrained {
+		s.monitor.ObserveDemand(cands)
+	}
+	// Stay off the rare-hardware reserve when the job has anywhere else
+	// to go — the reserve exists for the jobs that don't.
+	if s.reserve != nil {
+		open := cands.Clone()
+		// AndNot cannot fail: both sets span the cluster.
+		_ = open.AndNot(s.reserve)
+		if open.Any() {
+			cands = open
+		}
+	}
+	free := cands.Clone()
+	_ = free.AndNot(d.LongOccupied())
+	if free.Any() {
+		cands = free
+	}
+	n := d.Config().ProbeRatio * len(js.Job.Tasks)
+	// Wait-aware probing applies to constrained jobs only ("Phoenix ...
+	// dynamically estimates the wait time of highly constrained nodes",
+	// §VI-A). Steering the unconstrained majority by the same stale
+	// estimates would concentrate the whole short workload on whatever
+	// looked calm at the last heartbeat.
+	if s.opts.WaitAwareProbing && js.Constrained && s.monitor.Hot() {
+		s.placeWaitAware(d, js, cands, n)
+		return
+	}
+	d.PlaceProbes(js, cands, n, s.stream)
+}
+
+// placeWaitAware oversamples candidates and drops the ones whose estimated
+// waiting time marks them congested, probing uniformly among the rest — the
+// dynamic wait-time estimation Phoenix substitutes for blind sampling
+// during peak congestion. Filtering (rather than picking the global
+// minimum) avoids herding every scheduler onto the same few workers between
+// heartbeats, when the estimates are up to one interval stale. When too few
+// uncongested candidates exist, the least-wait congested ones fill in.
+func (s *Scheduler) placeWaitAware(d *sched.Driver, js *sched.JobState, cands *bitset.Set, n int) {
+	sample := d.SampleWorkers(cands, n*s.opts.OversampleFactor, s.stream)
+	if len(sample) == 0 {
+		return
+	}
+	calm := sample[:0]
+	var congested []*sched.Worker
+	for _, w := range sample {
+		if s.monitor.Marked(w.ID) {
+			congested = append(congested, w)
+		} else {
+			calm = append(calm, w)
+		}
+	}
+	if len(calm) < n && len(congested) > 0 {
+		// Fill the shortfall with congested candidates in their (already
+		// random) sample order. Sorting them by the heartbeat-stale wait
+		// estimate would herd every scheduler onto the same apparent
+		// minimum for the rest of the interval — at saturation that
+		// collapses placement diversity exactly when it matters most.
+		need := n - len(calm)
+		if need > len(congested) {
+			need = len(congested)
+		}
+		calm = append(calm, congested[:need]...)
+	}
+	if len(calm) > n {
+		calm = calm[:n]
+	}
+	for i := 0; i < n; i++ {
+		d.EnqueueProbe(calm[i%len(calm)], js)
+	}
+}
+
+// OnTaskStart implements sched.StartObserver: when estimate validation is
+// on, pair the worker's last heartbeat estimate with the realized wait.
+func (s *Scheduler) OnTaskStart(_ *sched.Driver, w *sched.Worker, _ *sched.Entry, wait simulation.Time) {
+	if !s.opts.ValidateEstimates {
+		return
+	}
+	s.monitor.ObserveRealized(w.ID, wait.Seconds())
+}
+
+// NextSticky implements sched.StickyProvider (Eagle's SBP, which Phoenix
+// keeps outside contended intervals).
+func (s *Scheduler) NextSticky(_ *sched.Driver, _ *sched.Worker, js *sched.JobState) *trace.Task {
+	if !js.Short {
+		return nil
+	}
+	return js.Claim()
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// entry builds a queue entry with the given constraint dims and estimate.
+func entry(dims constraint.DimMask, est simulation.Time, bypassed int) *sched.Entry {
+	return &sched.Entry{
+		Job: &sched.JobState{
+			Job:            &trace.Job{},
+			Short:          true,
+			EstDur:         est,
+			ConstraintDims: dims,
+		},
+		Bypassed: bypassed,
+	}
+}
+
+func isaMask() constraint.DimMask  { return constraint.DimMask(0).With(constraint.DimISA) }
+func coreMask() constraint.DimMask { return constraint.DimMask(0).With(constraint.DimCores) }
+
+func TestSelectCRVPrefersContendedDimension(t *testing.T) {
+	var vec constraint.Vector
+	vec.Set(constraint.DimISA, 3.0)
+	vec.Set(constraint.DimCores, 0.5)
+
+	q := []*sched.Entry{
+		entry(0, simulation.Second, 0),            // unconstrained
+		entry(coreMask(), simulation.Second, 0),   // below-threshold contention
+		entry(isaMask(), 10*simulation.Second, 0), // hot dim, long
+		entry(isaMask(), 2*simulation.Second, 0),  // hot dim, short
+	}
+	got := selectCRV(&vec, q, 5, 1.0)
+	if got != 3 {
+		t.Errorf("selectCRV = %d, want 3 (contended class, SRPT within class)", got)
+	}
+	// With the threshold above every dimension, nothing is contended and
+	// plain SRPT picks the shortest entry.
+	if got := selectCRV(&vec, q, 5, 10.0); got != 0 {
+		t.Errorf("selectCRV over-threshold = %d, want 0 (pure SRPT)", got)
+	}
+}
+
+func TestSelectCRVStarvationGuardWins(t *testing.T) {
+	var vec constraint.Vector
+	vec.Set(constraint.DimISA, 3.0)
+	q := []*sched.Entry{
+		entry(0, simulation.Second, 5), // out of slack
+		entry(isaMask(), simulation.Second, 0),
+	}
+	if got := selectCRV(&vec, q, 5, 0); got != 0 {
+		t.Errorf("selectCRV = %d, want 0 (starved entry)", got)
+	}
+}
+
+func TestSelectCRVFallsBackToSRPT(t *testing.T) {
+	var vec constraint.Vector // all-zero: no contention anywhere
+	q := []*sched.Entry{
+		entry(0, 5*simulation.Second, 0),
+		entry(0, 2*simulation.Second, 0),
+		entry(isaMask(), 9*simulation.Second, 0),
+	}
+	if got := selectCRV(&vec, q, 5, 0); got != 1 {
+		t.Errorf("selectCRV = %d, want 1 (SRPT fallback)", got)
+	}
+}
+
+func TestSelectCRVEmptyQueue(t *testing.T) {
+	var vec constraint.Vector
+	if got := selectCRV(&vec, nil, 5, 0); got != -1 {
+		t.Errorf("selectCRV(empty) = %d", got)
+	}
+}
+
+// Property: selectCRV always returns a valid index; the starvation guard
+// dominates; and with nothing contended the choice equals plain SRPT.
+func TestSelectCRVProperties(t *testing.T) {
+	f := func(rawVals []uint16, rawDims []uint8, rawBypass []uint8, threshold8 uint8) bool {
+		n := len(rawDims)
+		if n == 0 {
+			return true
+		}
+		if n > 12 {
+			n = 12
+		}
+		var vec constraint.Vector
+		for i, v := range rawVals {
+			if i >= constraint.NumDims {
+				break
+			}
+			vec[i] = float64(v) / 1000
+		}
+		q := make([]*sched.Entry, n)
+		for i := 0; i < n; i++ {
+			var mask constraint.DimMask
+			if rawDims[i]%3 != 0 {
+				mask = mask.With(constraint.Dims[int(rawDims[i])%constraint.NumDims])
+			}
+			bypassed := 0
+			if i < len(rawBypass) {
+				bypassed = int(rawBypass[i] % 8)
+			}
+			q[i] = entry(mask, simulation.Time(i+1)*simulation.Second, bypassed)
+		}
+		threshold := float64(threshold8) / 10
+
+		got := selectCRV(&vec, q, 5, threshold)
+		if got < 0 || got >= n {
+			return false
+		}
+		// Starvation guard: if any entry is out of slack, the earliest
+		// such entry must win.
+		for i, e := range q {
+			if e.Bypassed >= 5 {
+				return got == i
+			}
+		}
+		// With an impossible threshold the choice must be pure SRPT: the
+		// first entry (they are sorted by increasing EstDur here).
+		if sel := selectCRV(&vec, q, 5, 1e18); sel != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRVPolicyName(t *testing.T) {
+	p := &CRVPolicy{Monitor: NewMonitor(1), Slack: 5}
+	if p.Name() != "crv" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestEntryCRVUnconstrainedIsZero(t *testing.T) {
+	var vec constraint.Vector
+	vec.Set(constraint.DimISA, 9)
+	if got := entryCRV(&vec, entry(0, simulation.Second, 0), 0); got != 0 {
+		t.Errorf("entryCRV(unconstrained) = %v", got)
+	}
+	if got := entryCRV(&vec, entry(isaMask(), simulation.Second, 0), 0); got != 9 {
+		t.Errorf("entryCRV(isa) = %v", got)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []func(*Options){
+		func(o *Options) { o.CRVThreshold = 0 },
+		func(o *Options) { o.QwaitThresholdSeconds = 0 },
+		func(o *Options) { o.OversampleFactor = 0 },
+		func(o *Options) { o.Slack = -1 },
+	}
+	for i, mutate := range cases {
+		o := DefaultOptions()
+		mutate(&o)
+		if _, err := New(o); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	if _, err := New(DefaultOptions()); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+}
+
+func TestNewMonitorZeroState(t *testing.T) {
+	m := NewMonitor(4)
+	if m.Hot() {
+		t.Error("fresh monitor hot")
+	}
+	if m.Heartbeats() != 0 {
+		t.Error("fresh monitor has heartbeats")
+	}
+	if m.Marked(2) || m.Wait(2) != 0 {
+		t.Error("fresh monitor has per-worker state")
+	}
+	vec := m.Vector()
+	if vec.AnyAbove(0) {
+		t.Error("fresh monitor vector non-zero")
+	}
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps experiment tests fast: one seed, small scale, short
+// sweep.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 0.03
+	o.Seeds = 1
+	o.SweepMults = []float64{1.0, 1.5}
+	return o
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []func(*Options){
+		func(o *Options) { o.Scale = 0 },
+		func(o *Options) { o.Seeds = 0 },
+		func(o *Options) { o.SweepMults = nil },
+		func(o *Options) { o.SweepMults = []float64{0.5} },
+		func(o *Options) { o.Parallelism = -1 },
+		func(o *Options) { o.Phoenix.CRVThreshold = -1 },
+	}
+	for i, mutate := range cases {
+		o := DefaultOptions()
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	o := DefaultOptions()
+	if err := o.Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+}
+
+func TestNewSchedulerFactory(t *testing.T) {
+	o := DefaultOptions()
+	for _, name := range []string{SchedPhoenix, SchedEagle, SchedHawk, SchedSparrow, SchedYacc} {
+		s, err := o.NewScheduler(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("factory(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := o.NewScheduler("mesos"); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"ext-designspace", "ext-estimator", "ext-failures", "ext-fairness", "ext-placement",
+		"fig2a", "fig2b", "fig3",
+		"fig4a", "fig4b", "fig4c", "fig6",
+		"fig7a", "fig7b", "fig7c",
+		"fig8a", "fig8b", "fig8c",
+		"fig9", "fig10", "fig11",
+		"sens-heartbeat", "sens-probe",
+		"table2", "table3",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	set := map[string]bool{}
+	for _, id := range got {
+		set[id] = true
+	}
+	for _, id := range want {
+		if !set[id] {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", tinyOptions()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// Each experiment must run end-to-end at tiny scale and produce a
+// well-formed report.
+func TestEveryExperimentProducesAReport(t *testing.T) {
+	opts := tinyOptions()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(id, opts)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if rep.ID != id {
+				t.Errorf("report ID = %q", rep.ID)
+			}
+			if len(rep.Columns) == 0 || len(rep.Rows) == 0 {
+				t.Fatalf("empty report for %s", id)
+			}
+			for i, row := range rep.Rows {
+				if len(row) != len(rep.Columns) {
+					t.Errorf("%s row %d has %d cells, want %d", id, i, len(row), len(rep.Columns))
+				}
+			}
+			if rep.String() == "" || rep.CSV() == "" {
+				t.Error("empty rendering")
+			}
+		})
+	}
+}
+
+func TestFig6ShapeMatchesPaper(t *testing.T) {
+	opts := tinyOptions()
+	opts.Scale = 0.1
+	rep, err := Run("fig6", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand at k=2 must be the mode (~33%), and supply must decrease
+	// from k=1 to k=6.
+	demand := make([]float64, len(rep.Rows))
+	supply := make([]float64, len(rep.Rows))
+	for i, row := range rep.Rows {
+		demand[i] = parseF(t, row[1])
+		supply[i] = parseF(t, row[2])
+	}
+	for i := range demand {
+		if demand[1] < demand[i] {
+			t.Errorf("demand mode at k=%d, want k=2 (demand=%v)", i+1, demand)
+			break
+		}
+	}
+	if supply[0] <= supply[len(supply)-1] {
+		t.Errorf("supply does not decrease: %v", supply)
+	}
+}
+
+func TestFig4ShowsConstraintPenalty(t *testing.T) {
+	opts := tinyOptions()
+	opts.Scale = 0.1
+	opts.Seeds = 2
+	rep, err := Run("fig4c", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99 := parseF(t, rep.Rows[2][1])
+	// The paper reports ~1.7x; any clear penalty (>1.2x) demonstrates the
+	// effect at small scale.
+	if !(p99 > 1.2) {
+		t.Errorf("constrained/unconstrained p99 = %v, want > 1.2", p99)
+	}
+}
+
+func TestFig10PhoenixBeatsHawkAtHighLoad(t *testing.T) {
+	opts := tinyOptions()
+	opts.Scale = 0.08
+	opts.Seeds = 2
+	rep, err := Run("fig10", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First row is the highest-load point: p90 and p99 ratios must show
+	// Phoenix clearly faster than Hawk-C.
+	p90 := parseF(t, rep.Rows[0][3])
+	p99 := parseF(t, rep.Rows[0][4])
+	if !(p90 < 0.9) || !(p99 < 0.9) {
+		t.Errorf("phoenix/hawk at high load: p90=%v p99=%v, want both < 0.9", p90, p99)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID:      "x",
+		Title:   "test",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n1"},
+	}
+	s := r.String()
+	if !strings.Contains(s, "== x: test ==") || !strings.Contains(s, "note: n1") {
+		t.Errorf("String = %q", s)
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// FailureImpact is an extension experiment: how each scheduler's short-job
+// tail degrades under worker churn (fail-stop failures with 60 s repairs).
+// Fault tolerance is the paper's stated motivation for spread placement
+// constraints and a core reason production schedulers distribute their
+// control planes; this quantifies the scheduling-side cost of churn.
+func FailureImpact(opts Options) (*Report, error) {
+	e, err := newEnv(opts, "google")
+	if err != nil {
+		return nil, err
+	}
+	cl, err := e.clusterAt(1.0)
+	if err != nil {
+		return nil, err
+	}
+
+	rates := []float64{0, 2, 10}
+	scheds := []string{SchedPhoenix, SchedEagle, SchedHawk}
+
+	type key struct{ ri, si int }
+	samples := make(map[key][]float64)
+	wasted := make(map[key]simulation.Time)
+	var mu sync.Mutex
+	err = parallel(len(rates)*len(scheds)*opts.Seeds, opts.parallelism(), func(i int) error {
+		ri := i % len(rates)
+		si := (i / len(rates)) % len(scheds)
+		rep := i / (len(rates) * len(scheds))
+
+		cfg := sched.DefaultConfig()
+		cfg.FailureRatePerHour = rates[ri]
+		tr, err := e.trace(rep)
+		if err != nil {
+			return err
+		}
+		s, err := opts.NewScheduler(scheds[si])
+		if err != nil {
+			return err
+		}
+		d, err := sched.NewDriver(cfg, cl, tr, s, driverSeed(rep))
+		if err != nil {
+			return err
+		}
+		res, err := d.Run()
+		if err != nil {
+			return err
+		}
+		v := res.Collector.ResponseTimes(metrics.Short)
+		mu.Lock()
+		samples[key{ri, si}] = append(samples[key{ri, si}], v...)
+		wasted[key{ri, si}] += res.Collector.WastedWork
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		ID:      "ext-failures",
+		Title:   "Worker churn: short-job p90/p99 under fail-stop failures (60 s repair)",
+		Columns: []string{"failures_per_node_hour", "scheduler", "short_p90_s", "short_p99_s", "wasted_work_s"},
+		Notes: []string{
+			"extension: fault tolerance motivates the paper's spread placement constraints (§III-A)",
+		},
+	}
+	for ri, rate := range rates {
+		for si, name := range scheds {
+			k := key{ri, si}
+			p := metrics.Percentiles(samples[k], 90, 99)
+			rep.Rows = append(rep.Rows, []string{
+				fmt.Sprintf("%.0f", rate), name, f2(p[0]), f2(p[1]),
+				fmt.Sprintf("%.0f", wasted[k].Seconds()/float64(opts.Seeds)),
+			})
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/phoenix-sched/phoenix/internal/plot"
+)
+
+// Figure renders a report as an SVG chart, choosing the form the paper's
+// counterpart uses: a line chart when the first column is numeric (CDFs,
+// time series, utilization sweeps), a grouped bar chart otherwise
+// (percentile and per-class comparisons). Columns that fail to parse as
+// numbers in any row become part of the category label instead of a series.
+func Figure(rep *Report) (*plot.Chart, error) {
+	if len(rep.Rows) == 0 || len(rep.Columns) < 2 {
+		return nil, fmt.Errorf("experiments: report %s has nothing to plot", rep.ID)
+	}
+	numeric := numericColumns(rep)
+
+	chart := &plot.Chart{Title: fmt.Sprintf("%s: %s", rep.ID, rep.Title)}
+	if numeric[0] && len(rep.Rows) >= 2 {
+		chart.Kind = plot.Line
+		chart.XLabel = rep.Columns[0]
+		x := make([]float64, len(rep.Rows))
+		for i, row := range rep.Rows {
+			x[i], _ = strconv.ParseFloat(row[0], 64)
+		}
+		for ci := 1; ci < len(rep.Columns); ci++ {
+			if !numeric[ci] {
+				continue
+			}
+			s := plot.Series{Name: rep.Columns[ci], X: x}
+			for _, row := range rep.Rows {
+				v, err := strconv.ParseFloat(row[ci], 64)
+				if err != nil {
+					v = 0
+				}
+				s.Y = append(s.Y, v)
+			}
+			chart.Series = append(chart.Series, s)
+		}
+	} else {
+		chart.Kind = plot.Bar
+		var labelCols []int
+		for ci := range rep.Columns {
+			if !numeric[ci] {
+				labelCols = append(labelCols, ci)
+			}
+		}
+		for _, row := range rep.Rows {
+			parts := make([]string, 0, len(labelCols))
+			for _, ci := range labelCols {
+				parts = append(parts, row[ci])
+			}
+			label := strings.Join(parts, " ")
+			if label == "" {
+				label = row[0]
+			}
+			chart.Categories = append(chart.Categories, label)
+		}
+		for ci := range rep.Columns {
+			if !numeric[ci] {
+				continue
+			}
+			s := plot.Series{Name: rep.Columns[ci]}
+			for _, row := range rep.Rows {
+				v, err := strconv.ParseFloat(row[ci], 64)
+				if err != nil {
+					v = 0
+				}
+				s.Y = append(s.Y, v)
+			}
+			chart.Series = append(chart.Series, s)
+		}
+	}
+	if len(chart.Series) == 0 {
+		return nil, fmt.Errorf("experiments: report %s has no numeric columns to plot", rep.ID)
+	}
+	chart.YLabel = yLabel(rep, chart)
+	chart.LogY = spansDecades(chart, 3)
+	return chart, nil
+}
+
+// numericColumns reports, per column, whether every row parses as a float.
+func numericColumns(rep *Report) []bool {
+	out := make([]bool, len(rep.Columns))
+	for ci := range rep.Columns {
+		ok := true
+		for _, row := range rep.Rows {
+			if ci >= len(row) {
+				ok = false
+				break
+			}
+			if _, err := strconv.ParseFloat(row[ci], 64); err != nil {
+				ok = false
+				break
+			}
+		}
+		out[ci] = ok
+	}
+	return out
+}
+
+// yLabel guesses the y-axis name from the plotted column suffixes.
+func yLabel(rep *Report, c *plot.Chart) string {
+	allSeconds, allRatios := true, true
+	for _, s := range c.Series {
+		if !strings.HasSuffix(s.Name, "_s") {
+			allSeconds = false
+		}
+		if !strings.HasSuffix(s.Name, "_ratio") {
+			allRatios = false
+		}
+	}
+	switch {
+	case allSeconds:
+		return "seconds"
+	case allRatios:
+		return "ratio (lower = faster)"
+	default:
+		return ""
+	}
+}
+
+// spansDecades reports whether the positive plotted values span more than
+// the given number of decades, in which case a log axis reads better.
+func spansDecades(c *plot.Chart, decades float64) bool {
+	minPos, maxPos := 0.0, 0.0
+	first := true
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if v <= 0 {
+				continue
+			}
+			if first {
+				minPos, maxPos = v, v
+				first = false
+				continue
+			}
+			if v < minPos {
+				minPos = v
+			}
+			if v > maxPos {
+				maxPos = v
+			}
+		}
+	}
+	if first || minPos == 0 {
+		return false
+	}
+	ratio := maxPos / minPos
+	threshold := 1.0
+	for i := 0; i < int(decades); i++ {
+		threshold *= 10
+	}
+	return ratio > threshold
+}

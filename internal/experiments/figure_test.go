@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/plot"
+)
+
+func TestFigureLineFromNumericFirstColumn(t *testing.T) {
+	rep := &Report{
+		ID:      "x",
+		Title:   "sweep",
+		Columns: []string{"nodes", "p50_ratio", "p99_ratio"},
+		Rows: [][]string{
+			{"1000", "1.0", "0.8"},
+			{"2000", "1.0", "0.9"},
+			{"3000", "1.0", "1.0"},
+		},
+	}
+	c, err := Figure(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != plot.Line {
+		t.Fatalf("kind = %d, want Line", c.Kind)
+	}
+	if len(c.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(c.Series))
+	}
+	if c.Series[0].X[1] != 2000 {
+		t.Errorf("X[1] = %v", c.Series[0].X[1])
+	}
+	if c.YLabel != "ratio (lower = faster)" {
+		t.Errorf("YLabel = %q", c.YLabel)
+	}
+	if c.LogY {
+		t.Error("narrow-range chart got a log axis")
+	}
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureBarFromCategoricalColumns(t *testing.T) {
+	rep := &Report{
+		ID:      "y",
+		Title:   "per class",
+		Columns: []string{"class", "scheduler", "p90_s", "p99_s"},
+		Rows: [][]string{
+			{"con", "phoenix", "1.0", "10"},
+			{"con", "eagle", "2.0", "20"},
+		},
+	}
+	c, err := Figure(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != plot.Bar {
+		t.Fatalf("kind = %d, want Bar", c.Kind)
+	}
+	if len(c.Categories) != 2 || c.Categories[0] != "con phoenix" {
+		t.Fatalf("categories = %v", c.Categories)
+	}
+	if len(c.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(c.Series))
+	}
+	if c.YLabel != "seconds" {
+		t.Errorf("YLabel = %q", c.YLabel)
+	}
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureLogAxisForWideRanges(t *testing.T) {
+	rep := &Report{
+		ID:      "z",
+		Title:   "cdf",
+		Columns: []string{"cdf", "delay_s"},
+		Rows: [][]string{
+			{"0.5", "0.01"},
+			{"0.9", "10"},
+			{"0.99", "5000"},
+		},
+	}
+	c, err := Figure(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.LogY {
+		t.Error("5-decade chart did not get a log axis")
+	}
+}
+
+func TestFigureErrors(t *testing.T) {
+	if _, err := Figure(&Report{ID: "e", Columns: []string{"a", "b"}}); err == nil {
+		t.Error("empty report accepted")
+	}
+	allText := &Report{
+		ID:      "t",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x", "y"}},
+	}
+	if _, err := Figure(allText); err == nil {
+		t.Error("report without numeric columns accepted")
+	}
+}
+
+// Every registered experiment's report must be plottable.
+func TestEveryExperimentRendersAFigure(t *testing.T) {
+	opts := tinyOptions()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Figure(rep)
+			if err != nil {
+				t.Fatalf("Figure(%s): %v", id, err)
+			}
+			svg, err := c.SVG()
+			if err != nil {
+				t.Fatalf("SVG(%s): %v", id, err)
+			}
+			if !strings.HasPrefix(svg, "<svg") {
+				t.Errorf("%s: not an SVG", id)
+			}
+		})
+	}
+}

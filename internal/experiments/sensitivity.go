@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// The paper's §V-A explores the design space before fixing the probe ratio
+// at 2 and the heartbeat interval at 9 s. These two experiments regenerate
+// that exploration: Phoenix on the Google workload at the base (high-load)
+// sweep point, varying one parameter.
+
+// SensProbeRatio sweeps the probe ratio ("a tradeoff between mis-estimation
+// penalty vs redundant proxy probes", §V-A).
+func SensProbeRatio(opts Options) (*Report, error) {
+	ratios := []int{1, 2, 3, 4, 6}
+	rows, err := sensitivity(opts, len(ratios), func(cfg *sched.Config, i int) string {
+		cfg.ProbeRatio = ratios[i]
+		return fmt.Sprintf("%d", ratios[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:      "sens-probe",
+		Title:   "Probe-ratio sensitivity, Phoenix on Google at high load",
+		Columns: []string{"probe_ratio", "short_p50_s", "short_p90_s", "short_p99_s", "probes"},
+		Rows:    rows,
+		Notes: []string{
+			"paper §V-A: ratio 2 balances mis-estimation against redundant probes",
+		},
+	}, nil
+}
+
+// SensHeartbeat sweeps the CRV monitor's heartbeat interval ("after a
+// detailed sensitivity analysis ... we empirically set the frequency to
+// 9s", §VI-C).
+func SensHeartbeat(opts Options) (*Report, error) {
+	intervals := []simulation.Time{
+		3 * simulation.Second,
+		6 * simulation.Second,
+		9 * simulation.Second,
+		15 * simulation.Second,
+		30 * simulation.Second,
+	}
+	rows, err := sensitivity(opts, len(intervals), func(cfg *sched.Config, i int) string {
+		cfg.Heartbeat = intervals[i]
+		return fmt.Sprintf("%.0f", intervals[i].Seconds())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:      "sens-heartbeat",
+		Title:   "Heartbeat-interval sensitivity, Phoenix on Google at high load",
+		Columns: []string{"heartbeat_s", "short_p50_s", "short_p90_s", "short_p99_s", "probes"},
+		Rows:    rows,
+		Notes: []string{
+			"paper §VI-C: 9 s balances estimation accuracy against synchronization cost",
+		},
+	}, nil
+}
+
+// sensitivity runs Phoenix on the Google base point once per parameter
+// setting (Seeds repetitions each, short-job response samples pooled per
+// setting) and renders one row per setting.
+func sensitivity(opts Options, settings int, apply func(*sched.Config, int) string) ([][]string, error) {
+	e, err := newEnv(opts, "google")
+	if err != nil {
+		return nil, err
+	}
+	cl, err := e.clusterAt(1.0)
+	if err != nil {
+		return nil, err
+	}
+
+	labels := make([]string, settings)
+	samples := make([][]float64, settings)
+	probes := make([]int64, settings)
+	var mu sync.Mutex
+	err = parallel(settings*opts.Seeds, opts.parallelism(), func(i int) error {
+		si, rep := i%settings, i/settings
+		cfg := sched.DefaultConfig()
+		label := apply(&cfg, si)
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		tr, err := e.trace(rep)
+		if err != nil {
+			return err
+		}
+		s, err := opts.NewScheduler(SchedPhoenix)
+		if err != nil {
+			return err
+		}
+		d, err := sched.NewDriver(cfg, cl, tr, s, driverSeed(rep))
+		if err != nil {
+			return err
+		}
+		res, err := d.Run()
+		if err != nil {
+			return err
+		}
+		v := res.Collector.ResponseTimes(metrics.Short)
+		mu.Lock()
+		labels[si] = label
+		samples[si] = append(samples[si], v...)
+		probes[si] += res.Collector.Probes
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([][]string, 0, settings)
+	for si := 0; si < settings; si++ {
+		p := metrics.Percentiles(samples[si], 50, 90, 99)
+		rows = append(rows, []string{
+			labels[si], f2(p[0]), f2(p[1]), f2(p[2]),
+			fmt.Sprintf("%d", probes[si]/int64(opts.Seeds)),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,26 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+)
+
+func ExamplePercentile() {
+	latencies := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	fmt.Println(metrics.Percentile(latencies, 50))
+	fmt.Println(metrics.Percentile(latencies, 90))
+	fmt.Println(metrics.Percentile(latencies, 99))
+	// Output:
+	// 5
+	// 9
+	// 100
+}
+
+func ExampleJainIndex() {
+	fmt.Printf("%.2f\n", metrics.JainIndex([]float64{1, 1, 1, 1}))
+	fmt.Printf("%.2f\n", metrics.JainIndex([]float64{4, 0, 0, 0}))
+	// Output:
+	// 1.00
+	// 0.25
+}

@@ -1,0 +1,380 @@
+// Package metrics collects per-job simulation outcomes and computes the
+// statistics the paper's evaluation reports: 50th/90th/99th percentile job
+// response times, queuing-delay CDFs (Fig. 2), queuing-delay time series
+// (Fig. 3), and normalized comparisons between schedulers (Figs. 7-11).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// JobRecord is the outcome of one job.
+type JobRecord struct {
+	JobID       int
+	Arrival     simulation.Time
+	Completion  simulation.Time
+	Short       bool
+	Constrained bool
+	// Dims are the constraint dimensions the job arrived with (before any
+	// admission-control relaxation), for per-constraint-type slowdown
+	// analysis (Table II).
+	Dims constraint.DimMask
+	// Placement is the job's rack affinity policy.
+	Placement trace.Placement
+	NumTasks  int
+	// MaxQueueDelay is the largest per-task wait (time from the task
+	// becoming schedulable to starting execution) — the job's queuing time
+	// in the paper's sense, since the straggler determines completion.
+	MaxQueueDelay simulation.Time
+	// SumQueueDelay accumulates all task waits (for mean-delay metrics).
+	SumQueueDelay simulation.Time
+}
+
+// ResponseTime is completion minus arrival.
+func (r *JobRecord) ResponseTime() simulation.Time { return r.Completion - r.Arrival }
+
+// MeanQueueDelay is the average per-task wait.
+func (r *JobRecord) MeanQueueDelay() simulation.Time {
+	if r.NumTasks == 0 {
+		return 0
+	}
+	return r.SumQueueDelay / simulation.Time(r.NumTasks)
+}
+
+// Collector accumulates job records and scheduler counters for one run.
+type Collector struct {
+	jobs []JobRecord
+
+	// ReorderedTasks counts queue entries promoted by reordering (SRPT or
+	// CRV), for Table III.
+	ReorderedTasks int64
+	// CRVReorderedTasks counts promotions performed by CRV-based
+	// reordering specifically.
+	CRVReorderedTasks int64
+	// Probes counts probe placements.
+	Probes int64
+	// StolenTasks counts work-stealing migrations (Hawk).
+	StolenTasks int64
+	// RescheduledProbes counts probe migrations performed by the CRV
+	// monitor (Phoenix).
+	RescheduledProbes int64
+	// RelaxedJobs counts jobs whose soft constraints were relaxed by
+	// admission control (Phoenix).
+	RelaxedJobs int64
+	// PlacementRelaxed counts spread-placement tasks that had to reuse a
+	// rack because candidates spanned fewer racks than the job has tasks.
+	PlacementRelaxed int64
+	// WorkerFailures counts injected fail-stop worker failures.
+	WorkerFailures int64
+	// WastedWork accumulates execution time lost to failures (the partial
+	// runs of tasks that had to restart).
+	WastedWork simulation.Time
+
+	// BusyTime accumulates worker busy time, for cluster utilization.
+	BusyTime simulation.Time
+}
+
+// NewCollector returns an empty collector with capacity for n jobs.
+func NewCollector(n int) *Collector {
+	return &Collector{jobs: make([]JobRecord, 0, n)}
+}
+
+// AddJob records a completed job.
+func (c *Collector) AddJob(r JobRecord) { c.jobs = append(c.jobs, r) }
+
+// Jobs returns the recorded jobs. The slice is shared; callers must not
+// mutate it.
+func (c *Collector) Jobs() []JobRecord { return c.jobs }
+
+// NumJobs reports the number of recorded jobs.
+func (c *Collector) NumJobs() int { return len(c.jobs) }
+
+// Utilization reports average busy fraction for a cluster of n workers
+// observed over the given span.
+func (c *Collector) Utilization(n int, span simulation.Time) float64 {
+	if n == 0 || span <= 0 {
+		return 0
+	}
+	return float64(c.BusyTime) / (float64(span) * float64(n))
+}
+
+// Filter selects a subset of job records.
+type Filter func(*JobRecord) bool
+
+// Standard filters.
+var (
+	// All selects every job.
+	All Filter = func(*JobRecord) bool { return true }
+	// Short selects short jobs.
+	Short Filter = func(r *JobRecord) bool { return r.Short }
+	// Long selects long jobs.
+	Long Filter = func(r *JobRecord) bool { return !r.Short }
+	// Constrained selects jobs with placement constraints.
+	Constrained Filter = func(r *JobRecord) bool { return r.Constrained }
+	// Unconstrained selects jobs without constraints.
+	Unconstrained Filter = func(r *JobRecord) bool { return !r.Constrained }
+)
+
+// Placed selects jobs with the given rack placement policy.
+func Placed(p trace.Placement) Filter {
+	return func(r *JobRecord) bool { return r.Placement == p }
+}
+
+// ConstrainedOn selects jobs constraining dimension d.
+func ConstrainedOn(d constraint.Dim) Filter {
+	return func(r *JobRecord) bool { return r.Dims.Has(d) }
+}
+
+// AndFilter conjoins filters.
+func AndFilter(fs ...Filter) Filter {
+	return func(r *JobRecord) bool {
+		for _, f := range fs {
+			if !f(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// ResponseTimes returns the response times (seconds) of jobs matching f,
+// unsorted.
+func (c *Collector) ResponseTimes(f Filter) []float64 {
+	out := make([]float64, 0, len(c.jobs))
+	for i := range c.jobs {
+		if f(&c.jobs[i]) {
+			out = append(out, c.jobs[i].ResponseTime().Seconds())
+		}
+	}
+	return out
+}
+
+// QueueDelays returns the max-task queuing delays (seconds) of jobs
+// matching f, unsorted.
+func (c *Collector) QueueDelays(f Filter) []float64 {
+	out := make([]float64, 0, len(c.jobs))
+	for i := range c.jobs {
+		if f(&c.jobs[i]) {
+			out = append(out, c.jobs[i].MaxQueueDelay.Seconds())
+		}
+	}
+	return out
+}
+
+// Percentile returns the p-quantile (0 < p <= 100) of values using the
+// nearest-rank method on a sorted copy. Empty input yields NaN.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Percentiles evaluates several quantiles with one sort.
+func Percentiles(values []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		switch {
+		case p <= 0:
+			out[i] = sorted[0]
+		case p >= 100:
+			out[i] = sorted[len(sorted)-1]
+		default:
+			rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+			if rank < 1 {
+				rank = 1
+			}
+			out[i] = sorted[rank-1]
+		}
+	}
+	return out
+}
+
+// P50P90P99 is the percentile triple the paper reports everywhere.
+type P50P90P99 struct {
+	P50, P90, P99 float64
+}
+
+// ResponsePercentiles computes the paper's standard triple over jobs
+// matching f.
+func (c *Collector) ResponsePercentiles(f Filter) P50P90P99 {
+	v := Percentiles(c.ResponseTimes(f), 50, 90, 99)
+	return P50P90P99{P50: v[0], P90: v[1], P99: v[2]}
+}
+
+// QueueDelayPercentiles computes the triple over queuing delays.
+func (c *Collector) QueueDelayPercentiles(f Filter) P50P90P99 {
+	v := Percentiles(c.QueueDelays(f), 50, 90, 99)
+	return P50P90P99{P50: v[0], P90: v[1], P99: v[2]}
+}
+
+// DivideBy returns the element-wise ratio p/other, the normalization used
+// throughout the paper's figures. Division by zero yields NaN.
+func (p P50P90P99) DivideBy(other P50P90P99) P50P90P99 {
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return math.NaN()
+		}
+		return a / b
+	}
+	return P50P90P99{
+		P50: div(p.P50, other.P50),
+		P90: div(p.P90, other.P90),
+		P99: div(p.P99, other.P99),
+	}
+}
+
+// String renders the triple.
+func (p P50P90P99) String() string {
+	return fmt.Sprintf("p50=%.3f p90=%.3f p99=%.3f", p.P50, p.P90, p.P99)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF computes an empirical CDF downsampled to at most points entries
+// (always including the max). Empty input returns nil.
+func CDF(values []float64, points int) []CDFPoint {
+	if len(values) == 0 || points <= 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if points > len(sorted) {
+		points = len(sorted)
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		idx := i*len(sorted)/points - 1
+		out = append(out, CDFPoint{
+			Value:    sorted[idx],
+			Fraction: float64(idx+1) / float64(len(sorted)),
+		})
+	}
+	return out
+}
+
+// SeriesPoint is one bucket of a time series.
+type SeriesPoint struct {
+	// Start of the bucket.
+	Start simulation.Time
+	// Mean of the metric over jobs arriving in the bucket; NaN when empty.
+	Mean float64
+	// Count of jobs in the bucket.
+	Count int
+}
+
+// QueueDelaySeries buckets jobs matching f by arrival time and reports the
+// mean queuing delay (seconds) per bucket — the Fig. 3 time series.
+func (c *Collector) QueueDelaySeries(f Filter, bucket simulation.Time) []SeriesPoint {
+	if bucket <= 0 || len(c.jobs) == 0 {
+		return nil
+	}
+	var maxArrival simulation.Time
+	for i := range c.jobs {
+		if c.jobs[i].Arrival > maxArrival {
+			maxArrival = c.jobs[i].Arrival
+		}
+	}
+	n := int(maxArrival/bucket) + 1
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for i := range c.jobs {
+		r := &c.jobs[i]
+		if !f(r) {
+			continue
+		}
+		b := int(r.Arrival / bucket)
+		sums[b] += r.MaxQueueDelay.Seconds()
+		counts[b]++
+	}
+	out := make([]SeriesPoint, n)
+	for b := 0; b < n; b++ {
+		p := SeriesPoint{Start: simulation.Time(b) * bucket, Count: counts[b]}
+		if counts[b] > 0 {
+			p.Mean = sums[b] / float64(counts[b])
+		} else {
+			p.Mean = math.NaN()
+		}
+		out[b] = p
+	}
+	return out
+}
+
+// Slowdowns returns, for jobs matching f, the ratio of achieved response
+// time to the job's ideal response time (its longest task — the critical
+// path with unlimited parallelism). Slowdown 1.0 means the job ran as fast
+// as physically possible.
+func (c *Collector) Slowdowns(f Filter, ideal func(jobID int) simulation.Time) []float64 {
+	out := make([]float64, 0, len(c.jobs))
+	for i := range c.jobs {
+		r := &c.jobs[i]
+		if !f(r) {
+			continue
+		}
+		id := ideal(r.JobID)
+		if id <= 0 {
+			continue
+		}
+		out = append(out, float64(r.ResponseTime())/float64(id))
+	}
+	return out
+}
+
+// JainIndex computes Jain's fairness index over the values: 1.0 when all
+// values are equal, approaching 1/n as one value dominates. NaN when empty.
+func JainIndex(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(values)) * sumSq)
+}
+
+// MeanFloat is a small helper: the arithmetic mean, NaN when empty.
+func MeanFloat(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

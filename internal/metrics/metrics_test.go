@@ -1,0 +1,318 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+func rec(id int, arrival, completion simulation.Time, short, constrained bool, maxDelay simulation.Time) JobRecord {
+	return JobRecord{
+		JobID: id, Arrival: arrival, Completion: completion,
+		Short: short, Constrained: constrained, NumTasks: 2,
+		MaxQueueDelay: maxDelay, SumQueueDelay: maxDelay + maxDelay/2,
+	}
+}
+
+func TestJobRecordDerived(t *testing.T) {
+	r := rec(0, simulation.Second, 5*simulation.Second, true, false, simulation.Second)
+	if got := r.ResponseTime(); got != 4*simulation.Second {
+		t.Errorf("ResponseTime = %v", got)
+	}
+	if got := r.MeanQueueDelay(); got != 750*simulation.Millisecond {
+		t.Errorf("MeanQueueDelay = %v", got)
+	}
+	var empty JobRecord
+	if empty.MeanQueueDelay() != 0 {
+		t.Error("empty record mean delay != 0")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 5}, {90, 9}, {99, 10}, {100, 10}, {0, 1}, {-5, 1}, {10, 1}, {11, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile not NaN")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Percentile(vals, 50)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilesMatchesSingleCalls(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		ps := []float64{0, 25, 50, 90, 99, 100}
+		multi := Percentiles(vals, ps...)
+		for i, p := range ps {
+			single := Percentile(vals, p)
+			if len(vals) == 0 {
+				if !math.IsNaN(multi[i]) {
+					return false
+				}
+				continue
+			}
+			if multi[i] != single {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectorFilters(t *testing.T) {
+	c := NewCollector(4)
+	c.AddJob(rec(0, 0, simulation.Second, true, true, 0))
+	c.AddJob(rec(1, 0, 2*simulation.Second, true, false, 0))
+	c.AddJob(rec(2, 0, 3*simulation.Second, false, true, 0))
+	c.AddJob(rec(3, 0, 4*simulation.Second, false, false, 0))
+
+	if got := len(c.ResponseTimes(All)); got != 4 {
+		t.Errorf("All = %d", got)
+	}
+	if got := c.ResponseTimes(Short); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Short = %v", got)
+	}
+	if got := c.ResponseTimes(Long); len(got) != 2 {
+		t.Errorf("Long = %v", got)
+	}
+	if got := c.ResponseTimes(AndFilter(Short, Constrained)); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Short&Constrained = %v", got)
+	}
+	if got := c.ResponseTimes(AndFilter(Long, Unconstrained)); len(got) != 1 || got[0] != 4 {
+		t.Errorf("Long&Unconstrained = %v", got)
+	}
+	if c.NumJobs() != 4 {
+		t.Errorf("NumJobs = %d", c.NumJobs())
+	}
+}
+
+func TestConstrainedOnFilter(t *testing.T) {
+	c := NewCollector(2)
+	r := rec(0, 0, simulation.Second, true, true, 0)
+	r.Dims = constraint.DimMask(0).With(constraint.DimISA)
+	c.AddJob(r)
+	c.AddJob(rec(1, 0, simulation.Second, true, false, 0))
+
+	if got := len(c.ResponseTimes(ConstrainedOn(constraint.DimISA))); got != 1 {
+		t.Errorf("ConstrainedOn(ISA) matched %d jobs, want 1", got)
+	}
+	if got := len(c.ResponseTimes(ConstrainedOn(constraint.DimCores))); got != 0 {
+		t.Errorf("ConstrainedOn(Cores) matched %d jobs, want 0", got)
+	}
+}
+
+func TestResponseAndDelayPercentiles(t *testing.T) {
+	c := NewCollector(100)
+	for i := 1; i <= 100; i++ {
+		c.AddJob(rec(i, 0, simulation.Time(i)*simulation.Second, true, false, simulation.Time(i)*simulation.Millisecond))
+	}
+	rp := c.ResponsePercentiles(All)
+	if rp.P50 != 50 || rp.P90 != 90 || rp.P99 != 99 {
+		t.Errorf("ResponsePercentiles = %v", rp)
+	}
+	qp := c.QueueDelayPercentiles(All)
+	if math.Abs(qp.P99-0.099) > 1e-9 {
+		t.Errorf("QueueDelayPercentiles p99 = %v", qp.P99)
+	}
+}
+
+func TestDivideBy(t *testing.T) {
+	a := P50P90P99{10, 20, 30}
+	b := P50P90P99{5, 10, 0}
+	got := a.DivideBy(b)
+	if got.P50 != 2 || got.P90 != 2 || !math.IsNaN(got.P99) {
+		t.Errorf("DivideBy = %v", got)
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	cdf := CDF(vals, 10)
+	if len(cdf) != 10 {
+		t.Fatalf("CDF len = %d", len(cdf))
+	}
+	last := cdf[len(cdf)-1]
+	if last.Value != 100 || last.Fraction != 1.0 {
+		t.Errorf("CDF tail = %+v", last)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatalf("CDF not monotone at %d: %+v", i, cdf)
+		}
+	}
+	if CDF(nil, 10) != nil {
+		t.Error("empty CDF not nil")
+	}
+	if CDF(vals, 0) != nil {
+		t.Error("zero-point CDF not nil")
+	}
+	if got := CDF([]float64{5}, 10); len(got) != 1 || got[0].Fraction != 1 {
+		t.Errorf("single-value CDF = %v", got)
+	}
+}
+
+func TestQueueDelaySeries(t *testing.T) {
+	c := NewCollector(10)
+	// Two jobs in bucket 0 (delays 1s, 3s), one in bucket 2 (delay 5s).
+	c.AddJob(rec(0, 0, simulation.Second, true, false, simulation.Second))
+	c.AddJob(rec(1, 5*simulation.Second, 6*simulation.Second, true, false, 3*simulation.Second))
+	c.AddJob(rec(2, 25*simulation.Second, 26*simulation.Second, true, false, 5*simulation.Second))
+
+	series := c.QueueDelaySeries(All, 10*simulation.Second)
+	if len(series) != 3 {
+		t.Fatalf("series len = %d, want 3", len(series))
+	}
+	if series[0].Count != 2 || math.Abs(series[0].Mean-2) > 1e-9 {
+		t.Errorf("bucket 0 = %+v", series[0])
+	}
+	if series[1].Count != 0 || !math.IsNaN(series[1].Mean) {
+		t.Errorf("bucket 1 = %+v", series[1])
+	}
+	if series[2].Count != 1 || math.Abs(series[2].Mean-5) > 1e-9 {
+		t.Errorf("bucket 2 = %+v", series[2])
+	}
+	if c.QueueDelaySeries(All, 0) != nil {
+		t.Error("zero bucket series not nil")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := NewCollector(0)
+	c.BusyTime = 50 * simulation.Second
+	if got := c.Utilization(10, 10*simulation.Second); got != 0.5 {
+		t.Errorf("Utilization = %v", got)
+	}
+	if c.Utilization(0, simulation.Second) != 0 || c.Utilization(10, 0) != 0 {
+		t.Error("degenerate utilization != 0")
+	}
+}
+
+func TestMeanFloat(t *testing.T) {
+	if got := MeanFloat([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("MeanFloat = %v", got)
+	}
+	if !math.IsNaN(MeanFloat(nil)) {
+		t.Error("empty mean not NaN")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal values index = %v, want 1", got)
+	}
+	// One dominant value over n values approaches 1/n.
+	got := JainIndex([]float64{100, 0, 0, 0})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("dominant value index = %v, want 0.25", got)
+	}
+	if !math.IsNaN(JainIndex(nil)) {
+		t.Error("empty index not NaN")
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero index = %v, want 1", got)
+	}
+}
+
+// Property: Jain's index always lies in [1/n, 1] for non-negative inputs.
+func TestJainIndexBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Clamp magnitudes so v*v cannot overflow to +Inf.
+			vals = append(vals, math.Mod(math.Abs(v), 1e6))
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		idx := JainIndex(vals)
+		return idx >= 1/float64(len(vals))-1e-9 && idx <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlowdowns(t *testing.T) {
+	c := NewCollector(3)
+	c.AddJob(rec(0, 0, 10*simulation.Second, true, false, 0))
+	c.AddJob(rec(1, 0, 20*simulation.Second, true, false, 0))
+	c.AddJob(rec(2, 0, 30*simulation.Second, false, false, 0))
+	ideal := func(jobID int) simulation.Time {
+		if jobID == 1 {
+			return 0 // degenerate: skipped
+		}
+		return 5 * simulation.Second
+	}
+	got := c.Slowdowns(Short, ideal)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("Slowdowns = %v, want [2]", got)
+	}
+}
+
+// Property: percentile of any p in (0,100] lies within [min, max] and is a
+// member of the input.
+func TestPercentileIsMember(t *testing.T) {
+	f := func(raw []float64, p8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		p := float64(p8%100) + 0.5
+		got := Percentile(vals, p)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		if got < sorted[0] || got > sorted[len(sorted)-1] {
+			return false
+		}
+		i := sort.SearchFloat64s(sorted, got)
+		return i < len(sorted) && sorted[i] == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package plot renders experiment results as standalone SVG charts, so the
+// harness can regenerate the paper's figures as images, not just tables.
+// It implements exactly the two chart forms the paper uses — line charts
+// (CDFs, time series, utilization sweeps) and grouped bar charts
+// (percentile comparisons) — on the standard library alone.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind selects the chart form.
+type Kind int
+
+const (
+	// Line draws one polyline per series over a numeric x-axis.
+	Line Kind = iota + 1
+	// Bar draws grouped vertical bars, one group per category, one bar
+	// per series.
+	Bar
+)
+
+// Series is one plotted data set.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Y are the values. For Line charts X must be parallel to Y; for Bar
+	// charts Y is parallel to the chart's Categories.
+	Y []float64
+	// X are the x-coordinates (Line charts only).
+	X []float64
+}
+
+// Chart is a single figure.
+type Chart struct {
+	// Title is drawn above the plot area.
+	Title string
+	// XLabel / YLabel name the axes.
+	XLabel, YLabel string
+	// Kind selects line or bar form.
+	Kind Kind
+	// Series are the data sets.
+	Series []Series
+	// Categories label the x-axis groups (Bar charts only).
+	Categories []string
+	// LogY plots a log10 y-axis (values must be positive; non-positive
+	// points are dropped).
+	LogY bool
+}
+
+// Canvas geometry.
+const (
+	width      = 640
+	height     = 420
+	marginL    = 64
+	marginR    = 140 // room for the legend
+	marginT    = 36
+	marginB    = 52
+	plotW      = width - marginL - marginR
+	plotH      = height - marginT - marginB
+	fontFamily = "Helvetica, Arial, sans-serif"
+)
+
+// palette holds the series colors (colorblind-safe Okabe-Ito subset).
+var palette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#000000",
+}
+
+// SVG renders the chart. Invalid charts (no series, mismatched lengths)
+// return an error instead of a broken image.
+func (c *Chart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	switch c.Kind {
+	case Line:
+		return c.lineSVG()
+	case Bar:
+		return c.barSVG()
+	}
+	return "", fmt.Errorf("plot: chart %q has invalid kind %d", c.Title, int(c.Kind))
+}
+
+func (c *Chart) lineSVG() (string, error) {
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values for %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if !finite(s.X[i]) || !finite(y) {
+				continue
+			}
+			if c.LogY && y <= 0 {
+				continue
+			}
+			if c.LogY {
+				y = math.Log10(y)
+			}
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], y, y
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if first {
+		return "", fmt.Errorf("plot: chart %q has no finite points", c.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	var b strings.Builder
+	c.header(&b)
+	xticks := niceTicks(xmin, xmax, 6)
+	yticks := niceTicks(ymin, ymax, 6)
+	// Expand the range to the tick bounds for a tidy frame.
+	xmin, xmax = math.Min(xmin, xticks[0]), math.Max(xmax, xticks[len(xticks)-1])
+	ymin, ymax = math.Min(ymin, yticks[0]), math.Max(ymax, yticks[len(yticks)-1])
+
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	c.axes(&b, xticks, yticks, px, py)
+
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			y := s.Y[i]
+			if !finite(s.X[i]) || !finite(y) || (c.LogY && y <= 0) {
+				continue
+			}
+			if c.LogY {
+				y = math.Log10(y)
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(y)))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+	}
+	c.legend(&b)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func (c *Chart) barSVG() (string, error) {
+	if len(c.Categories) == 0 {
+		return "", fmt.Errorf("plot: bar chart %q has no categories", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.Categories) {
+			return "", fmt.Errorf("plot: series %q has %d values for %d categories", s.Name, len(s.Y), len(c.Categories))
+		}
+	}
+	ymin, ymax := 0.0, 0.0
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			if !finite(y) {
+				continue
+			}
+			v := y
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				v = math.Log10(y)
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	yticks := niceTicks(ymin, ymax, 6)
+	ymin, ymax = math.Min(ymin, yticks[0]), math.Max(ymax, yticks[len(yticks)-1])
+
+	var b strings.Builder
+	c.header(&b)
+	py := func(y float64) float64 { return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH }
+	c.axes(&b, nil, yticks, nil, py)
+
+	groupW := float64(plotW) / float64(len(c.Categories))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, cat := range c.Categories {
+		gx := marginL + float64(gi)*groupW
+		for si, s := range c.Series {
+			y := s.Y[gi]
+			if !finite(y) || (c.LogY && y <= 0) {
+				continue
+			}
+			v := y
+			if c.LogY {
+				v = math.Log10(y)
+			}
+			x := gx + groupW*0.1 + float64(si)*barW
+			top := py(v)
+			base := py(math.Max(ymin, 0))
+			if top > base {
+				top, base = base, top
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, top, barW, base-top, palette[si%len(palette)])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" font-family="%s">%s</text>`+"\n",
+			gx+groupW/2, marginT+plotH+16, fontFamily, escape(cat))
+	}
+	c.legend(&b)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func (c *Chart) header(b *strings.Builder) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="20" font-size="14" font-weight="bold" font-family="%s">%s</text>`+"\n",
+		marginL, fontFamily, escape(c.Title))
+}
+
+// axes draws the frame, grid lines, tick labels, and axis labels. px may be
+// nil (bar charts label categories themselves).
+func (c *Chart) axes(b *strings.Builder, xticks, yticks []float64, px, py func(float64) float64) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	for _, t := range yticks {
+		y := py(t)
+		if y < marginT-0.5 || y > marginT+plotH+0.5 {
+			continue
+		}
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		label := t
+		if c.LogY {
+			label = math.Pow(10, t)
+		}
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" font-family="%s">%s</text>`+"\n",
+			marginL-6, y+4, fontFamily, formatTick(label))
+	}
+	if px != nil {
+		for _, t := range xticks {
+			x := px(t)
+			if x < marginL-0.5 || x > marginL+plotW+0.5 {
+				continue
+			}
+			fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+				x, marginT, x, marginT+plotH)
+			fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" font-family="%s">%s</text>`+"\n",
+				x, marginT+plotH+16, fontFamily, formatTick(t))
+		}
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="middle" font-family="%s">%s</text>`+"\n",
+		marginL+plotW/2, height-12, fontFamily, escape(c.XLabel))
+	fmt.Fprintf(b, `<text x="16" y="%d" font-size="12" text-anchor="middle" font-family="%s" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+plotH/2, fontFamily, marginT+plotH/2, escape(c.YLabel))
+}
+
+func (c *Chart) legend(b *strings.Builder) {
+	lx := marginL + plotW + 10
+	for si, s := range c.Series {
+		y := marginT + 14 + si*18
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			lx, y-10, palette[si%len(palette)])
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" font-family="%s">%s</text>`+"\n",
+			lx+16, y, fontFamily, escape(s.Name))
+	}
+}
+
+// niceTicks returns ~n rounded tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if span/(step*m) <= float64(n) {
+			step *= m
+			break
+		}
+	}
+	start := math.Floor(lo/step) * step
+	var out []float64
+	for t := start; ; t += step {
+		out = append(out, t)
+		if t >= hi || len(out) > 4*n {
+			break
+		}
+	}
+	if len(out) < 2 || out[len(out)-1] < hi {
+		// Degenerate spans (float rounding at extreme magnitudes): fall
+		// back to the exact bounds.
+		return []float64{lo, hi}
+	}
+	return out
+}
+
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 10000 || (a > 0 && a < 0.01):
+		return fmt.Sprintf("%.1e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+	}
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,172 @@
+package plot
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title:  "test line",
+		XLabel: "x",
+		YLabel: "y",
+		Kind:   Line,
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{1, 4, 2, 8}},
+			{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{2, 2, 3, 1}},
+		},
+	}
+}
+
+func TestLineSVGWellFormed(t *testing.T) {
+	svg, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "<polyline", "test line",
+		`font-weight="bold"`, ">a</text>", ">b</text>",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestBarSVGWellFormed(t *testing.T) {
+	c := &Chart{
+		Title:      "test bar",
+		Kind:       Bar,
+		Categories: []string{"p50", "p90", "p99"},
+		Series: []Series{
+			{Name: "phoenix", Y: []float64{1, 2, 3}},
+			{Name: "eagle", Y: []float64{2, 3, 6}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 data bars + 1 background + 1 frame + 2 legend swatches.
+	if got := strings.Count(svg, "<rect"); got != 10 {
+		t.Errorf("rect count = %d, want 10", got)
+	}
+	for _, want := range []string{"p50", "p90", "p99", "phoenix", "eagle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	if _, err := (&Chart{Title: "empty", Kind: Line}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := &Chart{Kind: Line, Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	nocat := &Chart{Kind: Bar, Series: []Series{{Name: "a", Y: []float64{1}}}}
+	if _, err := nocat.SVG(); err == nil {
+		t.Error("bar chart without categories accepted")
+	}
+	badKind := &Chart{Kind: Kind(9), Series: []Series{{Name: "a"}}}
+	if _, err := badKind.SVG(); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	allNaN := &Chart{Kind: Line, Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if _, err := allNaN.SVG(); err == nil {
+		t.Error("all-NaN chart accepted")
+	}
+}
+
+func TestNaNPointsAreDropped(t *testing.T) {
+	c := lineChart()
+	c.Series[0].Y[1] = math.NaN()
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("NaN point killed the whole series")
+	}
+}
+
+func TestLogYDropsNonPositive(t *testing.T) {
+	c := &Chart{
+		Title: "log",
+		Kind:  Line,
+		LogY:  true,
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 10, 100}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero point must be dropped: the polyline has 2 points.
+	start := strings.Index(svg, `points="`)
+	end := strings.Index(svg[start+8:], `"`)
+	pts := strings.Fields(svg[start+8 : start+8+end])
+	if len(pts) != 2 {
+		t.Errorf("polyline has %d points, want 2 (zero dropped)", len(pts))
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := lineChart()
+	c.Title = `<script>&"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestNiceTicksProperties(t *testing.T) {
+	f := func(a, b float64, n8 uint8) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e9)
+		b = math.Mod(b, 1e9)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		ticks := niceTicks(lo, hi, int(n8%10)+2)
+		if len(ticks) < 2 {
+			return false
+		}
+		if !sort.Float64sAreSorted(ticks) {
+			return false
+		}
+		// Ticks must cover the range.
+		return ticks[0] <= lo+1e-9 && ticks[len(ticks)-1] >= hi-math.Max(1e-9, (hi-lo)*1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1.5:    "1.5",
+		100:    "100",
+		123456: "1.2e+05",
+		0.25:   "0.25",
+		0.001:  "1.0e-03",
+	}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

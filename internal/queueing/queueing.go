@@ -1,0 +1,201 @@
+// Package queueing implements the queueing-theory machinery Phoenix's CRV
+// monitor estimates worker waiting times with: sliding-window moment
+// tracking of service times and arrival rates, and the Pollaczek–Khinchin
+// M/G/1 mean-wait formula (Equation 1 of the paper),
+//
+//	E[W] = rho/(1-rho) * E[S^2] / (2*E[S]).
+//
+// Each worker has an independent single-server queue (one slot per worker,
+// paper §V-A), so M/G/1 per worker is the right model; the hybrid split —
+// long jobs to the centralized scheduler, short to the distributed ones —
+// is what keeps the per-queue service-time variance low enough for the
+// stationarity assumption to hold (paper §IV-A).
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MomentTracker maintains the mean and second moment of the last capacity
+// observations. The CRV monitor feeds it task service times ("mu <-
+// Avg(last serviced tasks)", Algorithm 1).
+type MomentTracker struct {
+	window []float64
+	next   int
+	filled bool
+	sum    float64
+	sumSq  float64
+}
+
+// NewMomentTracker returns a tracker over a window of the given capacity.
+func NewMomentTracker(capacity int) (*MomentTracker, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("queueing: window capacity %d must be positive", capacity)
+	}
+	return &MomentTracker{window: make([]float64, capacity)}, nil
+}
+
+// Observe records one service time.
+func (m *MomentTracker) Observe(s float64) {
+	old := m.window[m.next]
+	if m.filled {
+		m.sum -= old
+		m.sumSq -= old * old
+	}
+	m.window[m.next] = s
+	m.sum += s
+	m.sumSq += s * s
+	m.next++
+	if m.next == len(m.window) {
+		m.next = 0
+		m.filled = true
+	}
+}
+
+// Count reports the number of observations in the window.
+func (m *MomentTracker) Count() int {
+	if m.filled {
+		return len(m.window)
+	}
+	return m.next
+}
+
+// Mean reports E[S] over the window (0 when empty).
+func (m *MomentTracker) Mean() float64 {
+	n := m.Count()
+	if n == 0 {
+		return 0
+	}
+	return m.sum / float64(n)
+}
+
+// SecondMoment reports E[S^2] over the window (0 when empty).
+func (m *MomentTracker) SecondMoment() float64 {
+	n := m.Count()
+	if n == 0 {
+		return 0
+	}
+	return m.sumSq / float64(n)
+}
+
+// RateTracker estimates an arrival rate from the timestamps of the last
+// capacity events ("lambda <- Avg(inter arrival rate)", Algorithm 1).
+type RateTracker struct {
+	stamps []float64
+	next   int
+	filled bool
+}
+
+// NewRateTracker returns a tracker over the given number of recent events.
+func NewRateTracker(capacity int) (*RateTracker, error) {
+	if capacity < 2 {
+		return nil, fmt.Errorf("queueing: rate window %d must be >= 2", capacity)
+	}
+	return &RateTracker{stamps: make([]float64, capacity)}, nil
+}
+
+// Observe records an event at the given time. Times must be non-decreasing.
+func (r *RateTracker) Observe(t float64) {
+	r.stamps[r.next] = t
+	r.next++
+	if r.next == len(r.stamps) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Count reports the number of recorded events.
+func (r *RateTracker) Count() int {
+	if r.filled {
+		return len(r.stamps)
+	}
+	return r.next
+}
+
+// Rate reports events per unit time over the window, or 0 with fewer than
+// two events.
+func (r *RateTracker) Rate() float64 {
+	n := r.Count()
+	if n < 2 {
+		return 0
+	}
+	var oldest, newest float64
+	if r.filled {
+		oldest = r.stamps[r.next]
+		if r.next == 0 {
+			newest = r.stamps[len(r.stamps)-1]
+		} else {
+			newest = r.stamps[r.next-1]
+		}
+	} else {
+		oldest = r.stamps[0]
+		newest = r.stamps[r.next-1]
+	}
+	span := newest - oldest
+	if span <= 0 {
+		return math.Inf(1)
+	}
+	return float64(n-1) / span
+}
+
+// PKWait evaluates the Pollaczek–Khinchin mean waiting time for an M/G/1
+// queue with utilization rho, mean service time meanS, and second moment
+// secondMomentS. Inputs outside the stable region (rho >= 1) yield +Inf:
+// the queue has no stationary wait. Non-positive service parameters yield 0.
+func PKWait(rho, meanS, secondMomentS float64) float64 {
+	if meanS <= 0 || secondMomentS <= 0 {
+		return 0
+	}
+	if rho <= 0 {
+		return 0
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho) * secondMomentS / (2 * meanS)
+}
+
+// Estimator bundles the per-worker state Algorithm 1's
+// Estimate_Waiting_Time procedure needs: recent service moments and recent
+// arrival rate, combined through PKWait with rho = lambda * E[S].
+type Estimator struct {
+	service  *MomentTracker
+	arrivals *RateTracker
+}
+
+// NewEstimator returns an estimator with the given window sizes.
+func NewEstimator(serviceWindow, arrivalWindow int) (*Estimator, error) {
+	s, err := NewMomentTracker(serviceWindow)
+	if err != nil {
+		return nil, err
+	}
+	a, err := NewRateTracker(arrivalWindow)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{service: s, arrivals: a}, nil
+}
+
+// ObserveService records a completed task's service time.
+func (e *Estimator) ObserveService(s float64) { e.service.Observe(s) }
+
+// ObserveArrival records a task arrival at time t.
+func (e *Estimator) ObserveArrival(t float64) { e.arrivals.Observe(t) }
+
+// Utilization reports the estimated rho = lambda * E[S].
+func (e *Estimator) Utilization() float64 {
+	return e.arrivals.Rate() * e.service.Mean()
+}
+
+// EstimateWait reports the P-K expected waiting time under current
+// estimates, and whether the queue is saturated (rho >= 1, wait unbounded).
+// With no observations the estimate is 0.
+func (e *Estimator) EstimateWait() (wait float64, saturated bool) {
+	rho := e.Utilization()
+	w := PKWait(rho, e.service.Mean(), e.service.SecondMoment())
+	if math.IsInf(w, 1) {
+		return w, true
+	}
+	return w, false
+}

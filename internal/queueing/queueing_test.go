@@ -1,0 +1,236 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+func TestMomentTrackerBasics(t *testing.T) {
+	m, err := NewMomentTracker(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mean() != 0 || m.SecondMoment() != 0 || m.Count() != 0 {
+		t.Error("empty tracker not zero")
+	}
+	m.Observe(2)
+	m.Observe(4)
+	if got := m.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := m.SecondMoment(); got != 10 {
+		t.Errorf("E[S^2] = %v, want 10", got)
+	}
+	if m.Count() != 2 {
+		t.Errorf("Count = %d", m.Count())
+	}
+}
+
+func TestMomentTrackerSlidesWindow(t *testing.T) {
+	m, _ := NewMomentTracker(2)
+	m.Observe(100)
+	m.Observe(100)
+	m.Observe(2)
+	m.Observe(4)
+	// Window now holds {2, 4}; the 100s must be fully evicted.
+	if got := m.Mean(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Mean after eviction = %v, want 3", got)
+	}
+	if got := m.SecondMoment(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("E[S^2] after eviction = %v, want 10", got)
+	}
+	if m.Count() != 2 {
+		t.Errorf("Count = %d, want 2", m.Count())
+	}
+}
+
+func TestMomentTrackerRejectsBadCapacity(t *testing.T) {
+	if _, err := NewMomentTracker(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+// Property: windowed sums never drift from a freshly computed reference.
+func TestMomentTrackerMatchesDirectComputation(t *testing.T) {
+	f := func(vals []float64, cap8 uint8) bool {
+		capacity := int(cap8%16) + 1
+		m, err := NewMomentTracker(capacity)
+		if err != nil {
+			return false
+		}
+		var window []float64
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			v = math.Mod(v, 1e6)
+			m.Observe(v)
+			window = append(window, v)
+			if len(window) > capacity {
+				window = window[1:]
+			}
+			var sum, sumSq float64
+			for _, w := range window {
+				sum += w
+				sumSq += w * w
+			}
+			n := float64(len(window))
+			if math.Abs(m.Mean()-sum/n) > 1e-6*(1+math.Abs(sum/n)) {
+				return false
+			}
+			if math.Abs(m.SecondMoment()-sumSq/n) > 1e-6*(1+math.Abs(sumSq/n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateTracker(t *testing.T) {
+	r, err := NewRateTracker(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rate() != 0 {
+		t.Error("empty tracker rate != 0")
+	}
+	r.Observe(0)
+	if r.Rate() != 0 {
+		t.Error("single-event rate != 0")
+	}
+	r.Observe(1)
+	r.Observe(2)
+	r.Observe(3)
+	if got := r.Rate(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Rate = %v, want 1", got)
+	}
+	// Window slides: events now at 2,3,10,11 -> 3 gaps over 9 time units.
+	r.Observe(10)
+	r.Observe(11)
+	if got := r.Rate(); math.Abs(got-3.0/9.0) > 1e-9 {
+		t.Errorf("Rate after slide = %v, want 1/3", got)
+	}
+}
+
+func TestRateTrackerSimultaneousEvents(t *testing.T) {
+	r, _ := NewRateTracker(3)
+	r.Observe(5)
+	r.Observe(5)
+	if !math.IsInf(r.Rate(), 1) {
+		t.Errorf("zero-span rate = %v, want +Inf", r.Rate())
+	}
+}
+
+func TestRateTrackerRejectsBadCapacity(t *testing.T) {
+	if _, err := NewRateTracker(1); err == nil {
+		t.Error("capacity 1 accepted")
+	}
+}
+
+func TestPKWaitKnownValues(t *testing.T) {
+	// M/M/1: E[S] = 1/mu, E[S^2] = 2/mu^2, so P-K gives rho/(1-rho)/mu.
+	mu := 2.0
+	rho := 0.5
+	want := rho / (1 - rho) / mu
+	got := PKWait(rho, 1/mu, 2/(mu*mu))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PKWait M/M/1 = %v, want %v", got, want)
+	}
+	// M/D/1 (deterministic service): E[S^2] = E[S]^2, halves the wait.
+	gotD := PKWait(rho, 1/mu, 1/(mu*mu))
+	if math.Abs(gotD-want/2) > 1e-12 {
+		t.Errorf("PKWait M/D/1 = %v, want %v", gotD, want/2)
+	}
+}
+
+func TestPKWaitEdgeCases(t *testing.T) {
+	if got := PKWait(0, 1, 2); got != 0 {
+		t.Errorf("rho=0 wait = %v", got)
+	}
+	if got := PKWait(-0.5, 1, 2); got != 0 {
+		t.Errorf("negative rho wait = %v", got)
+	}
+	if got := PKWait(1.0, 1, 2); !math.IsInf(got, 1) {
+		t.Errorf("rho=1 wait = %v, want +Inf", got)
+	}
+	if got := PKWait(1.5, 1, 2); !math.IsInf(got, 1) {
+		t.Errorf("rho>1 wait = %v, want +Inf", got)
+	}
+	if got := PKWait(0.5, 0, 2); got != 0 {
+		t.Errorf("zero mean service wait = %v", got)
+	}
+}
+
+func TestPKWaitMonotoneInRho(t *testing.T) {
+	prev := 0.0
+	for rho := 0.1; rho < 1; rho += 0.1 {
+		w := PKWait(rho, 1, 2)
+		if w <= prev {
+			t.Fatalf("PKWait not increasing at rho=%.1f: %v <= %v", rho, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestEstimatorEndToEnd(t *testing.T) {
+	e, err := NewEstimator(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, sat := e.EstimateWait()
+	if w != 0 || sat {
+		t.Errorf("empty estimator = (%v, %v)", w, sat)
+	}
+
+	// Feed a stable M/M/1-ish stream: lambda = 0.5, mu = 1 -> rho = 0.5.
+	s := simulation.NewRNG(5).Stream("est")
+	tNow := 0.0
+	for i := 0; i < 5000; i++ {
+		tNow += s.Exp(2.0) // inter-arrival mean 2 -> lambda 0.5
+		e.ObserveArrival(tNow)
+		e.ObserveService(s.Exp(1.0))
+	}
+	rho := e.Utilization()
+	if math.Abs(rho-0.5) > 0.15 {
+		t.Errorf("estimated rho = %v, want ~0.5", rho)
+	}
+	w, sat = e.EstimateWait()
+	if sat {
+		t.Fatal("stable queue reported saturated")
+	}
+	// True M/M/1 wait at rho=0.5, mu=1 is 1.0.
+	if w < 0.5 || w > 2.0 {
+		t.Errorf("estimated wait = %v, want ~1.0", w)
+	}
+}
+
+func TestEstimatorSaturation(t *testing.T) {
+	e, err := NewEstimator(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals every 0.5, service 1.0 -> rho = 2: saturated.
+	for i := 0; i < 32; i++ {
+		e.ObserveArrival(float64(i) * 0.5)
+		e.ObserveService(1.0)
+	}
+	w, sat := e.EstimateWait()
+	if !sat || !math.IsInf(w, 1) {
+		t.Errorf("overloaded estimator = (%v, %v), want (+Inf, true)", w, sat)
+	}
+}
+
+func TestEstimatorBadWindows(t *testing.T) {
+	if _, err := NewEstimator(0, 8); err == nil {
+		t.Error("bad service window accepted")
+	}
+	if _, err := NewEstimator(8, 1); err == nil {
+		t.Error("bad arrival window accepted")
+	}
+}

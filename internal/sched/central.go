@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// CentralPlacer is the centralized long-job scheduler shared by the hybrid
+// designs (Hawk, Eagle, Phoenix): it holds a global view of worker backlogs
+// and binds each long task early to the least-loaded worker that satisfies
+// the job's constraints. It also implements the paper's third constraint
+// class (§III-A), rack placement constraints: spread (anti-affinity, tasks
+// on distinct racks) and pack (affinity, tasks co-located on one rack) —
+// combinatorial decisions that need the global view, which is why the
+// fully distributed designs cannot honor them.
+type CentralPlacer struct {
+	// Reserved optionally excludes a partition of workers kept for short
+	// jobs (Hawk's reserved partition). When every candidate lies inside
+	// the reserved partition, the reservation yields — constraints beat
+	// the partition, otherwise the job could never run.
+	Reserved *bitset.Set
+	// Score optionally makes placement constraint-aware: among equally
+	// backlogged candidates, the lowest-scoring worker wins. Phoenix
+	// scores workers by how much constrained demand they could satisfy,
+	// keeping long work off the machines that scarce constrained tasks
+	// have no alternative to.
+	Score func(*Worker) float64
+}
+
+// PlaceJob binds every task of js, honoring the job's placement policy.
+// It claims all tasks, so late-binding probes must not be used for the
+// same job.
+func (p *CentralPlacer) PlaceJob(d *Driver, js *JobState) {
+	cands := d.CandidateWorkers(js)
+	if p.Reserved != nil {
+		avail := cands.Clone()
+		// AndNot cannot fail: both sets span the cluster.
+		_ = avail.AndNot(p.Reserved)
+		if avail.Any() {
+			cands = avail
+		}
+	}
+	switch js.Placement {
+	case trace.PlacementSpread:
+		p.placeSpread(d, js, cands)
+	case trace.PlacementPack:
+		p.placePack(d, js, cands)
+	default:
+		p.placeFree(d, js, cands)
+	}
+}
+
+// placeFree binds each task to the overall least-backlogged candidate.
+func (p *CentralPlacer) placeFree(d *Driver, js *JobState, cands *bitset.Set) {
+	for {
+		t := js.Claim()
+		if t == nil {
+			return
+		}
+		w := d.LeastBacklogInScored(cands, p.Score)
+		if w == nil {
+			// CandidateWorkers guarantees a non-empty set, so this is
+			// unreachable; guard anyway rather than loop forever.
+			return
+		}
+		d.EnqueueTask(w, js, t)
+	}
+}
+
+// placeSpread binds each task to the least-backlogged candidate on a rack
+// no earlier task of the job used. When the candidates span fewer racks
+// than the job has tasks, rack reuse is unavoidable; the fallback reuses
+// racks and the relaxation is counted (the placement constraint is a
+// preference, not a hard requirement — §III-A).
+func (p *CentralPlacer) placeSpread(d *Driver, js *JobState, cands *bitset.Set) {
+	cl := d.Cluster()
+	used := make(map[int]bool, len(js.Job.Tasks))
+	for {
+		t := js.Claim()
+		if t == nil {
+			return
+		}
+		w := d.leastBacklogWhere(cands, p.Score, func(id int) bool { return !used[cl.RackOf(id)] })
+		if w == nil {
+			// Every candidate rack already hosts a task: relax.
+			w = d.LeastBacklogInScored(cands, p.Score)
+			d.collector.PlacementRelaxed++
+		}
+		if w == nil {
+			return
+		}
+		used[cl.RackOf(w.ID)] = true
+		d.EnqueueTask(w, js, t)
+	}
+}
+
+// placePack binds all tasks inside the single candidate rack with the most
+// satisfying workers (ties to the lower rack), spreading across that
+// rack's workers by backlog.
+func (p *CentralPlacer) placePack(d *Driver, js *JobState, cands *bitset.Set) {
+	cl := d.Cluster()
+	counts := make(map[int]int)
+	cands.ForEach(func(id int) bool {
+		counts[cl.RackOf(id)]++
+		return true
+	})
+	bestRack, bestCount := -1, 0
+	for rack, n := range counts {
+		if n > bestCount || (n == bestCount && rack < bestRack) {
+			bestRack, bestCount = rack, n
+		}
+	}
+	if bestRack < 0 {
+		p.placeFree(d, js, cands)
+		return
+	}
+	inRack := cands.Clone()
+	// And cannot fail: both sets span the cluster.
+	_ = inRack.And(cl.RackMembers(bestRack))
+	if !inRack.Any() {
+		p.placeFree(d, js, cands)
+		return
+	}
+	for {
+		t := js.Claim()
+		if t == nil {
+			return
+		}
+		w := d.LeastBacklogInScored(inRack, p.Score)
+		if w == nil {
+			return
+		}
+		d.EnqueueTask(w, js, t)
+	}
+}
+
+// leastBacklogWhere is LeastBacklogInScored restricted to candidates the
+// allow predicate accepts; nil when none qualify.
+func (d *Driver) leastBacklogWhere(cands *bitset.Set, score func(*Worker) float64, allow func(id int) bool) *Worker {
+	now := d.engine.Now()
+	var (
+		best  *Worker
+		bestB simulation.Time
+		bestS float64
+	)
+	cands.ForEach(func(id int) bool {
+		if !allow(id) {
+			return true
+		}
+		w := d.workers[id]
+		b := w.Backlog(now)
+		var s float64
+		if score != nil {
+			s = score(w)
+		}
+		if best == nil || b < bestB || (b == bestB && s < bestS) {
+			best = w
+			bestB = b
+			bestS = s
+		}
+		return true
+	})
+	return best
+}

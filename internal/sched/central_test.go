@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func TestCentralPlacerRespectsReservation(t *testing.T) {
+	cl, tr := testbed(t, 20, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserved := bitset.New(cl.Size())
+	for i := 0; i < 10; i++ {
+		reserved.Set(i)
+	}
+	p := &CentralPlacer{Reserved: reserved}
+	js := placementJob(5, trace.PlacementNone)
+	p.PlaceJob(d, js)
+	for i := 0; i < 10; i++ {
+		if d.Worker(i).QueuedWork() > 0 {
+			t.Errorf("reserved worker %d received long work", i)
+		}
+	}
+}
+
+func TestCentralPlacerReservationYieldsWhenForced(t *testing.T) {
+	cl, tr := testbed(t, 20, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve everything: the reservation must yield rather than strand
+	// the job.
+	reserved := bitset.New(cl.Size())
+	reserved.SetAll()
+	p := &CentralPlacer{Reserved: reserved}
+	js := placementJob(3, trace.PlacementNone)
+	p.PlaceJob(d, js)
+	if js.Unclaimed() != 0 {
+		t.Errorf("%d tasks unplaced under total reservation", js.Unclaimed())
+	}
+}
+
+func TestMoveEntrySuccess(t *testing.T) {
+	cl, tr := testbed(t, 10, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, thief := d.Worker(0), d.Worker(1)
+	js := placementJob(1, trace.PlacementNone)
+	e := &Entry{Job: js}
+	d.reserve(victim, e)
+	victim.push(e)
+	if !d.MoveEntry(victim, thief, 0) {
+		t.Fatal("move failed")
+	}
+	if victim.QueueLen() != 0 {
+		t.Error("entry still on victim")
+	}
+	if thief.QueuedWork() != js.EstDur {
+		t.Errorf("thief backlog = %v, want %v", thief.QueuedWork(), js.EstDur)
+	}
+}
+
+func TestRunStickyAccountsLongResidency(t *testing.T) {
+	cl, tr := testbed(t, 10, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Worker(0)
+	long := &JobState{
+		Job: &trace.Job{Tasks: []trace.Task{
+			{ID: 0, Duration: simulation.Second},
+			{ID: 1, Index: 1, Duration: simulation.Second},
+		}},
+		Short:  false,
+		EstDur: simulation.Second,
+	}
+	task := long.Claim()
+	d.runSticky(w, long, task)
+	if !d.LongOccupied().Test(0) {
+		t.Error("sticky long task not counted in SSS vector")
+	}
+	if w.Idle() {
+		t.Error("worker idle after sticky start")
+	}
+	if w.RunningEnds() <= 0 {
+		t.Error("no completion scheduled")
+	}
+}
+
+func TestLeastBacklogInCoverage(t *testing.T) {
+	cl, tr := testbed(t, 10, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := bitset.New(cl.Size())
+	cands.Set(3)
+	cands.Set(7)
+	d.Worker(3).backlog = 5 * simulation.Second
+	if got := d.LeastBacklogIn(cands); got == nil || got.ID != 7 {
+		t.Errorf("LeastBacklogIn = %v, want worker 7", got)
+	}
+	if d.LeastBacklogIn(bitset.New(cl.Size())) != nil {
+		t.Error("empty candidate set returned a worker")
+	}
+}
+
+func TestJobStateDone(t *testing.T) {
+	js := placementJob(2, trace.PlacementNone)
+	if js.Done() != 0 {
+		t.Errorf("fresh Done = %d", js.Done())
+	}
+}

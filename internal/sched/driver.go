@@ -1,0 +1,573 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/queueing"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// Driver runs one trace through one scheduler on one cluster. It owns the
+// event engine, the workers, and metric collection; the scheduler only
+// decides placement and queue order.
+type Driver struct {
+	cfg       Config
+	engine    *simulation.Engine
+	cl        *cluster.Cluster
+	tr        *trace.Trace
+	workers   []*Worker
+	policies  []QueuePolicy
+	collector *metrics.Collector
+	rng       *simulation.RNG
+	scheduler Scheduler
+
+	// Optional hooks, resolved once at construction.
+	heartbeatH HeartbeatHandler
+	idleH      IdleHandler
+	completeH  CompletionHandler
+	stickyP    StickyProvider
+	startObs   StartObserver
+
+	// longOccupied flags workers hosting long-job work (queued, in flight,
+	// or running) — the bit vector Eagle's succinct state sharing gossips.
+	longOccupied *bitset.Set
+
+	// failStream drives failure injection when enabled.
+	failStream *simulation.Stream
+
+	pendingJobs int
+	span        simulation.Time
+}
+
+// NewDriver constructs a run. The cluster size must match the trace's
+// calibrated node count or the offered load would silently change; pass a
+// cluster of exactly trace.NumNodes machines (experiments that sweep load
+// regenerate the trace per size).
+func NewDriver(cfg Config, cl *cluster.Cluster, tr *trace.Trace, s Scheduler, seed uint64) (*Driver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cl.Size() == 0 {
+		return nil, fmt.Errorf("sched: empty cluster")
+	}
+	if len(tr.Jobs) == 0 {
+		return nil, fmt.Errorf("sched: empty trace")
+	}
+	d := &Driver{
+		cfg:       cfg,
+		engine:    simulation.NewEngine(),
+		cl:        cl,
+		tr:        tr,
+		workers:   make([]*Worker, cl.Size()),
+		policies:  make([]QueuePolicy, cl.Size()),
+		collector: metrics.NewCollector(len(tr.Jobs)),
+		rng:       simulation.NewRNG(seed),
+		scheduler: s,
+	}
+	for i := range d.workers {
+		est, err := queueing.NewEstimator(cfg.ServiceWindow, cfg.ArrivalWindow)
+		if err != nil {
+			return nil, err
+		}
+		d.workers[i] = &Worker{ID: i, Machine: cl.Machine(i), Estimator: est}
+		d.policies[i] = FIFO{}
+	}
+	d.longOccupied = bitset.New(cl.Size())
+	d.heartbeatH, _ = s.(HeartbeatHandler)
+	d.idleH, _ = s.(IdleHandler)
+	d.completeH, _ = s.(CompletionHandler)
+	d.stickyP, _ = s.(StickyProvider)
+	d.startObs, _ = s.(StartObserver)
+	return d, nil
+}
+
+// LongOccupied returns the bit vector of workers currently hosting long-job
+// work. Callers must treat it as read-only; it is the live set, not a copy.
+func (d *Driver) LongOccupied() *bitset.Set { return d.longOccupied }
+
+// reserve accounts a newly placed entry against w before it physically
+// arrives, so that concurrent placements see each other's load.
+func (d *Driver) reserve(w *Worker, e *Entry) {
+	w.backlog += e.EstDur()
+	if !e.Job.Short {
+		w.longCount++
+		if w.longCount == 1 {
+			d.longOccupied.Set(w.ID)
+		}
+	}
+}
+
+// releaseLong drops one long-job residency from w (stale discard, task
+// completion, or steal migration).
+func (d *Driver) releaseLong(w *Worker, e *Entry) {
+	if e.Job.Short {
+		return
+	}
+	w.longCount--
+	if w.longCount == 0 {
+		d.longOccupied.Clear(w.ID)
+	}
+}
+
+// Accessors for schedulers.
+
+// Now reports the current virtual time.
+func (d *Driver) Now() simulation.Time { return d.engine.Now() }
+
+// Config returns the shared simulation parameters.
+func (d *Driver) Config() Config { return d.cfg }
+
+// Cluster returns the hardware description.
+func (d *Driver) Cluster() *cluster.Cluster { return d.cl }
+
+// Workers returns all workers (read via accessors; mutate via driver
+// methods only).
+func (d *Driver) Workers() []*Worker { return d.workers }
+
+// Worker returns the worker with the given ID, nil when out of range.
+func (d *Driver) Worker(id int) *Worker {
+	if id < 0 || id >= len(d.workers) {
+		return nil
+	}
+	return d.workers[id]
+}
+
+// Collector returns the metric collector.
+func (d *Driver) Collector() *metrics.Collector { return d.collector }
+
+// Stream derives a named deterministic random stream for the run.
+func (d *Driver) Stream(name string) *simulation.Stream { return d.rng.Stream(name) }
+
+// After schedules fn to run after the given virtual delay. Schedulers use
+// it to model their own control-plane latencies (decision queues, deferred
+// batching) without reaching into the engine.
+func (d *Driver) After(delay simulation.Time, fn func()) {
+	d.engine.ScheduleAfter(delay, func(simulation.Time) { fn() })
+}
+
+// ShortCutoff returns the trace's short-job classification threshold.
+func (d *Driver) ShortCutoff() simulation.Time { return d.tr.ShortCutoff }
+
+// SetPolicy assigns worker w's queue policy.
+func (d *Driver) SetPolicy(w *Worker, p QueuePolicy) { d.policies[w.ID] = p }
+
+// SetAllPolicies assigns every worker the same queue policy.
+func (d *Driver) SetAllPolicies(p QueuePolicy) {
+	for i := range d.policies {
+		d.policies[i] = p
+	}
+}
+
+// Policy returns worker w's queue policy.
+func (d *Driver) Policy(w *Worker) QueuePolicy { return d.policies[w.ID] }
+
+// Result summarizes one run.
+type Result struct {
+	// Scheduler is the scheduler's name.
+	Scheduler string
+	// Collector holds per-job outcomes and counters.
+	Collector *metrics.Collector
+	// Span is the completion time of the last job.
+	Span simulation.Time
+	// Utilization is the mean busy fraction of the cluster over Span.
+	Utilization float64
+	// NumWorkers is the cluster size.
+	NumWorkers int
+}
+
+// Run executes the simulation to completion.
+func (d *Driver) Run() (*Result, error) {
+	if err := d.scheduler.Init(d); err != nil {
+		return nil, fmt.Errorf("sched: init %s: %w", d.scheduler.Name(), err)
+	}
+	d.pendingJobs = len(d.tr.Jobs)
+	for i := range d.tr.Jobs {
+		job := &d.tr.Jobs[i]
+		js := &JobState{
+			Job:         job,
+			Short:       job.MeanTaskDuration() <= d.tr.ShortCutoff,
+			EstDur:      job.MeanTaskDuration(),
+			Constraints: job.Constraints(),
+			Constrained: job.Constrained(),
+			Placement:   job.Placement,
+		}
+		js.ConstraintDims = js.Constraints.Dims()
+		d.engine.Schedule(job.Arrival, func(simulation.Time) {
+			d.scheduler.SubmitJob(d, js)
+		})
+	}
+	if d.heartbeatH != nil {
+		d.engine.Schedule(d.cfg.Heartbeat, d.heartbeat)
+	}
+	if d.cfg.FailureRatePerHour > 0 {
+		d.failStream = d.rng.Stream("driver/failures")
+		d.scheduleNextFailure()
+	}
+	if err := d.engine.Run(); err != nil {
+		return nil, err
+	}
+	if d.pendingJobs != 0 {
+		return nil, fmt.Errorf("sched: %s finished with %d jobs incomplete", d.scheduler.Name(), d.pendingJobs)
+	}
+	return &Result{
+		Scheduler:   d.scheduler.Name(),
+		Collector:   d.collector,
+		Span:        d.span,
+		Utilization: d.collector.Utilization(len(d.workers), d.span),
+		NumWorkers:  len(d.workers),
+	}, nil
+}
+
+func (d *Driver) heartbeat(now simulation.Time) {
+	d.heartbeatH.OnHeartbeat(d, now)
+	if d.pendingJobs > 0 {
+		d.engine.Schedule(now+d.cfg.Heartbeat, d.heartbeat)
+	}
+}
+
+// scheduleNextFailure arms the next fail-stop event: a Poisson process at
+// FailureRatePerHour x cluster size, stopping once the workload drains.
+func (d *Driver) scheduleNextFailure() {
+	ratePerSecond := d.cfg.FailureRatePerHour * float64(len(d.workers)) / 3600
+	gap := simulation.FromSeconds(d.failStream.Exp(1 / ratePerSecond))
+	if gap < simulation.Millisecond {
+		gap = simulation.Millisecond
+	}
+	d.engine.ScheduleAfter(gap, func(now simulation.Time) {
+		if d.pendingJobs == 0 {
+			return
+		}
+		d.failWorker(d.workers[d.failStream.Intn(len(d.workers))], now)
+		d.scheduleNextFailure()
+	})
+}
+
+// failWorker takes w down for RepairDelay. The queue survives; the running
+// task's partial execution is wasted and the task restarts from scratch at
+// recovery (fail-stop with local restart).
+func (d *Driver) failWorker(w *Worker, now simulation.Time) {
+	if w.failed {
+		return // already down; the repair in flight covers this event
+	}
+	w.failed = true
+	d.collector.WorkerFailures++
+	if w.running != nil {
+		if w.completion != nil {
+			d.engine.Cancel(w.completion)
+			w.completion = nil
+		}
+		wasted := now - w.runningStarted
+		if wasted > 0 {
+			d.collector.WastedWork += wasted
+			d.collector.BusyTime += wasted
+		}
+	}
+	d.engine.ScheduleAfter(d.cfg.RepairDelay, func(rec simulation.Time) { d.recoverWorker(w) })
+}
+
+// recoverWorker brings w back: an interrupted task restarts from scratch,
+// otherwise the queue resumes dispatch.
+func (d *Driver) recoverWorker(w *Worker) {
+	w.failed = false
+	now := d.engine.Now()
+	if w.running != nil {
+		w.runningStarted = now
+		w.runningEnds = now + w.runningTask.Duration
+		w.completion = d.engine.Schedule(w.runningEnds, func(simulation.Time) { d.completeTask(w) })
+		return
+	}
+	d.tryDispatch(w)
+	if w.running == nil && len(w.queue) == 0 && d.idleH != nil {
+		d.idleH.OnWorkerIdle(d, w)
+	}
+}
+
+// EnqueueTask places a bound task (early binding) into w's queue after one
+// network delay. The backlog is reserved immediately.
+func (d *Driver) EnqueueTask(w *Worker, js *JobState, t *trace.Task) {
+	e := &Entry{Job: js, Task: t}
+	d.reserve(w, e)
+	d.engine.ScheduleAfter(d.cfg.NetworkDelay, func(now simulation.Time) {
+		e.Enqueued = now
+		d.admit(w, e)
+	})
+}
+
+// EnqueueProbe places a late-binding probe for js into w's queue after one
+// network delay. The backlog is reserved immediately.
+func (d *Driver) EnqueueProbe(w *Worker, js *JobState) {
+	d.collector.Probes++
+	e := &Entry{Job: js}
+	d.reserve(w, e)
+	d.engine.ScheduleAfter(d.cfg.NetworkDelay, func(now simulation.Time) {
+		e.Enqueued = now
+		d.admit(w, e)
+	})
+}
+
+// MoveEntry migrates the queue entry at index idx on victim to thief (work
+// stealing or probe rescheduling); the entry pays one network delay in
+// transit. It reports false when idx is out of range. Callers account the
+// move in their own collector counter (StolenTasks, RescheduledProbes).
+func (d *Driver) MoveEntry(victim, thief *Worker, idx int) bool {
+	if idx < 0 || idx >= victim.QueueLen() {
+		return false
+	}
+	e := victim.stealAt(idx)
+	d.releaseLong(victim, e)
+	d.reserve(thief, e)
+	d.engine.ScheduleAfter(d.cfg.NetworkDelay, func(now simulation.Time) {
+		e.Enqueued = now
+		e.Bypassed = 0
+		d.admit(thief, e)
+	})
+	return true
+}
+
+func (d *Driver) admit(w *Worker, e *Entry) {
+	w.push(e)
+	w.Estimator.ObserveArrival(d.engine.Now().Seconds())
+	if w.Idle() && !w.failed {
+		d.tryDispatch(w)
+	}
+}
+
+// tryDispatch serves queue entries until the slot is busy or the queue is
+// exhausted. Stale probes (whose job has no unclaimed tasks left) are
+// discarded for free — the cancellation message overlaps the next dispatch.
+func (d *Driver) tryDispatch(w *Worker) {
+	if w.failed {
+		return
+	}
+	for w.running == nil && len(w.queue) > 0 {
+		idx := d.policies[w.ID].Select(d, w)
+		if idx < 0 {
+			return
+		}
+		if idx > 0 {
+			d.collector.ReorderedTasks++
+		}
+		e := w.removeAt(idx)
+		task := e.Task
+		if task == nil {
+			task = e.Job.Claim()
+			if task == nil {
+				d.releaseLong(w, e)
+				continue // stale probe
+			}
+		}
+		d.startTask(w, e, task)
+	}
+}
+
+// startTask occupies w's slot with task. Probes pay one network delay to
+// fetch the task from the scheduler (late binding's placement latency);
+// bound tasks shipped with their payload and start immediately.
+func (d *Driver) startTask(w *Worker, e *Entry, task *trace.Task) {
+	start := d.engine.Now()
+	if e.IsProbe() {
+		start += d.cfg.NetworkDelay
+	}
+	e.Job.recordTask(start - e.Job.Job.Arrival)
+	if d.startObs != nil {
+		d.startObs.OnTaskStart(d, w, e, d.engine.Now()-e.Enqueued)
+	}
+	w.running = e
+	w.runningTask = task
+	w.runningStarted = start
+	w.runningEnds = start + task.Duration
+	w.completion = d.engine.Schedule(w.runningEnds, func(simulation.Time) { d.completeTask(w) })
+}
+
+// runSticky lets a StickyProvider start a task on w immediately, outside
+// the queue. w must be idle. Long residency is accounted so that SSS sees
+// sticky long work too.
+func (d *Driver) runSticky(w *Worker, js *JobState, task *trace.Task) {
+	e := &Entry{Job: js, Task: task, Enqueued: d.engine.Now()}
+	if !js.Short {
+		w.longCount++
+		if w.longCount == 1 {
+			d.longOccupied.Set(w.ID)
+		}
+	}
+	d.startTask(w, e, task)
+}
+
+func (d *Driver) completeTask(w *Worker) {
+	now := d.engine.Now()
+	e := w.running
+	task := w.runningTask
+	w.running = nil
+	w.runningTask = nil
+	w.completion = nil
+
+	d.collector.BusyTime += task.Duration
+	w.Estimator.ObserveService(task.Duration.Seconds())
+
+	js := e.Job
+	d.releaseLong(w, e)
+	js.done++
+	if d.completeH != nil {
+		d.completeH.OnTaskComplete(d, w, js, task)
+	}
+	if js.Finished() {
+		d.finishJob(js, now)
+	} else if d.stickyP != nil {
+		if next := d.stickyP.NextSticky(d, w, js); next != nil {
+			d.runSticky(w, js, next)
+		}
+	}
+	if w.running == nil {
+		d.tryDispatch(w)
+	}
+	if w.running == nil && len(w.queue) == 0 && d.idleH != nil {
+		d.idleH.OnWorkerIdle(d, w)
+	}
+}
+
+func (d *Driver) finishJob(js *JobState, now simulation.Time) {
+	d.collector.AddJob(metrics.JobRecord{
+		JobID:         js.Job.ID,
+		Arrival:       js.Job.Arrival,
+		Completion:    now,
+		Short:         js.Short,
+		Constrained:   js.Constrained,
+		Dims:          js.Job.Constraints().Dims(),
+		Placement:     js.Placement,
+		NumTasks:      len(js.Job.Tasks),
+		MaxQueueDelay: js.maxWait,
+		SumQueueDelay: js.sumWait,
+	})
+	if now > d.span {
+		d.span = now
+	}
+	d.pendingJobs--
+}
+
+// CandidateWorkers computes the set of workers able to host js's tasks,
+// applying the admission-control fallback every scheduler needs to make
+// progress: if the full constraint set matches no machine, soft constraints
+// (clock, NIC speed) are dropped and the job is marked Relaxed — the
+// paper's "negotiating resources for tasks in which all the constraints
+// could not be satisfied"; if even the hard subset matches nothing the job
+// runs unconstrained (never the case for synthesized traces, whose
+// constraints are anchored to real machines).
+func (d *Driver) CandidateWorkers(js *JobState) *bitset.Set {
+	cands := d.cl.Satisfying(js.Constraints)
+	if cands.Any() {
+		return cands
+	}
+	hard := js.Constraints.Hard()
+	if len(hard) < len(js.Constraints) {
+		cands = d.cl.Satisfying(hard)
+		if cands.Any() {
+			js.Constraints = hard
+			js.ConstraintDims = hard.Dims()
+			js.Relaxed = true
+			d.collector.RelaxedJobs++
+			return cands
+		}
+	}
+	js.Constraints = nil
+	js.ConstraintDims = 0
+	js.Relaxed = true
+	d.collector.RelaxedJobs++
+	cands.SetAll()
+	return cands
+}
+
+// SampleWorkers draws up to k distinct workers uniformly from the candidate
+// set. When the set holds at most k workers it returns all of them.
+func (d *Driver) SampleWorkers(cands *bitset.Set, k int, stream *simulation.Stream) []*Worker {
+	n := cands.Count()
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	ranks := stream.SampleWithoutReplacement(n, k)
+	out := make([]*Worker, 0, k)
+	for _, r := range ranks {
+		if id := cands.NthSet(r); id >= 0 {
+			out = append(out, d.workers[id])
+		}
+	}
+	return out
+}
+
+// PlaceProbes places n probes for js over the candidate set: a uniform
+// sample of min(n, |cands|) distinct workers, cycled when the candidate set
+// is smaller than n so that the number of probes never drops below n — a
+// job whose constraints match fewer workers than it has tasks must still
+// get every task claimed. It returns the probed workers (with repeats).
+func (d *Driver) PlaceProbes(js *JobState, cands *bitset.Set, n int, stream *simulation.Stream) []*Worker {
+	sample := d.SampleWorkers(cands, n, stream)
+	if len(sample) == 0 {
+		return nil
+	}
+	out := make([]*Worker, 0, n)
+	for i := 0; i < n; i++ {
+		w := sample[i%len(sample)]
+		d.EnqueueProbe(w, js)
+		out = append(out, w)
+	}
+	return out
+}
+
+// LeastBacklog returns the worker with the smallest backlog among ws,
+// breaking ties by lower ID for determinism. Empty input returns nil.
+func (d *Driver) LeastBacklog(ws []*Worker) *Worker {
+	if len(ws) == 0 {
+		return nil
+	}
+	now := d.engine.Now()
+	best := ws[0]
+	bestB := best.Backlog(now)
+	for _, w := range ws[1:] {
+		b := w.Backlog(now)
+		if b < bestB || (b == bestB && w.ID < best.ID) {
+			best = w
+			bestB = b
+		}
+	}
+	return best
+}
+
+// LeastBacklogIn returns the least-backlog worker in the candidate bitset,
+// scanning the whole set (the centralized placer's global view).
+func (d *Driver) LeastBacklogIn(cands *bitset.Set) *Worker {
+	return d.LeastBacklogInScored(cands, nil)
+}
+
+// LeastBacklogInScored returns the least-backlog worker in the candidate
+// bitset, breaking backlog ties by the lowest score (then lowest ID). A
+// constraint-aware placer passes a scarcity score so that, load being
+// equal, long work lands on the workers constrained tasks want least.
+func (d *Driver) LeastBacklogInScored(cands *bitset.Set, score func(*Worker) float64) *Worker {
+	now := d.engine.Now()
+	var (
+		best  *Worker
+		bestB simulation.Time
+		bestS float64
+	)
+	cands.ForEach(func(id int) bool {
+		w := d.workers[id]
+		b := w.Backlog(now)
+		var s float64
+		if score != nil {
+			s = score(w)
+		}
+		if best == nil || b < bestB || (b == bestB && s < bestS) {
+			best = w
+			bestB = b
+			bestS = s
+		}
+		return true
+	})
+	return best
+}

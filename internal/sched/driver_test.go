@@ -1,0 +1,450 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// fifoScheduler is the simplest possible scheduler: every task early-bound
+// round-robin over candidate workers.
+type fifoScheduler struct {
+	next int
+}
+
+func (s *fifoScheduler) Name() string         { return "test-fifo" }
+func (s *fifoScheduler) Init(d *Driver) error { return nil }
+func (s *fifoScheduler) SubmitJob(d *Driver, js *JobState) {
+	cands := d.CandidateWorkers(js)
+	ids := cands.Indices()
+	for {
+		t := js.Claim()
+		if t == nil {
+			return
+		}
+		w := d.Worker(ids[s.next%len(ids)])
+		s.next++
+		d.EnqueueTask(w, js, t)
+	}
+}
+
+// probeScheduler places ProbeRatio probes per task on random candidates.
+type probeScheduler struct {
+	stream *simulation.Stream
+}
+
+func (s *probeScheduler) Name() string { return "test-probe" }
+func (s *probeScheduler) Init(d *Driver) error {
+	s.stream = d.Stream("probe")
+	return nil
+}
+func (s *probeScheduler) SubmitJob(d *Driver, js *JobState) {
+	cands := d.CandidateWorkers(js)
+	n := d.Config().ProbeRatio * len(js.Job.Tasks)
+	d.PlaceProbes(js, cands, n, s.stream)
+}
+
+// testbed builds a tiny cluster and trace.
+func testbed(t *testing.T, numMachines, numJobs int) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(numMachines, simulation.NewRNG(1).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumJobs = numJobs
+	cfg.NumNodes = numMachines
+	cfg.TargetLoad = 0.7
+	tr, err := trace.Generate(cfg, cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr
+}
+
+func runScheduler(t *testing.T, s Scheduler, numMachines, numJobs int) *Result {
+	t.Helper()
+	cl, tr := testbed(t, numMachines, numJobs)
+	d, err := NewDriver(DefaultConfig(), cl, tr, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDriverCompletesAllJobsEarlyBinding(t *testing.T) {
+	res := runScheduler(t, &fifoScheduler{}, 60, 150)
+	if res.Collector.NumJobs() != 150 {
+		t.Errorf("completed jobs = %d, want 150", res.Collector.NumJobs())
+	}
+	if res.Span <= 0 {
+		t.Error("zero span")
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization = %v", res.Utilization)
+	}
+}
+
+func TestDriverCompletesAllJobsLateBinding(t *testing.T) {
+	res := runScheduler(t, &probeScheduler{}, 60, 150)
+	if res.Collector.NumJobs() != 150 {
+		t.Errorf("completed jobs = %d, want 150", res.Collector.NumJobs())
+	}
+	if res.Collector.Probes == 0 {
+		t.Error("no probes recorded")
+	}
+}
+
+func TestDriverResponseTimesAreSane(t *testing.T) {
+	res := runScheduler(t, &fifoScheduler{}, 60, 120)
+	for _, r := range res.Collector.Jobs() {
+		if r.Completion < r.Arrival {
+			t.Fatalf("job %d completes before arrival", r.JobID)
+		}
+		if r.MaxQueueDelay < 0 {
+			t.Fatalf("job %d negative queue delay", r.JobID)
+		}
+	}
+}
+
+func TestDriverDeterminism(t *testing.T) {
+	cl, tr := testbed(t, 50, 100)
+	run := func() *Result {
+		// Job progress lives in per-driver JobStates; the trace itself is
+		// read-only, so two drivers can share it.
+		d, err := NewDriver(DefaultConfig(), cl, tr, &probeScheduler{}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	b := run()
+	if a.Span != b.Span {
+		t.Fatalf("same-seed runs diverge: span %v vs %v", a.Span, b.Span)
+	}
+	ja, jb := a.Collector.Jobs(), b.Collector.Jobs()
+	for i := range ja {
+		if ja[i] != jb[i] {
+			t.Fatalf("job record %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestDriverRejectsBadInput(t *testing.T) {
+	cl, tr := testbed(t, 10, 10)
+	bad := DefaultConfig()
+	bad.ProbeRatio = 0
+	if _, err := NewDriver(bad, cl, tr, &fifoScheduler{}, 1); err == nil {
+		t.Error("bad config accepted")
+	}
+	empty, err := cluster.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDriver(DefaultConfig(), empty, tr, &fifoScheduler{}, 1); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := NewDriver(DefaultConfig(), cl, &trace.Trace{}, &fifoScheduler{}, 1); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.NetworkDelay = -1 },
+		func(c *Config) { c.ProbeRatio = 0 },
+		func(c *Config) { c.SlackThreshold = -1 },
+		func(c *Config) { c.Heartbeat = 0 },
+		func(c *Config) { c.ServiceWindow = 0 },
+		func(c *Config) { c.ArrivalWindow = 1 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestJobStateClaim(t *testing.T) {
+	job := &trace.Job{
+		ID: 0,
+		Tasks: []trace.Task{
+			{ID: 0, JobID: 0, Duration: simulation.Second},
+			{ID: 1, JobID: 0, Index: 1, Duration: simulation.Second},
+		},
+	}
+	js := &JobState{Job: job}
+	if js.Unclaimed() != 2 {
+		t.Errorf("Unclaimed = %d", js.Unclaimed())
+	}
+	t1 := js.Claim()
+	t2 := js.Claim()
+	if t1 == nil || t2 == nil || t1.ID == t2.ID {
+		t.Fatalf("claims = %v, %v", t1, t2)
+	}
+	if js.Claim() != nil {
+		t.Error("claim past end not nil")
+	}
+	if js.Finished() {
+		t.Error("job finished before completions")
+	}
+}
+
+func TestSRPTPolicyOrdering(t *testing.T) {
+	mkEntry := func(est simulation.Time, bypassed int) *Entry {
+		return &Entry{
+			Job:      &JobState{EstDur: est, Job: &trace.Job{}, Short: true},
+			Bypassed: bypassed,
+		}
+	}
+	w := &Worker{}
+	w.queue = []*Entry{mkEntry(5*simulation.Second, 0), mkEntry(2*simulation.Second, 0), mkEntry(8*simulation.Second, 0)}
+
+	p := SRPT{Slack: 5}
+	if got := p.Select(nil, w); got != 1 {
+		t.Errorf("SRPT picked %d, want 1 (shortest)", got)
+	}
+
+	// An entry at the slack limit must win even if longer.
+	w.queue[2].Bypassed = 5
+	if got := p.Select(nil, w); got != 2 {
+		t.Errorf("SRPT with starved entry picked %d, want 2", got)
+	}
+
+	// Earliest starved entry wins among several.
+	w.queue[0].Bypassed = 7
+	if got := p.Select(nil, w); got != 0 {
+		t.Errorf("SRPT with two starved entries picked %d, want 0", got)
+	}
+
+	if got := p.Select(nil, &Worker{}); got != -1 {
+		t.Errorf("SRPT on empty queue = %d", got)
+	}
+	if got := (FIFO{}).Select(nil, &Worker{}); got != -1 {
+		t.Errorf("FIFO on empty queue = %d", got)
+	}
+	if got := (FIFO{}).Select(nil, w); got != 0 {
+		t.Errorf("FIFO = %d", got)
+	}
+	if FIFO.Name(FIFO{}) != "fifo" || (SRPT{}).Name() != "srpt" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestBypassAccounting(t *testing.T) {
+	mkEntry := func(est simulation.Time) *Entry {
+		return &Entry{Job: &JobState{EstDur: est, Job: &trace.Job{}, Short: true}}
+	}
+	w := &Worker{}
+	e0, e1, e2 := mkEntry(5*simulation.Second), mkEntry(1*simulation.Second), mkEntry(3*simulation.Second)
+	w.queue = []*Entry{e0, e1, e2}
+	w.backlog = 9 * simulation.Second
+
+	got := w.removeAt(1)
+	if got != e1 {
+		t.Fatal("removeAt returned wrong entry")
+	}
+	if e0.Bypassed != 1 {
+		t.Errorf("e0.Bypassed = %d, want 1", e0.Bypassed)
+	}
+	if e2.Bypassed != 0 {
+		t.Errorf("e2.Bypassed = %d, want 0 (arrived later)", e2.Bypassed)
+	}
+	if w.backlog != 8*simulation.Second {
+		t.Errorf("backlog = %v, want 8s", w.backlog)
+	}
+	if w.QueueLen() != 2 {
+		t.Errorf("QueueLen = %d", w.QueueLen())
+	}
+}
+
+func TestCandidateWorkersRelaxesSoftConstraints(t *testing.T) {
+	cl, tr := testbed(t, 20, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A set whose hard part is satisfiable but whose soft part (clock) is
+	// impossible.
+	js := &JobState{
+		Job:         &tr.Jobs[0],
+		Constraints: constraint.Set{{Dim: constraint.DimClock, Op: constraint.OpGT, Value: 99999}},
+		Constrained: true,
+	}
+	cands := d.CandidateWorkers(js)
+	if !cands.Any() {
+		t.Fatal("no candidates after relaxation")
+	}
+	if !js.Relaxed {
+		t.Error("job not marked relaxed")
+	}
+	if len(js.Constraints) != 0 {
+		t.Errorf("constraints after relaxation = %v", js.Constraints)
+	}
+	if d.Collector().RelaxedJobs != 1 {
+		t.Errorf("RelaxedJobs = %d", d.Collector().RelaxedJobs)
+	}
+}
+
+func TestCandidateWorkersKeepsHardConstraints(t *testing.T) {
+	cl, tr := testbed(t, 50, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hard ISA constraint satisfiable, soft clock impossible: relaxation
+	// must keep the ISA requirement.
+	js := &JobState{
+		Job: &tr.Jobs[0],
+		Constraints: constraint.Set{
+			{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: cluster.ArchX86Std},
+			{Dim: constraint.DimClock, Op: constraint.OpGT, Value: 99999},
+		},
+		Constrained: true,
+	}
+	cands := d.CandidateWorkers(js)
+	if !js.Relaxed {
+		t.Fatal("job not relaxed")
+	}
+	if len(js.Constraints) != 1 || js.Constraints[0].Dim != constraint.DimISA {
+		t.Fatalf("relaxed constraints = %v, want ISA only", js.Constraints)
+	}
+	cands.ForEach(func(id int) bool {
+		if d.Worker(id).Machine.Attrs.Get(constraint.DimISA) != cluster.ArchX86Std {
+			t.Fatalf("candidate %d violates hard ISA constraint", id)
+		}
+		return true
+	})
+}
+
+func TestSampleWorkersDistinct(t *testing.T) {
+	cl, tr := testbed(t, 30, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := &JobState{Job: &tr.Jobs[0]}
+	cands := d.CandidateWorkers(js)
+	stream := d.Stream("test")
+	ws := d.SampleWorkers(cands, 10, stream)
+	if len(ws) != 10 {
+		t.Fatalf("sampled %d, want 10", len(ws))
+	}
+	seen := map[int]bool{}
+	for _, w := range ws {
+		if seen[w.ID] {
+			t.Fatalf("duplicate worker %d", w.ID)
+		}
+		seen[w.ID] = true
+	}
+	// Oversampling returns the whole candidate set.
+	all := d.SampleWorkers(cands, 10000, stream)
+	if len(all) != cands.Count() {
+		t.Errorf("oversample = %d, want %d", len(all), cands.Count())
+	}
+}
+
+func TestLeastBacklog(t *testing.T) {
+	cl, tr := testbed(t, 10, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, w7 := d.Worker(3), d.Worker(7)
+	w3.backlog = 10 * simulation.Second
+	w7.backlog = 2 * simulation.Second
+	if got := d.LeastBacklog([]*Worker{w3, w7}); got != w7 {
+		t.Errorf("LeastBacklog = %d, want 7", got.ID)
+	}
+	if got := d.LeastBacklog(nil); got != nil {
+		t.Error("empty LeastBacklog not nil")
+	}
+	// Ties break to lower ID.
+	w3.backlog = 2 * simulation.Second
+	if got := d.LeastBacklog([]*Worker{w7, w3}); got != w3 {
+		t.Errorf("tie LeastBacklog = %d, want 3", got.ID)
+	}
+}
+
+func TestLongOccupiedTracking(t *testing.T) {
+	cl, tr := testbed(t, 10, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Worker(0)
+	longJob := &JobState{Job: &tr.Jobs[0], Short: false, EstDur: simulation.Second}
+	e := &Entry{Job: longJob}
+	d.reserve(w, e)
+	if !d.LongOccupied().Test(0) {
+		t.Error("worker 0 not flagged after long placement")
+	}
+	d.releaseLong(w, e)
+	if d.LongOccupied().Test(0) {
+		t.Error("worker 0 still flagged after release")
+	}
+	shortJob := &JobState{Job: &tr.Jobs[0], Short: true, EstDur: simulation.Second}
+	d.reserve(w, &Entry{Job: shortJob})
+	if d.LongOccupied().Test(0) {
+		t.Error("short placement flagged long occupancy")
+	}
+}
+
+func TestCentralPlacerSpreadsLoad(t *testing.T) {
+	cl, tr := testbed(t, 20, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 10-task unconstrained long job must spread over 10 distinct
+	// workers when all backlogs start equal.
+	tasks := make([]trace.Task, 10)
+	for i := range tasks {
+		tasks[i] = trace.Task{ID: i, JobID: 0, Index: i, Duration: 100 * simulation.Second}
+	}
+	job := &trace.Job{ID: 0, Tasks: tasks}
+	js := &JobState{Job: job, EstDur: 100 * simulation.Second}
+	p := &CentralPlacer{}
+	p.PlaceJob(d, js)
+	placed := 0
+	for _, w := range d.Workers() {
+		if w.QueuedWork() > 0 {
+			placed++
+			if w.QueuedWork() != 100*simulation.Second {
+				t.Errorf("worker %d got %v queued work, want one task", w.ID, w.QueuedWork())
+			}
+		}
+	}
+	if placed != 10 {
+		t.Errorf("job spread over %d workers, want 10", placed)
+	}
+}
+
+func TestUtilizationMatchesBusyWork(t *testing.T) {
+	res := runScheduler(t, &fifoScheduler{}, 40, 80)
+	// Busy time must equal the total task work of the trace.
+	_, tr := testbed(t, 40, 80)
+	if res.Collector.BusyTime != tr.TotalWork() {
+		t.Errorf("BusyTime = %v, want %v", res.Collector.BusyTime, tr.TotalWork())
+	}
+	_ = metrics.Percentile // keep import if unused elsewhere
+}

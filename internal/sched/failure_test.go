@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// failureConfig enables aggressive failure injection so short runs see
+// plenty of failures.
+func failureConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FailureRatePerHour = 20 // expected ~1 failure per worker per 3 min
+	cfg.RepairDelay = 10 * simulation.Second
+	return cfg
+}
+
+func TestFailureConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FailureRatePerHour = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative failure rate accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.FailureRatePerHour = 1
+	cfg.RepairDelay = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero repair delay accepted with failures on")
+	}
+	good := failureConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("failure config rejected: %v", err)
+	}
+}
+
+func TestAllJobsCompleteUnderFailures(t *testing.T) {
+	cl, tr := testbed(t, 60, 200)
+	d, err := NewDriver(failureConfig(), cl, tr, &probeScheduler{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Fatalf("completed %d/%d jobs under failures", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+	if res.Collector.WorkerFailures == 0 {
+		t.Error("no failures injected at an aggressive rate")
+	}
+	// Restarted tasks re-run from scratch: total busy time must exceed the
+	// trace's intrinsic work by exactly the wasted partial executions.
+	if res.Collector.BusyTime != tr.TotalWork()+res.Collector.WastedWork {
+		t.Errorf("busy %v != work %v + wasted %v",
+			res.Collector.BusyTime, tr.TotalWork(), res.Collector.WastedWork)
+	}
+}
+
+func TestFailuresAreDeterministic(t *testing.T) {
+	cl, tr := testbed(t, 40, 120)
+	run := func() *Result {
+		d, err := NewDriver(failureConfig(), cl, tr, &probeScheduler{}, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Collector.WorkerFailures != b.Collector.WorkerFailures {
+		t.Fatalf("failure counts differ: %d vs %d", a.Collector.WorkerFailures, b.Collector.WorkerFailures)
+	}
+	ja, jb := a.Collector.Jobs(), b.Collector.Jobs()
+	for i := range ja {
+		if ja[i] != jb[i] {
+			t.Fatalf("job record %d differs across same-seed failure runs", i)
+		}
+	}
+}
+
+func TestFailureDelaysWork(t *testing.T) {
+	cl, tr := testbed(t, 40, 150)
+	clean, err := NewDriver(DefaultConfig(), cl, tr, &probeScheduler{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := NewDriver(failureConfig(), cl, tr, &probeScheduler{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultyRes, err := faulty.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultyRes.Span <= cleanRes.Span {
+		t.Errorf("failures did not extend the span: %v vs %v", faultyRes.Span, cleanRes.Span)
+	}
+	if faultyRes.Collector.WastedWork <= 0 {
+		t.Error("no wasted work recorded despite failures")
+	}
+}
+
+func TestHooksRunUnderFailures(t *testing.T) {
+	// The full hook surface (heartbeats, idling, stealing-style moves,
+	// sticky) must stay consistent when workers die mid-everything.
+	cl, tr := testbed(t, 50, 200)
+	s := &hookScheduler{}
+	d, err := NewDriver(failureConfig(), cl, tr, s, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Fatalf("completed %d/%d", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+	if res.Collector.WorkerFailures == 0 {
+		t.Error("no failures injected")
+	}
+}

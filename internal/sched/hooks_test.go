@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// hookScheduler exercises every optional driver hook.
+type hookScheduler struct {
+	probeScheduler
+	heartbeats  int
+	idles       int
+	completions int
+	sticky      int
+}
+
+func (s *hookScheduler) Name() string { return "test-hooks" }
+
+func (s *hookScheduler) OnHeartbeat(d *Driver, now simulation.Time) { s.heartbeats++ }
+func (s *hookScheduler) OnWorkerIdle(d *Driver, w *Worker)          { s.idles++ }
+func (s *hookScheduler) OnTaskComplete(d *Driver, w *Worker, js *JobState, t *trace.Task) {
+	s.completions++
+}
+func (s *hookScheduler) NextSticky(d *Driver, w *Worker, js *JobState) *trace.Task {
+	if !js.Short {
+		return nil
+	}
+	if t := js.Claim(); t != nil {
+		s.sticky++
+		return t
+	}
+	return nil
+}
+
+func TestDriverInvokesAllHooks(t *testing.T) {
+	cl, tr := testbed(t, 40, 200)
+	s := &hookScheduler{}
+	d, err := NewDriver(DefaultConfig(), cl, tr, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Fatalf("completed %d/%d", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+	if s.heartbeats == 0 {
+		t.Error("heartbeat hook never fired")
+	}
+	if s.idles == 0 {
+		t.Error("idle hook never fired")
+	}
+	if s.completions != tr.NumTasks() {
+		t.Errorf("completion hook fired %d times, want %d", s.completions, tr.NumTasks())
+	}
+	if s.sticky == 0 {
+		t.Error("sticky hook never claimed")
+	}
+}
+
+func TestHeartbeatStopsAfterLastJob(t *testing.T) {
+	cl, tr := testbed(t, 40, 50)
+	s := &hookScheduler{}
+	d, err := NewDriver(DefaultConfig(), cl, tr, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The run terminated, so the recurring heartbeat must have stopped
+	// re-scheduling itself once jobs drained (otherwise Run never returns).
+	if s.heartbeats == 0 {
+		t.Error("no heartbeats")
+	}
+}
+
+func TestPlaceProbesCyclesSmallCandidateSets(t *testing.T) {
+	cl, tr := testbed(t, 20, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := &JobState{Job: &tr.Jobs[0], Short: true, EstDur: simulation.Second}
+	cands := d.CandidateWorkers(js)
+	// Ask for far more probes than candidates: every probe must still be
+	// placed (cycling over the sample).
+	n := cands.Count()*3 + 1
+	ws := d.PlaceProbes(js, cands, n, d.Stream("t"))
+	if len(ws) != n {
+		t.Fatalf("placed %d probes, want %d", len(ws), n)
+	}
+	if got := d.Collector().Probes; got != int64(n) {
+		t.Errorf("probe counter = %d, want %d", got, n)
+	}
+}
+
+func TestMoveEntryBounds(t *testing.T) {
+	cl, tr := testbed(t, 10, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, w := d.Worker(0), d.Worker(1)
+	if d.MoveEntry(v, w, 0) {
+		t.Error("move from empty queue succeeded")
+	}
+	if d.MoveEntry(v, w, -1) {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestPolicyAccessor(t *testing.T) {
+	cl, tr := testbed(t, 5, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Worker(0)
+	if _, ok := d.Policy(w).(FIFO); !ok {
+		t.Errorf("default policy = %T, want FIFO", d.Policy(w))
+	}
+	d.SetPolicy(w, SRPT{Slack: 3})
+	if p, ok := d.Policy(w).(SRPT); !ok || p.Slack != 3 {
+		t.Errorf("policy after SetPolicy = %#v", d.Policy(w))
+	}
+	if d.Worker(-1) != nil {
+		t.Error("negative worker ID returned a worker")
+	}
+}
+
+func TestWorkerAccessors(t *testing.T) {
+	cl, tr := testbed(t, 5, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Worker(2)
+	if !w.Idle() || w.Running() != nil || w.QueueLen() != 0 {
+		t.Error("fresh worker not idle/empty")
+	}
+	if w.HasLongJob() {
+		t.Error("fresh worker claims long job")
+	}
+	if w.Backlog(0) != 0 || w.QueuedWork() != 0 {
+		t.Error("fresh worker has backlog")
+	}
+	if d.ShortCutoff() != tr.ShortCutoff {
+		t.Error("ShortCutoff mismatch")
+	}
+}

@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// JobState is the driver's bookkeeping for one in-flight job.
+type JobState struct {
+	// Job is the underlying trace job.
+	Job *trace.Job
+	// Short is the scheduler-visible classification (mean task duration
+	// against the trace's cutoff, as Hawk and Eagle classify).
+	Short bool
+	// EstDur is the estimated per-task duration used by SRPT (the job's
+	// mean task duration; the simulators assume known estimates).
+	EstDur simulation.Time
+	// Constraints is the effective constraint set after any admission
+	// control (may be a relaxed version of the job's own set).
+	Constraints constraint.Set
+	// ConstraintDims caches Constraints.Dims().
+	ConstraintDims constraint.DimMask
+	// Constrained reports whether the job arrived with constraints (even
+	// if admission later relaxed them).
+	Constrained bool
+	// Relaxed reports that admission control dropped soft constraints.
+	Relaxed bool
+	// Placement is the job's rack affinity policy (spread/pack/none).
+	Placement trace.Placement
+
+	nextClaim int
+	done      int
+	maxWait   simulation.Time
+	sumWait   simulation.Time
+}
+
+// Claim hands out the next unclaimed task, or nil when all tasks have been
+// claimed. Late-binding probes call this when they reach a free slot; a nil
+// result means the probe is stale and is discarded.
+func (js *JobState) Claim() *trace.Task {
+	if js.nextClaim >= len(js.Job.Tasks) {
+		return nil
+	}
+	t := &js.Job.Tasks[js.nextClaim]
+	js.nextClaim++
+	return t
+}
+
+// Unclaimed reports how many tasks have not yet been handed out.
+func (js *JobState) Unclaimed() int { return len(js.Job.Tasks) - js.nextClaim }
+
+// Done reports how many tasks have completed.
+func (js *JobState) Done() int { return js.done }
+
+// Finished reports whether every task has completed.
+func (js *JobState) Finished() bool { return js.done == len(js.Job.Tasks) }
+
+// recordTask accounts one task's start; wait is start - job arrival.
+func (js *JobState) recordTask(wait simulation.Time) {
+	if wait > js.maxWait {
+		js.maxWait = wait
+	}
+	js.sumWait += wait
+}

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// placementDriver builds a driver over enough machines for several racks.
+func placementDriver(t *testing.T) *Driver {
+	t.Helper()
+	cl, tr := testbed(t, 4*cluster.RackSize, 5)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// placementJob builds an n-task unconstrained job with the given policy.
+func placementJob(n int, p trace.Placement) *JobState {
+	tasks := make([]trace.Task, n)
+	for i := range tasks {
+		tasks[i] = trace.Task{ID: i, JobID: 0, Index: i, Duration: 10 * simulation.Second}
+	}
+	return &JobState{
+		Job:       &trace.Job{ID: 0, Placement: p, Tasks: tasks},
+		EstDur:    10 * simulation.Second,
+		Placement: p,
+	}
+}
+
+// placedRacks reports the racks that received queued work.
+func placedRacks(d *Driver) map[int]int {
+	racks := map[int]int{}
+	for _, w := range d.Workers() {
+		if w.QueuedWork() > 0 {
+			racks[d.Cluster().RackOf(w.ID)]++
+		}
+	}
+	return racks
+}
+
+func TestPlaceSpreadUsesDistinctRacks(t *testing.T) {
+	d := placementDriver(t)
+	js := placementJob(4, trace.PlacementSpread) // 4 tasks, 4 racks available
+	p := &CentralPlacer{}
+	p.PlaceJob(d, js)
+	racks := placedRacks(d)
+	if len(racks) != 4 {
+		t.Errorf("spread used %d racks, want 4: %v", len(racks), racks)
+	}
+	for rack, n := range racks {
+		if n != 1 {
+			t.Errorf("rack %d received %d tasks, want 1", rack, n)
+		}
+	}
+	if d.Collector().PlacementRelaxed != 0 {
+		t.Errorf("spread relaxed %d times with enough racks", d.Collector().PlacementRelaxed)
+	}
+}
+
+func TestPlaceSpreadRelaxesWhenRacksRunOut(t *testing.T) {
+	d := placementDriver(t)
+	js := placementJob(6, trace.PlacementSpread) // 6 tasks, only 4 racks
+	p := &CentralPlacer{}
+	p.PlaceJob(d, js)
+	totalQueued := 0
+	for _, w := range d.Workers() {
+		if w.QueuedWork() > 0 {
+			totalQueued++
+		}
+	}
+	if totalQueued != 6 {
+		t.Errorf("placed on %d workers, want 6", totalQueued)
+	}
+	if got := d.Collector().PlacementRelaxed; got != 2 {
+		t.Errorf("PlacementRelaxed = %d, want 2 (6 tasks - 4 racks)", got)
+	}
+}
+
+func TestPlacePackUsesOneRack(t *testing.T) {
+	d := placementDriver(t)
+	js := placementJob(5, trace.PlacementPack)
+	p := &CentralPlacer{}
+	p.PlaceJob(d, js)
+	racks := placedRacks(d)
+	if len(racks) != 1 {
+		t.Errorf("pack used %d racks, want 1: %v", len(racks), racks)
+	}
+	for _, n := range racks {
+		if n != 5 {
+			t.Errorf("pack rack received %d workers, want 5 distinct", n)
+		}
+	}
+}
+
+func TestPlacePackMoreTasksThanRackWorkers(t *testing.T) {
+	d := placementDriver(t)
+	// More tasks than a rack has workers: everything still lands in one
+	// rack, queueing multiple tasks per worker.
+	js := placementJob(cluster.RackSize+10, trace.PlacementPack)
+	p := &CentralPlacer{}
+	p.PlaceJob(d, js)
+	racks := placedRacks(d)
+	if len(racks) != 1 {
+		t.Errorf("pack used %d racks, want 1", len(racks))
+	}
+	if js.Unclaimed() != 0 {
+		t.Errorf("%d tasks unplaced", js.Unclaimed())
+	}
+}
+
+func TestRackHelpers(t *testing.T) {
+	cl, _ := testbed(t, 2*cluster.RackSize+5, 5)
+	if got := cl.NumRacks(); got != 3 {
+		t.Errorf("NumRacks = %d, want 3 (partial rack counts)", got)
+	}
+	if cl.RackOf(0) != 0 || cl.RackOf(cluster.RackSize) != 1 {
+		t.Error("RackOf misassigns")
+	}
+	last := cl.RackMembers(2)
+	if got := last.Count(); got != 5 {
+		t.Errorf("partial rack members = %d, want 5", got)
+	}
+	full := cl.RackMembers(0)
+	if got := full.Count(); got != cluster.RackSize {
+		t.Errorf("full rack members = %d", got)
+	}
+}
+
+func TestPlacementJobsCompleteEndToEnd(t *testing.T) {
+	cl, err := cluster.GoogleProfile().GenerateCluster(4*cluster.RackSize, simulation.NewRNG(1).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = cl.Size()
+	cfg.NumJobs = 300
+	cfg.TargetLoad = 0.8
+	cfg.SpreadFraction = 0.5
+	cfg.PackFraction = 0.5
+	tr, err := trace.Generate(cfg, cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, pack := 0, 0
+	for i := range tr.Jobs {
+		switch tr.Jobs[i].Placement {
+		case trace.PlacementSpread:
+			spread++
+		case trace.PlacementPack:
+			pack++
+		}
+	}
+	if spread == 0 || pack == 0 {
+		t.Fatalf("generator produced spread=%d pack=%d placement jobs", spread, pack)
+	}
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Errorf("completed %d/%d", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+}

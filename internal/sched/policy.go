@@ -1,0 +1,63 @@
+package sched
+
+// QueuePolicy selects which queued entry a worker serves next. Selecting an
+// index greater than zero reorders the queue: every earlier entry is
+// charged one bypass, and entries that reach the slack threshold become
+// non-bypassable (the starvation guard the paper sets to 5).
+type QueuePolicy interface {
+	// Name identifies the policy.
+	Name() string
+	// Select returns the index of the next entry in w.Queue() to serve,
+	// or -1 for an empty queue.
+	Select(d *Driver, w *Worker) int
+}
+
+// FIFO serves entries strictly in arrival order.
+type FIFO struct{}
+
+var _ QueuePolicy = FIFO{}
+
+// Name implements QueuePolicy.
+func (FIFO) Name() string { return "fifo" }
+
+// Select implements QueuePolicy.
+func (FIFO) Select(_ *Driver, w *Worker) int {
+	if w.QueueLen() == 0 {
+		return -1
+	}
+	return 0
+}
+
+// SRPT serves the entry with the shortest estimated duration, as Eagle's
+// worker-side queues do, subject to the starvation slack: an entry bypassed
+// Slack times must be served before any further reordering.
+type SRPT struct {
+	// Slack is the bypass limit (the paper's Slack_threshold, 5).
+	Slack int
+}
+
+var _ QueuePolicy = SRPT{}
+
+// Name implements QueuePolicy.
+func (SRPT) Name() string { return "srpt" }
+
+// Select implements QueuePolicy.
+func (p SRPT) Select(_ *Driver, w *Worker) int {
+	q := w.Queue()
+	if len(q) == 0 {
+		return -1
+	}
+	// Starvation guard: the earliest entry that exhausted its slack wins.
+	for i, e := range q {
+		if e.Bypassed >= p.Slack {
+			return i
+		}
+	}
+	best := 0
+	for i := 1; i < len(q); i++ {
+		if q[i].EstDur() < q[best].EstDur() {
+			best = i
+		}
+	}
+	return best
+}

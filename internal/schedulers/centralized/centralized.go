@@ -1,0 +1,119 @@
+// Package centralized implements a monolithic Borg/Mesos-style scheduler:
+// one global control plane, early binding, no worker-side reordering.
+//
+// The paper's design-space discussion (Table I, Fig. 1) places Borg and
+// Mesos in the "centralized, early binding" corner and names their failure
+// mode: the control plane itself becomes the bottleneck — it "does not
+// scale along with the resources under high load/contention scenarios"
+// (§I). A centralized scheduler simulated with a free, instantaneous
+// control plane would look unrealistically strong (it sees exact global
+// load), so this implementation models the control plane explicitly: a
+// single decision server through which every job passes, charging a
+// per-task decision overhead. During bursts the decision queue backs up
+// and every job — constrained or not — pays scheduling latency before its
+// first task is even placed, which is exactly the phenomenon that pushed
+// production systems toward distributed and hybrid designs.
+//
+// Placement itself is high quality, as in Borg: each task binds to the
+// least-backlogged worker satisfying the job's constraints, using the
+// exact global view.
+package centralized
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// Options configure the centralized scheduler.
+type Options struct {
+	// TaskDecisionOverhead is the control-plane service time per task
+	// (matching, scoring, and commit for one placement decision). Borg
+	// reports per-task scheduling times in the 10s-of-milliseconds range;
+	// the default models a well-tuned implementation.
+	TaskDecisionOverhead simulation.Time
+}
+
+// DefaultOptions returns a 25 ms/task control plane.
+func DefaultOptions() Options {
+	return Options{TaskDecisionOverhead: 25 * simulation.Millisecond}
+}
+
+// Validate reports option errors.
+func (o *Options) Validate() error {
+	if o.TaskDecisionOverhead < 0 {
+		return fmt.Errorf("centralized: negative decision overhead")
+	}
+	return nil
+}
+
+// Scheduler is the monolithic baseline.
+type Scheduler struct {
+	opts   Options
+	placer sched.CentralPlacer
+
+	// Decision-server state: jobs are admitted FIFO; busyUntil is when the
+	// control plane frees up.
+	queue     []*sched.JobState
+	busyUntil simulation.Time
+	serving   bool
+}
+
+var _ sched.Scheduler = (*Scheduler)(nil)
+
+// New returns a centralized scheduler.
+func New(opts Options) (*Scheduler, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{opts: opts}, nil
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "centralized" }
+
+// Init implements sched.Scheduler.
+func (s *Scheduler) Init(d *sched.Driver) error {
+	d.SetAllPolicies(sched.FIFO{})
+	s.placer = sched.CentralPlacer{}
+	s.queue = s.queue[:0]
+	s.serving = false
+	s.busyUntil = 0
+	return nil
+}
+
+// SubmitJob implements sched.Scheduler: the job enters the control plane's
+// decision queue; its tasks are placed only once the scheduler has chewed
+// through everything ahead of it.
+func (s *Scheduler) SubmitJob(d *sched.Driver, js *sched.JobState) {
+	if s.opts.TaskDecisionOverhead == 0 {
+		s.placer.PlaceJob(d, js)
+		return
+	}
+	s.queue = append(s.queue, js)
+	if !s.serving {
+		s.serving = true
+		s.serveNext(d)
+	}
+}
+
+// serveNext processes the head of the decision queue: after the decision
+// time for all of the job's tasks elapses, the job is placed and the next
+// one starts service.
+func (s *Scheduler) serveNext(d *sched.Driver) {
+	if len(s.queue) == 0 {
+		s.serving = false
+		return
+	}
+	js := s.queue[0]
+	copy(s.queue, s.queue[1:])
+	s.queue[len(s.queue)-1] = nil
+	s.queue = s.queue[:len(s.queue)-1]
+
+	cost := simulation.Time(len(js.Job.Tasks)) * s.opts.TaskDecisionOverhead
+	d.After(cost, func() {
+		s.placer.PlaceJob(d, js)
+		s.serveNext(d)
+	})
+}

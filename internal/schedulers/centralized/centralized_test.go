@@ -1,0 +1,92 @@
+package centralized_test
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/centralized"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func bed(t *testing.T, jobs int, load float64) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(80, simulation.NewRNG(1).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = 80
+	cfg.NumJobs = jobs
+	cfg.TargetLoad = load
+	tr, err := trace.Generate(cfg, cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr
+}
+
+func run(t *testing.T, opts centralized.Options, cl *cluster.Cluster, tr *trace.Trace) *sched.Result {
+	t.Helper()
+	s, err := centralized.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCentralizedCompletesAllJobs(t *testing.T) {
+	cl, tr := bed(t, 300, 0.8)
+	res := run(t, centralized.DefaultOptions(), cl, tr)
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Errorf("completed %d/%d", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+	// Monolithic early binding: no probes, no stealing, no reordering.
+	if res.Collector.Probes != 0 || res.Collector.StolenTasks != 0 || res.Collector.ReorderedTasks != 0 {
+		t.Error("centralized scheduler used distributed mechanisms")
+	}
+}
+
+func TestCentralizedZeroOverheadBypassesQueue(t *testing.T) {
+	cl, tr := bed(t, 200, 0.8)
+	res := run(t, centralized.Options{TaskDecisionOverhead: 0}, cl, tr)
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Errorf("completed %d/%d", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+}
+
+func TestControlPlaneOverheadHurtsShortJobs(t *testing.T) {
+	cl, tr := bed(t, 400, 0.9)
+	fast := run(t, centralized.Options{TaskDecisionOverhead: 0}, cl, tr)
+	slow := run(t, centralized.Options{TaskDecisionOverhead: 200 * simulation.Millisecond}, cl, tr)
+	fp := fast.Collector.ResponsePercentiles(metrics.Short)
+	sp := slow.Collector.ResponsePercentiles(metrics.Short)
+	// A 200 ms/task control plane at burst rates must visibly delay short
+	// jobs relative to an instantaneous one.
+	if sp.P90 <= fp.P90 {
+		t.Errorf("slow control plane p90 %.2f not worse than free one %.2f", sp.P90, fp.P90)
+	}
+}
+
+func TestCentralizedOptionsValidate(t *testing.T) {
+	if _, err := centralized.New(centralized.Options{TaskDecisionOverhead: -1}); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	s, err := centralized.New(centralized.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "centralized" {
+		t.Errorf("name = %q", s.Name())
+	}
+}

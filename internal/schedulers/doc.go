@@ -1,0 +1,8 @@
+// Package schedulers groups the baseline scheduler implementations the
+// paper compares Phoenix against: Sparrow-C (fully distributed batch
+// sampling), Hawk-C (hybrid with random work stealing), Eagle-C (hybrid
+// with succinct state sharing, sticky batch probing, and SRPT reordering),
+// and Yacc-D (distributed early-binding queue management). Each lives in
+// its own subpackage; this package holds only cross-scheduler integration
+// tests.
+package schedulers

@@ -1,0 +1,105 @@
+package eagle_test
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/eagle"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/sparrow"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func bed(t *testing.T, nodes, jobs int, load float64, seed uint64) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(nodes, simulation.NewRNG(1).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = nodes
+	cfg.NumJobs = jobs
+	cfg.TargetLoad = load
+	tr, err := trace.Generate(cfg, cl, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr
+}
+
+func run(t *testing.T, s sched.Scheduler, cl *cluster.Cluster, tr *trace.Trace) *sched.Result {
+	t.Helper()
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEagleCompletesAllJobs(t *testing.T) {
+	cl, tr := bed(t, 80, 300, 0.85, 42)
+	res := run(t, eagle.New(), cl, tr)
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Errorf("completed %d/%d", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+}
+
+func TestEagleOnlyShortJobsProbe(t *testing.T) {
+	cl, tr := bed(t, 80, 300, 0.85, 42)
+	res := run(t, eagle.New(), cl, tr)
+	// Long jobs bind centrally without probes, so the probe count must be
+	// strictly below the fully distributed ProbeRatio x tasks.
+	allProbes := int64(sched.DefaultConfig().ProbeRatio * tr.NumTasks())
+	if res.Collector.Probes >= allProbes {
+		t.Errorf("probes = %d, want < %d (long jobs must not probe)", res.Collector.Probes, allProbes)
+	}
+	if res.Collector.Probes == 0 {
+		t.Error("no probes at all")
+	}
+}
+
+func TestEagleSRPTReordersUnderLoad(t *testing.T) {
+	cl, tr := bed(t, 60, 400, 0.95, 42)
+	res := run(t, eagle.New(), cl, tr)
+	if res.Collector.ReorderedTasks == 0 {
+		t.Error("SRPT never reordered under load")
+	}
+	if res.Collector.CRVReorderedTasks != 0 {
+		t.Errorf("eagle used CRV reordering: %d", res.Collector.CRVReorderedTasks)
+	}
+}
+
+// SSS + SBP + SRPT must beat plain Sparrow on the short-job tail (the
+// Eagle paper's core result, and the premise of this paper's Fig. 11).
+func TestEagleBeatsSparrowOnShortTail(t *testing.T) {
+	cl, tr := bed(t, 150, 1200, 0.9, 42)
+	eagleP := run(t, eagle.New(), cl, tr).Collector.ResponsePercentiles(metrics.Short)
+	sparrowP := run(t, sparrow.New(), cl, tr).Collector.ResponsePercentiles(metrics.Short)
+	if eagleP.P90 >= sparrowP.P90 {
+		t.Errorf("eagle p90 %.2f not better than sparrow %.2f", eagleP.P90, sparrowP.P90)
+	}
+}
+
+func TestEagleStickySkipsLong(t *testing.T) {
+	s := eagle.New()
+	long := &sched.JobState{
+		Job:   &trace.Job{Tasks: []trace.Task{{Duration: simulation.Second}}},
+		Short: false,
+	}
+	if s.NextSticky(nil, nil, long) != nil {
+		t.Error("sticky claimed a long-job task")
+	}
+	short := &sched.JobState{
+		Job:   &trace.Job{Tasks: []trace.Task{{Duration: simulation.Second}}},
+		Short: true,
+	}
+	if s.NextSticky(nil, nil, short) == nil {
+		t.Error("sticky did not claim a short-job task")
+	}
+}

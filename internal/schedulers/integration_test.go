@@ -1,0 +1,239 @@
+package schedulers_test
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/core"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/centralized"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/eagle"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/hawk"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/sparrow"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// allSchedulers constructs one of each scheduler.
+func allSchedulers(t *testing.T) []sched.Scheduler {
+	t.Helper()
+	h, err := hawk.New(hawk.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := yaccd.New(yaccd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := centralized.New(centralized.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []sched.Scheduler{sparrow.New(), h, eagle.New(), y, p, c}
+}
+
+// testbed builds a cluster and trace at the given load.
+func testbed(t *testing.T, nodes, jobs int, load float64, seed uint64) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(nodes, simulation.NewRNG(seed).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumJobs = jobs
+	cfg.NumNodes = nodes
+	cfg.TargetLoad = load
+	tr, err := trace.Generate(cfg, cl, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr
+}
+
+func run(t *testing.T, s sched.Scheduler, cl *cluster.Cluster, tr *trace.Trace, seed uint64) *sched.Result {
+	t.Helper()
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	return res
+}
+
+func TestAllSchedulersCompleteAllJobs(t *testing.T) {
+	cl, tr := testbed(t, 100, 300, 0.8, 1)
+	for _, s := range allSchedulers(t) {
+		res := run(t, s, cl, tr, 7)
+		if res.Collector.NumJobs() != len(tr.Jobs) {
+			t.Errorf("%s: completed %d/%d jobs", s.Name(), res.Collector.NumJobs(), len(tr.Jobs))
+		}
+		// Busy time must equal total trace work: every task ran exactly
+		// once, on exactly one worker.
+		if res.Collector.BusyTime != tr.TotalWork() {
+			t.Errorf("%s: busy time %v != total work %v", s.Name(), res.Collector.BusyTime, tr.TotalWork())
+		}
+	}
+}
+
+func TestAllSchedulersAreDeterministic(t *testing.T) {
+	cl, tr := testbed(t, 60, 150, 0.8, 2)
+	for _, name := range []string{"sparrow", "hawk", "eagle", "yaccd", "phoenix"} {
+		mk := func(t *testing.T) sched.Scheduler {
+			switch name {
+			case "sparrow":
+				return sparrow.New()
+			case "hawk":
+				h, err := hawk.New(hawk.DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return h
+			case "eagle":
+				return eagle.New()
+			case "yaccd":
+				y, err := yaccd.New(yaccd.DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return y
+			default:
+				p, err := core.New(core.DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			}
+		}
+		a := run(t, mk(t), cl, tr, 9)
+		b := run(t, mk(t), cl, tr, 9)
+		ja, jb := a.Collector.Jobs(), b.Collector.Jobs()
+		if len(ja) != len(jb) {
+			t.Fatalf("%s: job counts differ", name)
+		}
+		for i := range ja {
+			if ja[i] != jb[i] {
+				t.Fatalf("%s: job record %d differs across same-seed runs", name, i)
+			}
+		}
+	}
+}
+
+func TestEagleReordersAndSticks(t *testing.T) {
+	cl, tr := testbed(t, 50, 400, 0.95, 3)
+	res := run(t, eagle.New(), cl, tr, 7)
+	if res.Collector.ReorderedTasks == 0 {
+		t.Error("Eagle-C never reordered under heavy load")
+	}
+}
+
+func TestHawkSteals(t *testing.T) {
+	h, err := hawk.New(hawk.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, tr := testbed(t, 50, 400, 0.9, 4)
+	res := run(t, h, cl, tr, 7)
+	if res.Collector.StolenTasks == 0 {
+		t.Error("Hawk-C never stole work")
+	}
+}
+
+func TestPhoenixMonitorRunsAndReorders(t *testing.T) {
+	p, err := core.New(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, tr := testbed(t, 50, 500, 1.0, 5)
+	res := run(t, p, cl, tr, 7)
+	if p.Monitor().Heartbeats() == 0 {
+		t.Error("Phoenix heartbeat never fired")
+	}
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Errorf("Phoenix completed %d/%d", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+}
+
+// Every scheduler must survive the harshest shared conditions at once:
+// heavy placement constraints, rack affinities, and worker churn — with
+// exact work conservation (busy = intrinsic work + wasted restarts).
+func TestAllSchedulersSurviveChurnAndPlacement(t *testing.T) {
+	cl, err := cluster.GoogleProfile().GenerateCluster(120, simulation.NewRNG(5).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumJobs = 300
+	cfg.NumNodes = 120
+	cfg.TargetLoad = 0.85
+	cfg.SpreadFraction = 0.4
+	cfg.PackFraction = 0.3
+	tr, err := trace.Generate(cfg, cl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := sched.DefaultConfig()
+	simCfg.FailureRatePerHour = 15
+	for _, s := range allSchedulers(t) {
+		d, err := sched.NewDriver(simCfg, cl, tr, s, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Collector.NumJobs() != len(tr.Jobs) {
+			t.Errorf("%s: completed %d/%d under churn", s.Name(), res.Collector.NumJobs(), len(tr.Jobs))
+		}
+		if res.Collector.BusyTime != tr.TotalWork()+res.Collector.WastedWork {
+			t.Errorf("%s: busy %v != work %v + wasted %v",
+				s.Name(), res.Collector.BusyTime, tr.TotalWork(), res.Collector.WastedWork)
+		}
+		for _, r := range res.Collector.Jobs() {
+			if r.MaxQueueDelay > r.ResponseTime() {
+				t.Errorf("%s: job %d queue delay %v exceeds response %v",
+					s.Name(), r.JobID, r.MaxQueueDelay, r.ResponseTime())
+			}
+		}
+	}
+}
+
+// The headline result at moderate scale: under high load, Phoenix's
+// constrained short-job tail should not be worse than Hawk-C's, and
+// Sparrow-C should trail the hybrids on short jobs (head-of-line blocking).
+func TestSchedulerOrderingUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering test needs a heavier run")
+	}
+	cl, tr := testbed(t, 150, 1200, 0.9, 6)
+
+	h, err := hawk.New(hawk.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	filter := metrics.AndFilter(metrics.Short, metrics.Constrained)
+	phoenixP99 := run(t, p, cl, tr, 7).Collector.ResponsePercentiles(filter).P99
+	hawkP99 := run(t, h, cl, tr, 7).Collector.ResponsePercentiles(filter).P99
+	sparrowP99 := run(t, sparrow.New(), cl, tr, 7).Collector.ResponsePercentiles(filter).P99
+
+	if phoenixP99 > hawkP99*1.05 {
+		t.Errorf("phoenix p99 %.2fs worse than hawk %.2fs", phoenixP99, hawkP99)
+	}
+	if phoenixP99 > sparrowP99*1.05 {
+		t.Errorf("phoenix p99 %.2fs worse than sparrow %.2fs", phoenixP99, sparrowP99)
+	}
+}

@@ -1,0 +1,74 @@
+package sparrow_test
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/sparrow"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func bed(t *testing.T) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(80, simulation.NewRNG(1).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = 80
+	cfg.NumJobs = 250
+	cfg.TargetLoad = 0.8
+	tr, err := trace.Generate(cfg, cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr
+}
+
+func TestSparrowCompletesAllJobs(t *testing.T) {
+	cl, tr := bed(t)
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, sparrow.New(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Errorf("completed %d/%d", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+}
+
+func TestSparrowProbesEveryJob(t *testing.T) {
+	cl, tr := bed(t)
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, sparrow.New(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully distributed: every task of every job — long or short — is
+	// placed by probes, ProbeRatio per task.
+	wantProbes := int64(sched.DefaultConfig().ProbeRatio * tr.NumTasks())
+	if res.Collector.Probes != wantProbes {
+		t.Errorf("probes = %d, want %d", res.Collector.Probes, wantProbes)
+	}
+	// Sparrow neither steals nor reorders: FIFO queues only.
+	if res.Collector.StolenTasks != 0 {
+		t.Errorf("sparrow stole %d tasks", res.Collector.StolenTasks)
+	}
+	if res.Collector.ReorderedTasks != 0 {
+		t.Errorf("sparrow reordered %d tasks", res.Collector.ReorderedTasks)
+	}
+}
+
+func TestSparrowName(t *testing.T) {
+	if sparrow.New().Name() != "sparrow-c" {
+		t.Error("wrong name")
+	}
+}

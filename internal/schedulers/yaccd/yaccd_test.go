@@ -1,0 +1,89 @@
+package yaccd_test
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+func bed(t *testing.T) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(70, simulation.NewRNG(1).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = 70
+	cfg.NumJobs = 300
+	cfg.TargetLoad = 0.9
+	tr, err := trace.Generate(cfg, cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr
+}
+
+func TestYaccOptionsValidate(t *testing.T) {
+	if _, err := yaccd.New(yaccd.Options{SampleSize: 0}); err == nil {
+		t.Error("zero sample size accepted")
+	}
+	if _, err := yaccd.New(yaccd.DefaultOptions()); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+}
+
+func TestYaccCompletesWithoutProbes(t *testing.T) {
+	s, err := yaccd.New(yaccd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, tr := bed(t)
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Errorf("completed %d/%d", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+	// Early binding: no probes, ever.
+	if res.Collector.Probes != 0 {
+		t.Errorf("yacc-d placed %d probes, want 0 (early binding)", res.Collector.Probes)
+	}
+}
+
+func TestYaccReordersWithSRPT(t *testing.T) {
+	s, err := yaccd.New(yaccd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, tr := bed(t)
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.ReorderedTasks == 0 {
+		t.Error("yacc-d never reordered under load")
+	}
+}
+
+func TestYaccName(t *testing.T) {
+	s, err := yaccd.New(yaccd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "yacc-d" {
+		t.Errorf("name = %q", s.Name())
+	}
+}

@@ -1,0 +1,167 @@
+package simulation
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// ErrHalted is returned by Run variants when the engine was stopped with
+// Halt before the event queue drained.
+var ErrHalted = errors.New("simulation halted")
+
+// EventFunc is the body of a scheduled event. It runs at its scheduled
+// virtual time and may schedule further events.
+type EventFunc func(now Time)
+
+// ScheduledEvent is a handle to a pending event, usable to cancel it.
+type ScheduledEvent struct {
+	at       Time
+	seq      uint64
+	fn       EventFunc
+	index    int // position in the heap, -1 when not queued
+	canceled bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *ScheduledEvent) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *ScheduledEvent) Canceled() bool { return e.canceled }
+
+// Engine is a single-threaded discrete-event simulation core. The zero
+// value is not usable; construct with NewEngine.
+//
+// Engine is deliberately not safe for concurrent use: a simulation run is a
+// sequential causal chain. Parallelism in the benchmark harness happens
+// across independent Engine instances (one per run/seed), never within one.
+type Engine struct {
+	queue     eventHeap
+	now       Time
+	seq       uint64
+	processed uint64
+	halted    bool
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Processed reports the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule queues fn to run at absolute virtual time at. Scheduling in the
+// past (at < Now) is a programming error and is clamped to Now so that
+// causality is preserved; events at equal times run in insertion order.
+func (e *Engine) Schedule(at Time, fn EventFunc) *ScheduledEvent {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &ScheduledEvent{at: at, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter queues fn to run delay units after the current time.
+func (e *Engine) ScheduleAfter(delay Time, fn EventFunc) *ScheduledEvent {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op. Reports whether the event was
+// actually removed.
+func (e *Engine) Cancel(ev *ScheduledEvent) bool {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return false
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Halt stops the current Run after the in-flight event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single earliest pending event. It reports false when
+// the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*ScheduledEvent)
+	e.now = ev.at
+	e.processed++
+	ev.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue is empty or Halt is called. It
+// returns ErrHalted in the latter case.
+func (e *Engine) Run() error {
+	return e.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with timestamps <= deadline. On return the clock
+// is at the last executed event (or at deadline if the next event lies
+// beyond it). Returns ErrHalted if Halt was called.
+func (e *Engine) RunUntil(deadline Time) error {
+	e.halted = false
+	for len(e.queue) > 0 {
+		if e.halted {
+			return ErrHalted
+		}
+		if e.queue[0].at > deadline {
+			e.now = deadline
+			return nil
+		}
+		e.Step()
+	}
+	if e.halted {
+		return ErrHalted
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*ScheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*ScheduledEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,190 @@
+package simulation
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*Millisecond, func(Time) { order = append(order, 3) })
+	e.Schedule(10*Millisecond, func(Time) { order = append(order, 1) })
+	e.Schedule(20*Millisecond, func(Time) { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30*Millisecond {
+		t.Errorf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineTiesBreakByInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(Second, func(Time) { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestEngineScheduleDuringEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(Second, func(now Time) {
+		e.ScheduleAfter(500*Millisecond, func(now2 Time) {
+			fired = append(fired, now2)
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 1 || fired[0] != 1500*Millisecond {
+		t.Errorf("fired = %v, want [1.5s]", fired)
+	}
+}
+
+func TestEngineSchedulePastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.Schedule(Second, func(now Time) {
+		e.Schedule(0, func(now2 Time) { at = now2 })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != Second {
+		t.Errorf("past-scheduled event fired at %v, want clamp to 1s", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(Second, func(Time) { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	evs := make([]*ScheduledEvent, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(Time(i)*Second, func(Time) { order = append(order, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, v := range order {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired; order=%v", v, order)
+		}
+	}
+	if len(order) != 8 {
+		t.Fatalf("len(order) = %d, want 8", len(order))
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*Second, func(Time) { count++ })
+	}
+	if err := e.RunUntil(5 * Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != 5*Second {
+		t.Errorf("Now = %v, want 5s", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 10 {
+		t.Errorf("count after drain = %d, want 10", count)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*Second, func(Time) {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	if err := e.Run(); err != ErrHalted {
+		t.Fatalf("Run = %v, want ErrHalted", err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	if e.Pending() != 0 || e.Processed() != 0 {
+		t.Error("empty engine has pending/processed events")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromDuration(1500 * time.Millisecond); got != 1500*Millisecond {
+		t.Errorf("FromDuration = %v", got)
+	}
+	if got := (2 * Second).Duration(); got != 2*time.Second {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := FromSeconds(2.5); got != 2500*Millisecond {
+		t.Errorf("FromSeconds = %v", got)
+	}
+	if s := (1500 * Millisecond).String(); s != "1.5s" {
+		t.Errorf("String = %q", s)
+	}
+}

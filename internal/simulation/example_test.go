@@ -1,0 +1,38 @@
+package simulation_test
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+func ExampleEngine() {
+	e := simulation.NewEngine()
+	e.Schedule(2*simulation.Second, func(now simulation.Time) {
+		fmt.Println("second event at", now)
+	})
+	e.Schedule(simulation.Second, func(now simulation.Time) {
+		fmt.Println("first event at", now)
+		// Events may schedule more events.
+		e.ScheduleAfter(500*simulation.Millisecond, func(now simulation.Time) {
+			fmt.Println("follow-up at", now)
+		})
+	})
+	if err := e.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// first event at 1s
+	// follow-up at 1.5s
+	// second event at 2s
+}
+
+func ExampleRNG_Stream() {
+	// Streams with the same (seed, name) are identical; different names
+	// are independent.
+	a := simulation.NewRNG(7).Stream("arrivals")
+	b := simulation.NewRNG(7).Stream("arrivals")
+	fmt.Println(a.Intn(1000) == b.Intn(1000))
+	// Output:
+	// true
+}

@@ -1,0 +1,177 @@
+package simulation
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random source for one simulation run. Independent
+// named streams let different subsystems (arrivals, durations, probe
+// targets, ...) draw randomness without perturbing each other: adding a new
+// consumer of one stream never changes the values another stream produces.
+type RNG struct {
+	seed uint64
+}
+
+// NewRNG returns a run-level random source derived from seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{seed: seed}
+}
+
+// Seed reports the run seed.
+func (r *RNG) Seed() uint64 { return r.seed }
+
+// Stream derives an independent named sub-stream. Streams with the same
+// (seed, name) always produce the same sequence.
+func (r *RNG) Stream(name string) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return &Stream{rand: rand.New(rand.NewSource(int64(splitmix64(r.seed ^ h.Sum64()))))}
+}
+
+// splitmix64 scrambles a seed so that nearby run seeds produce unrelated
+// stream states.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stream is a single deterministic random stream with the distribution
+// helpers the simulator needs. It is not safe for concurrent use; each
+// goroutine owns its own streams.
+type Stream struct {
+	rand *rand.Rand
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 { return s.rand.Float64() }
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (s *Stream) Intn(n int) int { return s.rand.Intn(n) }
+
+// Int63n returns a uniform value in [0, n). n must be > 0.
+func (s *Stream) Int63n(n int64) int64 { return s.rand.Int63n(n) }
+
+// Perm returns a random permutation of [0, n).
+func (s *Stream) Perm(n int) []int { return s.rand.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.rand.Shuffle(n, swap) }
+
+// Exp returns an exponentially distributed value with the given mean.
+func (s *Stream) Exp(mean float64) float64 {
+	return s.rand.ExpFloat64() * mean
+}
+
+// ExpTime returns an exponentially distributed virtual duration.
+func (s *Stream) ExpTime(mean Time) Time {
+	return Time(s.rand.ExpFloat64() * float64(mean))
+}
+
+// Pareto returns a value from a Pareto distribution with the given scale
+// (minimum value) and shape alpha. Task durations in datacenter traces are
+// Pareto-bound (paper §V-A), which is what produces the heavy tail the
+// schedulers fight over.
+func (s *Stream) Pareto(scale, alpha float64) float64 {
+	u := s.rand.Float64()
+	for u == 0 {
+		u = s.rand.Float64()
+	}
+	return scale / math.Pow(u, 1/alpha)
+}
+
+// BoundedPareto returns a Pareto(scale, alpha) value truncated to [scale, maxV]
+// by inverse-CDF sampling, so the density shape below the bound is preserved
+// rather than clipped mass piling up at maxV.
+func (s *Stream) BoundedPareto(scale, alpha, maxV float64) float64 {
+	u := s.rand.Float64()
+	for u == 1 {
+		u = s.rand.Float64()
+	}
+	return BoundedParetoQuantile(u, scale, alpha, maxV)
+}
+
+// BoundedParetoQuantile inverts the bounded-Pareto CDF: it maps u in [0, 1)
+// to the u-quantile of Pareto(scale, alpha) truncated to [scale, maxV].
+// Exposed so callers can drive the distribution with stratified or
+// low-discrepancy uniforms (the trace generator stratifies long-job
+// durations to keep a small trace's total work stable across seeds).
+func BoundedParetoQuantile(u, scale, alpha, maxV float64) float64 {
+	if maxV <= scale {
+		return scale
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	l := math.Pow(scale, alpha)
+	h := math.Pow(maxV, alpha)
+	return math.Pow((h*l)/(h-u*(h-l)), 1/alpha)
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.rand.NormFloat64()*sigma + mu)
+}
+
+// Normal returns a normally distributed value.
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	return s.rand.NormFloat64()*stddev + mean
+}
+
+// Bernoulli reports true with probability p.
+func (s *Stream) Bernoulli(p float64) bool {
+	return s.rand.Float64() < p
+}
+
+// WeightedChoice returns an index in [0, len(weights)) with probability
+// proportional to the weight. Weights must be non-negative with a positive
+// sum; a zero-sum input falls back to uniform choice.
+func (s *Stream) WeightedChoice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return s.rand.Intn(len(weights))
+	}
+	x := s.rand.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// SampleWithoutReplacement returns k distinct indices uniformly drawn from
+// [0, n). When k >= n it returns all n indices. The result order is random.
+func (s *Stream) SampleWithoutReplacement(n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		s.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	// Floyd's algorithm: O(k) expected memory, no O(n) allocation.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := s.rand.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	s.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

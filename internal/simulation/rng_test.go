@@ -1,0 +1,284 @@
+package simulation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamsAreDeterministic(t *testing.T) {
+	a := NewRNG(42).Stream("arrivals")
+	b := NewRNG(42).Stream("arrivals")
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same (seed, name) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamsAreIndependentByName(t *testing.T) {
+	a := NewRNG(42).Stream("arrivals")
+	b := NewRNG(42).Stream("durations")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different names matched on %d/100 draws", same)
+	}
+}
+
+func TestStreamsDifferBySeed(t *testing.T) {
+	a := NewRNG(1).Stream("x")
+	b := NewRNG(2).Stream("x")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different seeds matched on %d/100 draws", same)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := NewRNG(7).Stream("exp")
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Errorf("Exp(5) sample mean = %v, want ~5", mean)
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	s := NewRNG(7).Stream("pareto")
+	const scale, alpha = 2.0, 1.5
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Pareto(scale, alpha)
+		if v < scale {
+			t.Fatalf("Pareto value %v below scale %v", v, scale)
+		}
+		sum += v
+	}
+	// E[X] = alpha*scale/(alpha-1) = 6 for these parameters.
+	mean := sum / n
+	if math.Abs(mean-6.0) > 0.5 {
+		t.Errorf("Pareto mean = %v, want ~6", mean)
+	}
+}
+
+func TestBoundedParetoStaysInRange(t *testing.T) {
+	s := NewRNG(9).Stream("bpareto")
+	for i := 0; i < 10000; i++ {
+		v := s.BoundedPareto(1.0, 1.1, 100.0)
+		if v < 1.0 || v > 100.0 {
+			t.Fatalf("BoundedPareto value %v out of [1, 100]", v)
+		}
+	}
+	// Degenerate bound collapses to the scale.
+	if v := s.BoundedPareto(5, 1.5, 5); v != 5 {
+		t.Errorf("BoundedPareto with max==scale = %v, want 5", v)
+	}
+	if v := s.BoundedPareto(5, 1.5, 3); v != 5 {
+		t.Errorf("BoundedPareto with max<scale = %v, want 5", v)
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	s := NewRNG(11).Stream("wc")
+	weights := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.WeightedChoice(weights)]++
+	}
+	for i, want := range []float64{0.1, 0.3, 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("weight %d chosen %.3f of the time, want ~%.1f", i, got, want)
+		}
+	}
+}
+
+func TestWeightedChoiceZeroSumFallsBackToUniform(t *testing.T) {
+	s := NewRNG(11).Stream("wc0")
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[s.WeightedChoice([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("zero-sum choice index %d count = %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	s := NewRNG(13).Stream("sample")
+	got := s.SampleWithoutReplacement(100, 10)
+	if len(got) != 10 {
+		t.Fatalf("len = %d, want 10", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if v < 0 || v >= 100 {
+			t.Fatalf("value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacementKGreaterThanN(t *testing.T) {
+	s := NewRNG(13).Stream("sample2")
+	got := s.SampleWithoutReplacement(5, 10)
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("expected all 5 distinct values, got %v", got)
+	}
+}
+
+func TestSampleWithoutReplacementProperty(t *testing.T) {
+	s := NewRNG(17).Stream("prop")
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%50) + 1
+		k := int(k8 % 60)
+		got := s.SampleWithoutReplacement(n, k)
+		want := k
+		if k > n {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		seen := make(map[int]bool, len(got))
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := NewRNG(19).Stream("bern")
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBoundedParetoQuantile(t *testing.T) {
+	const l, a, h = 2.0, 1.5, 50.0
+	// Monotone in u and bounded.
+	prev := 0.0
+	for i := 0; i <= 100; i++ {
+		u := float64(i) / 100
+		v := BoundedParetoQuantile(u, l, a, h)
+		if v < l || v > h {
+			t.Fatalf("quantile(%v) = %v out of [%v, %v]", u, v, l, h)
+		}
+		if v < prev {
+			t.Fatalf("quantile not monotone at u=%v", u)
+		}
+		prev = v
+	}
+	if v := BoundedParetoQuantile(0, l, a, h); v != l {
+		t.Errorf("quantile(0) = %v, want scale", v)
+	}
+	// Clamping of out-of-range u.
+	if v := BoundedParetoQuantile(-0.5, l, a, h); v != l {
+		t.Errorf("quantile(-0.5) = %v, want scale", v)
+	}
+	if v := BoundedParetoQuantile(1.5, l, a, h); v < l || v > h {
+		t.Errorf("quantile(1.5) = %v out of range", v)
+	}
+	if v := BoundedParetoQuantile(0.5, 5, 1.5, 5); v != 5 {
+		t.Errorf("degenerate quantile = %v, want 5", v)
+	}
+}
+
+func TestNormalAndLogNormal(t *testing.T) {
+	s := NewRNG(31).Stream("norm")
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Normal(10, 2)
+	}
+	if mean := sum / n; mean < 9.8 || mean > 10.2 {
+		t.Errorf("Normal mean = %v, want ~10", mean)
+	}
+	for i := 0; i < 1000; i++ {
+		if s.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal produced non-positive value")
+		}
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	s := NewRNG(37).Stream("perm")
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	vals := []int{1, 2, 3, 4, 5}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 15 {
+		t.Errorf("shuffle lost elements: %v", vals)
+	}
+}
+
+func TestIntnAndInt63n(t *testing.T) {
+	s := NewRNG(41).Stream("intn")
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := s.Int63n(9); v < 0 || v >= 9 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestExpTimeIsNonNegative(t *testing.T) {
+	s := NewRNG(23).Stream("exptime")
+	for i := 0; i < 10000; i++ {
+		if v := s.ExpTime(Second); v < 0 {
+			t.Fatalf("ExpTime produced negative duration %v", v)
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// GeneratorConfig parameterizes a synthetic workload. Durations and the
+// cutoff are in seconds for readability; they convert to virtual time at
+// generation.
+type GeneratorConfig struct {
+	// Name of the workload profile.
+	Name string
+	// NumJobs to generate.
+	NumJobs int
+	// NumNodes the load is calibrated against: with this many single-slot
+	// workers the trace offers TargetLoad average utilization.
+	NumNodes int
+	// TargetLoad is the offered load (0..1) at NumNodes.
+	TargetLoad float64
+
+	// ShortJobFraction is the share of jobs that are short/latency-critical
+	// (80-90%+ in all three traces).
+	ShortJobFraction float64
+	// ShortTasksMean / LongTasksMean are the geometric means of tasks per
+	// job for each class.
+	ShortTasksMean float64
+	LongTasksMean  float64
+
+	// Short and long job base task durations are bounded-Pareto
+	// (scale, alpha, max), in seconds. Pareto-bound durations are what
+	// give datacenter traces their heavy tail (paper §V-A).
+	ShortDurScale float64
+	ShortDurAlpha float64
+	ShortDurMax   float64
+	LongDurScale  float64
+	LongDurAlpha  float64
+	LongDurMax    float64
+	// TaskDurJitter is the within-job relative variation of task durations
+	// around the job's base duration (0.2 = +/-20%).
+	TaskDurJitter float64
+
+	// PeakRate is the burst arrival-rate multiplier relative to the
+	// baseline rate; the paper observes peak-to-median ratios from 9:1 to
+	// 260:1 across the traces.
+	PeakRate float64
+	// BurstFraction is the fraction of time spent in the burst state.
+	BurstFraction float64
+	// BurstDwellSeconds is the mean dwell time in the burst state.
+	BurstDwellSeconds float64
+
+	// ShortCutoffSeconds is the mean-task-duration threshold schedulers
+	// use to classify jobs as short (must separate the two duration
+	// distributions).
+	ShortCutoffSeconds float64
+
+	// SpreadFraction is the share of long jobs carrying a rack
+	// anti-affinity (spread) placement constraint — services spreading
+	// replicas for fault tolerance (paper §III-A).
+	SpreadFraction float64
+	// PackFraction is the share of multi-task short jobs carrying a rack
+	// affinity (pack) placement constraint — locality-seeking analytics.
+	PackFraction float64
+
+	// Synth configures constraint synthesis.
+	Synth SynthesizerConfig
+}
+
+// Validate reports configuration errors.
+func (c *GeneratorConfig) Validate() error {
+	switch {
+	case c.NumJobs <= 0:
+		return fmt.Errorf("trace: NumJobs = %d", c.NumJobs)
+	case c.NumNodes <= 0:
+		return fmt.Errorf("trace: NumNodes = %d", c.NumNodes)
+	case c.TargetLoad <= 0 || c.TargetLoad >= 1.5:
+		return fmt.Errorf("trace: TargetLoad = %v out of (0, 1.5)", c.TargetLoad)
+	case c.ShortJobFraction < 0 || c.ShortJobFraction > 1:
+		return fmt.Errorf("trace: ShortJobFraction = %v", c.ShortJobFraction)
+	case c.ShortTasksMean < 1 || c.LongTasksMean < 1:
+		return fmt.Errorf("trace: tasks-per-job means must be >= 1")
+	case c.ShortDurScale <= 0 || c.LongDurScale <= 0:
+		return fmt.Errorf("trace: duration scales must be positive")
+	case c.ShortDurAlpha <= 1 || c.LongDurAlpha <= 1:
+		return fmt.Errorf("trace: duration alphas must exceed 1 for finite means")
+	case c.ShortDurMax < c.ShortDurScale || c.LongDurMax < c.LongDurScale:
+		return fmt.Errorf("trace: duration maxima below scales")
+	case c.TaskDurJitter < 0 || c.TaskDurJitter >= 1:
+		return fmt.Errorf("trace: TaskDurJitter = %v out of [0, 1)", c.TaskDurJitter)
+	case c.PeakRate < 1:
+		return fmt.Errorf("trace: PeakRate = %v must be >= 1", c.PeakRate)
+	case c.BurstFraction < 0 || c.BurstFraction >= 1:
+		return fmt.Errorf("trace: BurstFraction = %v out of [0, 1)", c.BurstFraction)
+	case c.BurstFraction > 0 && c.BurstDwellSeconds <= 0:
+		return fmt.Errorf("trace: BurstDwellSeconds must be positive when bursting")
+	case c.ShortCutoffSeconds <= 0:
+		return fmt.Errorf("trace: ShortCutoffSeconds = %v", c.ShortCutoffSeconds)
+	case c.SpreadFraction < 0 || c.SpreadFraction > 1:
+		return fmt.Errorf("trace: SpreadFraction = %v", c.SpreadFraction)
+	case c.PackFraction < 0 || c.PackFraction > 1:
+		return fmt.Errorf("trace: PackFraction = %v", c.PackFraction)
+	}
+	return c.Synth.Validate()
+}
+
+// boundedParetoMean returns the mean of a Pareto(scale=l, alpha=a)
+// distribution truncated to [l, h].
+func boundedParetoMean(l, a, h float64) float64 {
+	if h <= l {
+		return l
+	}
+	la := math.Pow(l, a)
+	ratio := math.Pow(l/h, a)
+	return la / (1 - ratio) * a / (a - 1) * (math.Pow(l, 1-a) - math.Pow(h, 1-a))
+}
+
+// MeanJobWorkSeconds returns the expected total work (task-seconds) of one
+// job under the configuration; used to calibrate the arrival rate.
+func (c *GeneratorConfig) MeanJobWorkSeconds() float64 {
+	shortWork := c.ShortTasksMean * boundedParetoMean(c.ShortDurScale, c.ShortDurAlpha, c.ShortDurMax)
+	longWork := c.LongTasksMean * boundedParetoMean(c.LongDurScale, c.LongDurAlpha, c.LongDurMax)
+	return c.ShortJobFraction*shortWork + (1-c.ShortJobFraction)*longWork
+}
+
+// Generate produces a deterministic synthetic trace. The cluster supplies
+// the machine configurations constraints are anchored to; pass the same
+// cluster the simulation will run on.
+func Generate(cfg GeneratorConfig, cl *cluster.Cluster, seed uint64) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := simulation.NewRNG(seed)
+	arrivals := rng.Stream("trace/arrivals")
+	sizes := rng.Stream("trace/sizes")
+	durs := rng.Stream("trace/durations")
+	synthStream := rng.Stream("trace/constraints")
+
+	synth, err := NewSynthesizer(cfg.Synth, cl, synthStream)
+	if err != nil {
+		return nil, err
+	}
+
+	// Baseline arrival rate so that average offered load hits TargetLoad:
+	// lambda_jobs = load * nodes / E[job work]. With bursts, the
+	// time-average rate is f*m*base + (1-f)*base, so the baseline divides
+	// by that factor.
+	meanWork := cfg.MeanJobWorkSeconds()
+	lambda := cfg.TargetLoad * float64(cfg.NumNodes) / meanWork // jobs/sec
+	base := lambda
+	if cfg.BurstFraction > 0 {
+		base = lambda / (1 - cfg.BurstFraction + cfg.BurstFraction*cfg.PeakRate)
+	}
+
+	tr := &Trace{
+		Name:        cfg.Name,
+		NumNodes:    cfg.NumNodes,
+		ShortCutoff: simulation.FromSeconds(cfg.ShortCutoffSeconds),
+		Jobs:        make([]Job, 0, cfg.NumJobs),
+	}
+
+	// Two-state modulated Poisson arrivals. Dwell times are deterministic:
+	// exponential dwells would let a handful of cycle-length draws move a
+	// small trace's makespan (and so its offered load) by tens of percent,
+	// which would drown the utilization sweeps in noise. Burstiness comes
+	// from the rate modulation, not from cycle-length randomness.
+	var (
+		now       float64 // seconds
+		inBurst   bool
+		stateEnds float64
+	)
+	normalDwell := 0.0
+	if cfg.BurstFraction > 0 {
+		normalDwell = cfg.BurstDwellSeconds * (1 - cfg.BurstFraction) / cfg.BurstFraction
+		stateEnds = normalDwell
+	} else {
+		stateEnds = math.Inf(1)
+	}
+
+	taskID := 0
+	// Long jobs carry ~98% of the work, so sampling their count i.i.d.
+	// would let the offered load swing tens of percent across seeds at
+	// laptop scale. Stratified assignment pins the long-job count to the
+	// configured fraction; which positions are long still follows the
+	// arrival randomness.
+	longDebt := 0.0
+	longIdx := 0
+	for jobID := 0; jobID < cfg.NumJobs; jobID++ {
+		rate := base
+		if inBurst {
+			rate = base * cfg.PeakRate
+		}
+		now += arrivals.Exp(1 / rate)
+		for now >= stateEnds {
+			now = stateEnds // state flips mid-gap; restart the draw there
+			inBurst = !inBurst
+			dwell := normalDwell
+			if inBurst {
+				dwell = cfg.BurstDwellSeconds
+			}
+			stateEnds += dwell
+			rate = base
+			if inBurst {
+				rate = base * cfg.PeakRate
+			}
+			now += arrivals.Exp(1 / rate)
+		}
+
+		longDebt += 1 - cfg.ShortJobFraction
+		short := true
+		if longDebt >= 1 {
+			longDebt--
+			short = false
+		}
+		nTasks := geometric(sizes, meanTasks(cfg, short))
+		var baseDur float64
+		if short {
+			baseDur = durs.BoundedPareto(cfg.ShortDurScale, cfg.ShortDurAlpha, cfg.ShortDurMax)
+		} else {
+			// Long jobs carry most of the work; stratified sampling of
+			// their base durations keeps the trace's total work stable
+			// across seeds (each stratum of the bounded-Pareto CDF is
+			// hit once per cycle of longStrata draws).
+			u := (float64(longIdx%longStrata) + durs.Float64()) / longStrata
+			longIdx++
+			baseDur = simulation.BoundedParetoQuantile(u, cfg.LongDurScale, cfg.LongDurAlpha, cfg.LongDurMax)
+		}
+
+		job := Job{
+			ID:        jobID,
+			Arrival:   simulation.FromSeconds(now),
+			Short:     short,
+			Placement: pickPlacement(sizes, cfg, short, nTasks),
+			Tasks:     make([]Task, nTasks),
+		}
+		cs := synth.JobConstraints()
+		for k := 0; k < nTasks; k++ {
+			d := baseDur
+			if cfg.TaskDurJitter > 0 {
+				d *= 1 + cfg.TaskDurJitter*(2*durs.Float64()-1)
+			}
+			if d <= 0 {
+				d = baseDur
+			}
+			job.Tasks[k] = Task{
+				ID:          taskID,
+				JobID:       jobID,
+				Index:       k,
+				Duration:    maxTime(simulation.FromSeconds(d), simulation.Millisecond),
+				Constraints: cs,
+			}
+			taskID++
+		}
+		tr.Jobs = append(tr.Jobs, job)
+	}
+	return tr, nil
+}
+
+// pickPlacement assigns the job-level rack affinity: long jobs spread
+// replicas for fault tolerance, multi-task short jobs sometimes pack for
+// locality. Single-task jobs gain nothing from either.
+func pickPlacement(s *simulation.Stream, cfg GeneratorConfig, short bool, nTasks int) Placement {
+	if nTasks < 2 {
+		return PlacementNone
+	}
+	if !short {
+		if cfg.SpreadFraction > 0 && s.Bernoulli(cfg.SpreadFraction) {
+			return PlacementSpread
+		}
+		return PlacementNone
+	}
+	if cfg.PackFraction > 0 && s.Bernoulli(cfg.PackFraction) {
+		return PlacementPack
+	}
+	return PlacementNone
+}
+
+func meanTasks(cfg GeneratorConfig, short bool) float64 {
+	if short {
+		return cfg.ShortTasksMean
+	}
+	return cfg.LongTasksMean
+}
+
+// longStrata is the number of CDF strata used for long-job durations.
+const longStrata = 16
+
+// geometric samples a geometric count with the given mean (>= 1),
+// truncated at 6x the mean. The truncation clips ~e^-6 of the mass, so the
+// mean is essentially unchanged while a single job can no longer dominate a
+// small trace's total work.
+func geometric(s *simulation.Stream, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	// Inverse CDF of geometric on {1, 2, ...}.
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	n := int(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	if maxN := int(6 * mean); n > maxN {
+		n = maxN
+	}
+	return n
+}
+
+func maxTime(a, b simulation.Time) simulation.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GoogleConfig returns the Google cluster-C-like workload at the given
+// scale: scale=1.0 generates the default experiment size (nodes and job
+// counts shrink/grow together so offered load is unchanged).
+func GoogleConfig(scale float64) GeneratorConfig {
+	return GeneratorConfig{
+		Name:               "google",
+		NumJobs:            scaleInt(30000, scale),
+		NumNodes:           scaleInt(15000, scale),
+		TargetLoad:         0.88,
+		ShortJobFraction:   0.902, // Table III: 90.2% short jobs
+		ShortTasksMean:     5,
+		LongTasksMean:      15,
+		ShortDurScale:      1.5,
+		ShortDurAlpha:      1.3,
+		ShortDurMax:        50,
+		LongDurScale:       60,
+		LongDurAlpha:       1.8,
+		LongDurMax:         600,
+		TaskDurJitter:      0.2,
+		PeakRate:           10, // bursty arrivals (Google shows the widest peak:median ratios)
+		BurstFraction:      0.08,
+		BurstDwellSeconds:  2,
+		ShortCutoffSeconds: 55,
+		SpreadFraction:     0.20,
+		PackFraction:       0.08,
+		Synth:              DefaultSynthesizerConfig(),
+	}
+}
+
+// YahooConfig returns the Yahoo-like workload (5,000 nodes in the paper,
+// 91.56% short jobs).
+func YahooConfig(scale float64) GeneratorConfig {
+	cfg := GeneratorConfig{
+		Name:               "yahoo",
+		NumJobs:            scaleInt(15000, scale),
+		NumNodes:           scaleInt(5000, scale),
+		TargetLoad:         0.86,
+		ShortJobFraction:   0.9156,
+		ShortTasksMean:     6,
+		LongTasksMean:      18,
+		ShortDurScale:      2.5,
+		ShortDurAlpha:      1.4,
+		ShortDurMax:        60,
+		LongDurScale:       90,
+		LongDurAlpha:       1.8,
+		LongDurMax:         800,
+		TaskDurJitter:      0.2,
+		PeakRate:           6, // Yahoo shows the mildest bursts
+		BurstFraction:      0.10,
+		BurstDwellSeconds:  3,
+		ShortCutoffSeconds: 70,
+		SpreadFraction:     0.15,
+		PackFraction:       0.12,
+		Synth:              DefaultSynthesizerConfig(),
+	}
+	// Yahoo's premium (10 GbE) hardware covers only ~20% of its cluster,
+	// half of Google's; the default demand skew would drive that subset
+	// into permanent overload.
+	cfg.Synth.HotRefFraction = 0.3
+	return cfg
+}
+
+// ClouderaConfig returns the Cloudera-like workload (15,000 nodes, 95%
+// short jobs).
+func ClouderaConfig(scale float64) GeneratorConfig {
+	return GeneratorConfig{
+		Name:               "cloudera",
+		NumJobs:            scaleInt(30000, scale),
+		NumNodes:           scaleInt(15000, scale),
+		TargetLoad:         0.87,
+		ShortJobFraction:   0.95,
+		ShortTasksMean:     5,
+		LongTasksMean:      22,
+		ShortDurScale:      1.2,
+		ShortDurAlpha:      1.3,
+		ShortDurMax:        45,
+		LongDurScale:       80,
+		LongDurAlpha:       1.8,
+		LongDurMax:         700,
+		TaskDurJitter:      0.2,
+		PeakRate:           8,
+		BurstFraction:      0.08,
+		BurstDwellSeconds:  2.5,
+		ShortCutoffSeconds: 55,
+		SpreadFraction:     0.18,
+		PackFraction:       0.10,
+		Synth:              DefaultSynthesizerConfig(),
+	}
+}
+
+// ConfigByName resolves a built-in workload profile at the given scale.
+func ConfigByName(name string, scale float64) (GeneratorConfig, error) {
+	switch name {
+	case "google":
+		return GoogleConfig(scale), nil
+	case "yahoo":
+		return YahooConfig(scale), nil
+	case "cloudera":
+		return ClouderaConfig(scale), nil
+	}
+	return GeneratorConfig{}, fmt.Errorf("trace: unknown workload profile %q", name)
+}
+
+func scaleInt(n int, scale float64) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,369 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// smallCluster builds a shared 500-machine google-profile cluster.
+func smallCluster(t testing.TB) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(500, simulation.NewRNG(1).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// smallConfig returns a fast-to-generate google-like config.
+func smallConfig() GeneratorConfig {
+	cfg := GoogleConfig(0.05) // ~600 jobs, 750 nodes
+	cfg.NumNodes = 500
+	return cfg
+}
+
+func TestGenerateProducesValidTrace(t *testing.T) {
+	cl := smallCluster(t)
+	tr, err := Generate(smallConfig(), cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if len(tr.Jobs) != smallConfig().NumJobs {
+		t.Errorf("jobs = %d, want %d", len(tr.Jobs), smallConfig().NumJobs)
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	cl := smallCluster(t)
+	a, err := Generate(smallConfig(), cl, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(), cl, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Arrival != b.Jobs[i].Arrival || len(a.Jobs[i].Tasks) != len(b.Jobs[i].Tasks) {
+			t.Fatalf("job %d differs across same-seed generations", i)
+		}
+		for k := range a.Jobs[i].Tasks {
+			if a.Jobs[i].Tasks[k].Duration != b.Jobs[i].Tasks[k].Duration {
+				t.Fatalf("job %d task %d duration differs", i, k)
+			}
+		}
+	}
+}
+
+func TestGenerateDiffersAcrossSeeds(t *testing.T) {
+	cl := smallCluster(t)
+	a, _ := Generate(smallConfig(), cl, 1)
+	b, _ := Generate(smallConfig(), cl, 2)
+	same := 0
+	for i := range a.Jobs {
+		if a.Jobs[i].Arrival == b.Jobs[i].Arrival {
+			same++
+		}
+	}
+	if same > len(a.Jobs)/10 {
+		t.Errorf("%d/%d identical arrivals across different seeds", same, len(a.Jobs))
+	}
+}
+
+func TestShortJobFractionCalibrated(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 5000
+	tr, err := Generate(cfg, cl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tr)
+	if math.Abs(s.ShortJobFraction-cfg.ShortJobFraction) > 0.02 {
+		t.Errorf("short fraction = %.3f, want ~%.3f", s.ShortJobFraction, cfg.ShortJobFraction)
+	}
+}
+
+func TestOfferedLoadNearTarget(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 8000
+	tr, err := Generate(cfg, cl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := tr.OfferedLoad(cfg.NumNodes)
+	// Load is noisy (heavy-tailed work, bursty arrivals) but must land in a
+	// band around the target.
+	if load < cfg.TargetLoad*0.55 || load > cfg.TargetLoad*1.8 {
+		t.Errorf("offered load = %.3f, want near %.2f", load, cfg.TargetLoad)
+	}
+}
+
+func TestShortCutoffSeparatesClasses(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 3000
+	tr, err := Generate(cfg, cl, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misclassified := 0
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		classifiedShort := j.MeanTaskDuration() <= tr.ShortCutoff
+		if classifiedShort != j.Short {
+			misclassified++
+		}
+	}
+	if frac := float64(misclassified) / float64(len(tr.Jobs)); frac > 0.01 {
+		t.Errorf("cutoff misclassifies %.2f%% of jobs", 100*frac)
+	}
+}
+
+func TestConstrainedFractionNearHalf(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 4000
+	tr, err := Generate(cfg, cl, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tr)
+	frac := float64(s.ConstrainedTasks) / float64(s.NumTasks)
+	if frac < 0.40 || frac > 0.60 {
+		t.Errorf("constrained task fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestArrivalsAreBursty(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 8000
+	tr, err := Generate(cfg, cl, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket arrivals into 10s windows and compare the peak to the median
+	// non-empty bucket; the modulated-Poisson process must show a clear
+	// peak-to-median ratio (paper reports 9:1 to 260:1).
+	bucket := simulation.FromSeconds(10)
+	counts := map[int64]int{}
+	for i := range tr.Jobs {
+		counts[int64(tr.Jobs[i].Arrival/bucket)]++
+	}
+	var vals []int
+	peak := 0
+	for _, c := range counts {
+		vals = append(vals, c)
+		if c > peak {
+			peak = c
+		}
+	}
+	med := medianInt(vals)
+	if med == 0 || float64(peak)/float64(med) < 3 {
+		t.Errorf("peak:median = %d:%d, want bursty (>= 3:1)", peak, med)
+	}
+}
+
+func medianInt(v []int) int {
+	if len(v) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), v...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+
+func TestNoBurstConfiguration(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.BurstFraction = 0
+	cfg.NumJobs = 500
+	tr, err := Generate(cfg, cl, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := smallConfig()
+	cases := []struct {
+		name   string
+		mutate func(*GeneratorConfig)
+	}{
+		{"zero jobs", func(c *GeneratorConfig) { c.NumJobs = 0 }},
+		{"zero nodes", func(c *GeneratorConfig) { c.NumNodes = 0 }},
+		{"bad load", func(c *GeneratorConfig) { c.TargetLoad = 0 }},
+		{"bad short fraction", func(c *GeneratorConfig) { c.ShortJobFraction = 1.5 }},
+		{"bad tasks mean", func(c *GeneratorConfig) { c.ShortTasksMean = 0 }},
+		{"bad alpha", func(c *GeneratorConfig) { c.ShortDurAlpha = 1.0 }},
+		{"max below scale", func(c *GeneratorConfig) { c.LongDurMax = c.LongDurScale - 1 }},
+		{"bad jitter", func(c *GeneratorConfig) { c.TaskDurJitter = 1.0 }},
+		{"bad peak", func(c *GeneratorConfig) { c.PeakRate = 0.5 }},
+		{"bad burst fraction", func(c *GeneratorConfig) { c.BurstFraction = 1.0 }},
+		{"zero dwell", func(c *GeneratorConfig) { c.BurstDwellSeconds = 0 }},
+		{"bad cutoff", func(c *GeneratorConfig) { c.ShortCutoffSeconds = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestConfigByName(t *testing.T) {
+	for _, name := range []string{"google", "yahoo", "cloudera"} {
+		cfg, err := ConfigByName(name, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Name != name {
+			t.Errorf("ConfigByName(%q).Name = %q", name, cfg.Name)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("built-in config %q invalid: %v", name, err)
+		}
+	}
+	if _, err := ConfigByName("bing", 1.0); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestBoundedParetoMean(t *testing.T) {
+	// Sanity: sample mean matches the analytic mean used for calibration.
+	s := simulation.NewRNG(23).Stream("bp")
+	const l, a, h = 2.0, 1.4, 200.0
+	want := boundedParetoMean(l, a, h)
+	var sum float64
+	const n = 300000
+	for i := 0; i < n; i++ {
+		sum += s.BoundedPareto(l, a, h)
+	}
+	got := sum / n
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("sampled mean %.3f vs analytic %.3f", got, want)
+	}
+	if m := boundedParetoMean(5, 1.5, 5); m != 5 {
+		t.Errorf("degenerate mean = %v, want 5", m)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := simulation.NewRNG(29).Stream("geo")
+	const mean = 4.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := geometric(s, mean)
+		if k < 1 {
+			t.Fatalf("geometric returned %d", k)
+		}
+		sum += float64(k)
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.1 {
+		t.Errorf("geometric sample mean = %.3f, want ~%.1f", got, mean)
+	}
+	if geometric(s, 1.0) != 1 {
+		t.Error("geometric(1) != 1")
+	}
+	if geometric(s, 0.5) != 1 {
+		t.Error("geometric(<1) != 1")
+	}
+}
+
+func TestPlacementAssignment(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 4000
+	cfg.SpreadFraction = 0.5
+	cfg.PackFraction = 0.25
+	tr, err := Generate(cfg, cl, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spreadLong, longMulti, packShort, shortMulti int
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if j.Placement != PlacementNone && len(j.Tasks) < 2 {
+			t.Fatalf("single-task job %d has placement %s", j.ID, j.Placement)
+		}
+		switch {
+		case !j.Short && len(j.Tasks) >= 2:
+			longMulti++
+			if j.Placement == PlacementSpread {
+				spreadLong++
+			}
+			if j.Placement == PlacementPack {
+				t.Fatalf("long job %d has pack placement", j.ID)
+			}
+		case j.Short && len(j.Tasks) >= 2:
+			shortMulti++
+			if j.Placement == PlacementPack {
+				packShort++
+			}
+			if j.Placement == PlacementSpread {
+				t.Fatalf("short job %d has spread placement", j.ID)
+			}
+		}
+	}
+	sf := float64(spreadLong) / float64(longMulti)
+	pf := float64(packShort) / float64(shortMulti)
+	if math.Abs(sf-0.5) > 0.1 {
+		t.Errorf("spread fraction among multi-task long jobs = %.3f, want ~0.5", sf)
+	}
+	if math.Abs(pf-0.25) > 0.05 {
+		t.Errorf("pack fraction among multi-task short jobs = %.3f, want ~0.25", pf)
+	}
+}
+
+func TestPeakToMedianReported(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 5000
+	tr, err := Generate(cfg, cl, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tr)
+	if s.PeakToMedian < 2 {
+		t.Errorf("peak:median = %.1f, want bursty (>= 2)", s.PeakToMedian)
+	}
+}
+
+func TestScaledConfigsShrinkTogether(t *testing.T) {
+	full := GoogleConfig(1.0)
+	half := GoogleConfig(0.5)
+	if half.NumNodes != full.NumNodes/2 {
+		t.Errorf("half-scale nodes = %d, want %d", half.NumNodes, full.NumNodes/2)
+	}
+	if half.NumJobs != full.NumJobs/2 {
+		t.Errorf("half-scale jobs = %d, want %d", half.NumJobs, full.NumJobs/2)
+	}
+	tiny := GoogleConfig(0.00001)
+	if tiny.NumJobs < 1 || tiny.NumNodes < 1 {
+		t.Error("scaling must not produce empty configs")
+	}
+}

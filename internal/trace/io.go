@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// header is the first JSONL record of a trace file.
+type header struct {
+	Format      string          `json:"format"`
+	Name        string          `json:"name"`
+	NumNodes    int             `json:"num_nodes"`
+	ShortCutoff simulation.Time `json:"short_cutoff_us"`
+	NumJobs     int             `json:"num_jobs"`
+}
+
+// formatID identifies the on-disk trace format.
+const formatID = "phoenix-trace-v1"
+
+// Write serializes the trace as JSON Lines: one header record followed by
+// one record per job. JSONL keeps multi-million-task traces streamable in
+// both directions.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	h := header{
+		Format:      formatID,
+		Name:        t.Name,
+		NumNodes:    t.NumNodes,
+		ShortCutoff: t.ShortCutoff,
+		NumJobs:     len(t.Jobs),
+	}
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for i := range t.Jobs {
+		if err := enc.Encode(&t.Jobs[i]); err != nil {
+			return fmt.Errorf("trace: write job %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if h.Format != formatID {
+		return nil, fmt.Errorf("trace: unknown format %q, want %q", h.Format, formatID)
+	}
+	t := &Trace{
+		Name:        h.Name,
+		NumNodes:    h.NumNodes,
+		ShortCutoff: h.ShortCutoff,
+		Jobs:        make([]Job, 0, h.NumJobs),
+	}
+	for {
+		var j Job
+		if err := dec.Decode(&j); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: read job %d: %w", len(t.Jobs), err)
+		}
+		t.Jobs = append(t.Jobs, j)
+	}
+	if len(t.Jobs) != h.NumJobs {
+		return nil, fmt.Errorf("trace: header promises %d jobs, found %d", h.NumJobs, len(t.Jobs))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteFile writes the trace to path.
+func WriteFile(path string, t *Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: close: %w", cerr)
+		}
+	}()
+	return Write(f, t)
+}
+
+// ReadFile reads a trace from path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 200
+	tr, err := Generate(cfg, cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.NumNodes != tr.NumNodes || got.ShortCutoff != tr.ShortCutoff {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Jobs) != len(tr.Jobs) {
+		t.Fatalf("jobs = %d, want %d", len(got.Jobs), len(tr.Jobs))
+	}
+	for i := range tr.Jobs {
+		a, b := &tr.Jobs[i], &got.Jobs[i]
+		if a.Arrival != b.Arrival || a.Short != b.Short || len(a.Tasks) != len(b.Tasks) {
+			t.Fatalf("job %d mismatch", i)
+		}
+		for k := range a.Tasks {
+			ta, tb := &a.Tasks[k], &b.Tasks[k]
+			if ta.Duration != tb.Duration || len(ta.Constraints) != len(tb.Constraints) {
+				t.Fatalf("job %d task %d mismatch", i, k)
+			}
+			for ci := range ta.Constraints {
+				if ta.Constraints[ci] != tb.Constraints[ci] {
+					t.Fatalf("job %d task %d constraint %d mismatch", i, k, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 50
+	tr, err := Generate(cfg, cl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != tr.NumTasks() {
+		t.Errorf("task counts differ after file round trip")
+	}
+}
+
+func TestReadRejectsBadFormat(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"format":"other"}` + "\n")); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadRejectsJobCountMismatch(t *testing.T) {
+	in := `{"format":"phoenix-trace-v1","name":"x","num_nodes":10,"short_cutoff_us":1,"num_jobs":2}` + "\n" +
+		`{"id":0,"arrival_us":0,"short":true,"tasks":[{"id":0,"job_id":0,"index":0,"duration_us":100}]}` + "\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Error("job-count mismatch accepted")
+	}
+}
+
+func TestReadValidates(t *testing.T) {
+	// Second job arrives before the first: Validate must reject.
+	in := `{"format":"phoenix-trace-v1","name":"x","num_nodes":10,"short_cutoff_us":1,"num_jobs":2}` + "\n" +
+		`{"id":0,"arrival_us":100,"short":true,"tasks":[{"id":0,"job_id":0,"index":0,"duration_us":100}]}` + "\n" +
+		`{"id":1,"arrival_us":50,"short":true,"tasks":[{"id":1,"job_id":1,"index":0,"duration_us":100}]}` + "\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/trace.jsonl"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// Summary aggregates the workload statistics the paper characterizes traces
+// by (Table III and Fig. 6).
+type Summary struct {
+	Name               string
+	NumJobs            int
+	NumTasks           int
+	ConstrainedTasks   int
+	UnconstrainedTasks int
+	ShortJobs          int
+	ShortJobFraction   float64
+	OfferedLoad        float64
+	// DemandByCount[k-1] is the fraction of jobs demanding k constraints,
+	// among constrained jobs (Fig. 6 "Demand of jobs").
+	DemandByCount [MaxConstraints]float64
+	// DimOccurrences[d.Index()] counts tasks constraining dimension d
+	// (Table II "Occurrence").
+	DimOccurrences [constraint.NumDims]int
+	// DimShare[d.Index()] is occurrences as a fraction of constrained
+	// tasks (Table II "% Share").
+	DimShare [constraint.NumDims]float64
+	// PeakToMedian is the ratio of the busiest arrival window's job count
+	// to the median non-empty window (the paper reports 9:1 to 260:1
+	// across the traces, §V-A). Windows are 10 s.
+	PeakToMedian float64
+	// SpreadJobs / PackJobs count the rack placement constraints.
+	SpreadJobs int
+	PackJobs   int
+}
+
+// Summarize computes a trace summary.
+func Summarize(t *Trace) Summary {
+	s := Summary{
+		Name:        t.Name,
+		NumJobs:     len(t.Jobs),
+		OfferedLoad: t.OfferedLoad(t.NumNodes),
+	}
+	var countHist [MaxConstraints]int
+	constrainedJobs := 0
+	window := 10 * simulation.Second
+	arrivalCounts := map[int64]int{}
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		if j.Short {
+			s.ShortJobs++
+		}
+		arrivalCounts[int64(j.Arrival/window)]++
+		switch j.Placement {
+		case PlacementSpread:
+			s.SpreadJobs++
+		case PlacementPack:
+			s.PackJobs++
+		}
+		cs := j.Constraints()
+		if k := len(cs); k > 0 && k <= MaxConstraints {
+			countHist[k-1]++
+			constrainedJobs++
+		}
+		for k := range j.Tasks {
+			s.NumTasks++
+			tc := j.Tasks[k].Constraints
+			if tc.Empty() {
+				s.UnconstrainedTasks++
+				continue
+			}
+			s.ConstrainedTasks++
+			for _, c := range tc {
+				s.DimOccurrences[c.Dim.Index()]++
+			}
+		}
+	}
+	if s.NumJobs > 0 {
+		s.ShortJobFraction = float64(s.ShortJobs) / float64(s.NumJobs)
+	}
+	if constrainedJobs > 0 {
+		for k := range countHist {
+			s.DemandByCount[k] = float64(countHist[k]) / float64(constrainedJobs)
+		}
+	}
+	if s.ConstrainedTasks > 0 {
+		for d := range s.DimOccurrences {
+			s.DimShare[d] = float64(s.DimOccurrences[d]) / float64(s.ConstrainedTasks)
+		}
+	}
+	s.PeakToMedian = peakToMedian(arrivalCounts)
+	return s
+}
+
+// peakToMedian reports max window count over the median non-empty window.
+func peakToMedian(counts map[int64]int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	vals := make([]int, 0, len(counts))
+	peak := 0
+	for _, c := range counts {
+		vals = append(vals, c)
+		if c > peak {
+			peak = c
+		}
+	}
+	sort.Ints(vals)
+	med := vals[len(vals)/2]
+	if med == 0 {
+		return 0
+	}
+	return float64(peak) / float64(med)
+}
+
+// SupplyByCount computes Fig. 6's "Supply of nodes" series: element k-1 is
+// the mean fraction of cluster machines able to satisfy a job demanding k
+// constraints, averaged over the constrained jobs in the trace.
+func SupplyByCount(t *Trace, cl *cluster.Cluster) [MaxConstraints]float64 {
+	var (
+		sum   [MaxConstraints]float64
+		count [MaxConstraints]int
+	)
+	for i := range t.Jobs {
+		cs := t.Jobs[i].Constraints()
+		k := len(cs)
+		if k == 0 || k > MaxConstraints {
+			continue
+		}
+		frac := float64(cl.SatisfyingCount(cs)) / float64(cl.Size())
+		sum[k-1] += frac
+		count[k-1]++
+	}
+	var out [MaxConstraints]float64
+	for k := range out {
+		if count[k] > 0 {
+			out[k] = sum[k] / float64(count[k])
+		}
+	}
+	return out
+}
+
+// String renders the summary as a small report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s: %d jobs, %d tasks (%d constrained / %d unconstrained), %.1f%% short, offered load %.2f\n",
+		s.Name, s.NumJobs, s.NumTasks, s.ConstrainedTasks, s.UnconstrainedTasks, 100*s.ShortJobFraction, s.OfferedLoad)
+	fmt.Fprintf(&b, "burstiness peak:median %.1f:1; placement: %d spread / %d pack\n", s.PeakToMedian, s.SpreadJobs, s.PackJobs)
+	b.WriteString("constraints/job demand:")
+	for k, f := range s.DemandByCount {
+		fmt.Fprintf(&b, " %d:%.1f%%", k+1, 100*f)
+	}
+	b.WriteString("\nper-dimension share:")
+	for _, d := range constraint.Dims {
+		if s.DimShare[d.Index()] > 0 {
+			fmt.Fprintf(&b, " %s:%.2f%%", d, 100*s.DimShare[d.Index()])
+		}
+	}
+	return b.String()
+}

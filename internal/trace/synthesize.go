@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// SynthesizerConfig parameterizes constraint synthesis. The defaults encode
+// the two published distributions the paper builds on: Table II's
+// constraint-type shares and Fig. 6's per-job constraint-count demand.
+type SynthesizerConfig struct {
+	// ConstrainedFraction is the probability a job carries constraints
+	// (~50% of tasks in all three traces, Table III).
+	ConstrainedFraction float64
+	// CountWeights[k-1] is the relative frequency of jobs demanding k
+	// constraints, k = 1..MaxConstraints (Fig. 6).
+	CountWeights []float64
+	// DimWeights[d.Index()] is the relative frequency of constraint type d
+	// among constrained tasks (Table II's "% Share" column).
+	DimWeights [constraint.NumDims]float64
+	// HotRefFraction is the probability that a job's reference machine is
+	// drawn from the hot (premium-hardware) subset instead of uniformly.
+	// Uniform anchoring would make constrained demand exactly
+	// proportional to supply — no contention anywhere, contradicting
+	// Table II's ~2x slowdowns. Skewing demand toward premium hardware
+	// reproduces the demand/supply imbalance the CRV measures.
+	HotRefFraction float64
+	// HotSet defines the premium hardware (machines satisfying it form
+	// the hot subset).
+	HotSet constraint.Set
+}
+
+// MaxConstraints is the largest per-job constraint count (Fig. 6 shows 1-6).
+const MaxConstraints = 6
+
+// DefaultSynthesizerConfig returns the paper-calibrated configuration.
+func DefaultSynthesizerConfig() SynthesizerConfig {
+	cfg := SynthesizerConfig{
+		ConstrainedFraction: 0.50,
+		// Fig. 6: 33% of jobs ask 2 constraints; jobs asking >= 4 are
+		// cumulatively ~20%; the remaining 80% ask <= 3.
+		CountWeights: []float64{25, 33, 22, 10, 6, 4},
+	}
+	// Table II "% Share" column.
+	set := func(d constraint.Dim, w float64) { cfg.DimWeights[d.Index()] = w }
+	set(constraint.DimISA, 80.64)
+	set(constraint.DimNumNodes, 0.28)
+	set(constraint.DimEthSpeed, 0.18)
+	set(constraint.DimCores, 18.28)
+	set(constraint.DimMaxDisks, 8.57)
+	set(constraint.DimKernel, 0.21)
+	set(constraint.DimPlatform, 0.05)
+	set(constraint.DimClock, 0.16)
+	set(constraint.DimMinDisks, 0.66)
+	// A large minority of constrained demand targets 10 GbE-class machines
+	// (the premium ~20-30% of the cluster in all three profiles) — enough
+	// demand/supply imbalance to reproduce Table II's slowdowns without
+	// driving the hot subset into permanent overload.
+	cfg.HotRefFraction = 0.45
+	cfg.HotSet = constraint.Set{{Dim: constraint.DimEthSpeed, Op: constraint.OpEQ, Value: 10000}}
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c *SynthesizerConfig) Validate() error {
+	if c.ConstrainedFraction < 0 || c.ConstrainedFraction > 1 {
+		return fmt.Errorf("trace: constrained fraction %v out of [0,1]", c.ConstrainedFraction)
+	}
+	if len(c.CountWeights) == 0 || len(c.CountWeights) > MaxConstraints {
+		return fmt.Errorf("trace: count weights length %d out of [1,%d]", len(c.CountWeights), MaxConstraints)
+	}
+	var sum float64
+	for _, w := range c.CountWeights {
+		if w < 0 {
+			return fmt.Errorf("trace: negative count weight %v", w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return fmt.Errorf("trace: count weights sum to zero")
+	}
+	sum = 0
+	for _, w := range c.DimWeights {
+		if w < 0 {
+			return fmt.Errorf("trace: negative dimension weight %v", w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return fmt.Errorf("trace: dimension weights sum to zero")
+	}
+	if c.HotRefFraction < 0 || c.HotRefFraction > 1 {
+		return fmt.Errorf("trace: hot reference fraction %v out of [0, 1]", c.HotRefFraction)
+	}
+	if c.HotRefFraction > 0 {
+		if err := c.HotSet.Validate(); err != nil {
+			return fmt.Errorf("trace: hot set: %w", err)
+		}
+	}
+	return nil
+}
+
+// Synthesizer produces per-job constraint sets anchored to real machine
+// configurations, reproducing the Sharma et al. benchmarking model the
+// paper uses (§III-B): constraint count from the Fig. 6 demand
+// distribution, constraint types from the Table II share vector, and
+// values/operators derived from a reference machine sampled from the target
+// cluster. Anchoring guarantees every constrained job is satisfiable by at
+// least the reference machine's configuration family, which is what shapes
+// the Fig. 6 supply curve (12% of nodes satisfy 2-constraint jobs, ~5%
+// satisfy 6-constraint jobs) — the families are correlated, not independent
+// per-attribute draws.
+type Synthesizer struct {
+	cfg     SynthesizerConfig
+	cl      *cluster.Cluster
+	stream  *simulation.Stream
+	dimPool []float64 // scratch for weighted sampling without replacement
+	hotIDs  []int     // machines in the hot subset
+}
+
+// NewSynthesizer builds a synthesizer drawing randomness from stream.
+func NewSynthesizer(cfg SynthesizerConfig, cl *cluster.Cluster, stream *simulation.Stream) (*Synthesizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cl.Size() == 0 {
+		return nil, fmt.Errorf("trace: synthesizer needs a non-empty cluster")
+	}
+	s := &Synthesizer{
+		cfg:     cfg,
+		cl:      cl,
+		stream:  stream,
+		dimPool: make([]float64, constraint.NumDims),
+	}
+	if cfg.HotRefFraction > 0 {
+		s.hotIDs = cl.Satisfying(cfg.HotSet).Indices()
+	}
+	return s, nil
+}
+
+// JobConstraints returns the constraint set for one job: nil (with
+// probability 1 - ConstrainedFraction) or 1..MaxConstraints anchored
+// constraints.
+func (s *Synthesizer) JobConstraints() constraint.Set {
+	if !s.stream.Bernoulli(s.cfg.ConstrainedFraction) {
+		return nil
+	}
+	k := s.stream.WeightedChoice(s.cfg.CountWeights) + 1
+	var ref *cluster.Machine
+	if len(s.hotIDs) > 0 && s.stream.Bernoulli(s.cfg.HotRefFraction) {
+		ref = s.cl.Machine(s.hotIDs[s.stream.Intn(len(s.hotIDs))])
+	} else {
+		ref = s.cl.Machine(s.stream.Intn(s.cl.Size()))
+	}
+
+	copy(s.dimPool, s.cfg.DimWeights[:])
+	set := make(constraint.Set, 0, k)
+	for len(set) < k {
+		idx := s.stream.WeightedChoice(s.dimPool)
+		s.dimPool[idx] = 0 // without replacement
+		d := constraint.Dims[idx]
+		set = append(set, s.anchored(d, ref))
+	}
+	return set
+}
+
+// anchored builds one constraint on dimension d that the reference machine
+// satisfies.
+func (s *Synthesizer) anchored(d constraint.Dim, ref *cluster.Machine) constraint.Constraint {
+	v := ref.Attrs.Get(d)
+	switch d {
+	case constraint.DimISA, constraint.DimPlatform, constraint.DimKernel, constraint.DimNumNodes:
+		// Categorical / versioned attributes: tasks demand an exact match
+		// (e.g. "isa = x86", "kernel = 3.10").
+		return constraint.Constraint{Dim: d, Op: constraint.OpEQ, Value: v}
+	case constraint.DimMinDisks:
+		// "Minimum disks" requests machines with at most the reference
+		// spare-disk level; Table II reports it as the one constraint
+		// with a speedup (0.91x slowdown), consistent with an
+		// easy-to-satisfy upper bound.
+		return constraint.Constraint{Dim: d, Op: constraint.OpLT, Value: v + 1}
+	default:
+		// Capacity attributes (cores, clock, NIC speed, max disks): an
+		// even split of exact matches and "at least the reference level"
+		// (> v-1 over the discrete SKU value grid) — the mix that brings
+		// node satisfiability in line with the paper's Fig. 6 supply
+		// curve.
+		if s.stream.Bernoulli(0.5) {
+			return constraint.Constraint{Dim: d, Op: constraint.OpEQ, Value: v}
+		}
+		return constraint.Constraint{Dim: d, Op: constraint.OpGT, Value: v - 1}
+	}
+}

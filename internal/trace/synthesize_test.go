@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+func newSynth(t *testing.T, cl *cluster.Cluster, seed uint64) *Synthesizer {
+	t.Helper()
+	s, err := NewSynthesizer(DefaultSynthesizerConfig(), cl, simulation.NewRNG(seed).Stream("synth"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSynthesizedConstraintsAreSatisfiable(t *testing.T) {
+	cl := smallCluster(t)
+	s := newSynth(t, cl, 1)
+	for i := 0; i < 2000; i++ {
+		cs := s.JobConstraints()
+		if cs == nil {
+			continue
+		}
+		if err := cs.Validate(); err != nil {
+			t.Fatalf("synthesized set invalid: %v (%v)", err, cs)
+		}
+		if cl.SatisfyingCount(cs) == 0 {
+			t.Fatalf("synthesized set unsatisfiable: %v", cs)
+		}
+	}
+}
+
+func TestSynthesizedConstrainedFraction(t *testing.T) {
+	cl := smallCluster(t)
+	s := newSynth(t, cl, 2)
+	constrained := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.JobConstraints() != nil {
+			constrained++
+		}
+	}
+	frac := float64(constrained) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("constrained fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestSynthesizedCountDistributionMatchesFig6Demand(t *testing.T) {
+	cl := smallCluster(t)
+	s := newSynth(t, cl, 3)
+	var hist [MaxConstraints]int
+	total := 0
+	for i := 0; i < 50000; i++ {
+		cs := s.JobConstraints()
+		if cs == nil {
+			continue
+		}
+		if len(cs) < 1 || len(cs) > MaxConstraints {
+			t.Fatalf("constraint count %d out of [1,%d]", len(cs), MaxConstraints)
+		}
+		hist[len(cs)-1]++
+		total++
+	}
+	want := []float64{0.25, 0.33, 0.22, 0.10, 0.06, 0.04}
+	for k := range hist {
+		got := float64(hist[k]) / float64(total)
+		if math.Abs(got-want[k]) > 0.02 {
+			t.Errorf("P(k=%d) = %.3f, want ~%.2f", k+1, got, want[k])
+		}
+	}
+	// Paper: ~20% of constrained jobs ask for 4 or more constraints.
+	ge4 := float64(hist[3]+hist[4]+hist[5]) / float64(total)
+	if math.Abs(ge4-0.20) > 0.03 {
+		t.Errorf("P(k>=4) = %.3f, want ~0.20", ge4)
+	}
+}
+
+func TestSynthesizedDimSharesFollowTableII(t *testing.T) {
+	cl := smallCluster(t)
+	s := newSynth(t, cl, 4)
+	var occ [constraint.NumDims]int
+	constrained := 0
+	for i := 0; i < 50000; i++ {
+		cs := s.JobConstraints()
+		if cs == nil {
+			continue
+		}
+		constrained++
+		for _, c := range cs {
+			occ[c.Dim.Index()]++
+		}
+	}
+	isaShare := float64(occ[constraint.DimISA.Index()]) / float64(constrained)
+	coresShare := float64(occ[constraint.DimCores.Index()]) / float64(constrained)
+	disksShare := float64(occ[constraint.DimMaxDisks.Index()]) / float64(constrained)
+	// ISA dominates (80.64% in Table II); sampling without replacement
+	// inflates rare dims slightly, so check ordering and rough bands.
+	if isaShare < 0.60 {
+		t.Errorf("ISA share = %.3f, want dominant (> 0.60)", isaShare)
+	}
+	if coresShare <= disksShare {
+		t.Errorf("cores share %.3f should exceed max_disks share %.3f", coresShare, disksShare)
+	}
+	if isaShare <= coresShare {
+		t.Errorf("ISA share %.3f should exceed cores share %.3f", isaShare, coresShare)
+	}
+}
+
+func TestSynthesizerNoDuplicateDims(t *testing.T) {
+	cl := smallCluster(t)
+	s := newSynth(t, cl, 5)
+	for i := 0; i < 5000; i++ {
+		cs := s.JobConstraints()
+		seen := map[constraint.Dim]bool{}
+		for _, c := range cs {
+			if seen[c.Dim] {
+				t.Fatalf("duplicate dim %s in %v", c.Dim, cs)
+			}
+			seen[c.Dim] = true
+		}
+	}
+}
+
+func TestSupplyCurveDecreasesWithConstraintCount(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 6000
+	tr, err := Generate(cfg, cl, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supply := SupplyByCount(tr, cl)
+	// Fig. 6: supply shrinks as jobs demand more constraints, with
+	// multi-constraint jobs still finding a non-trivial node fraction
+	// (correlated SKUs), e.g. ~12% at k=2 and ~5% at k=6.
+	if supply[0] <= supply[3] {
+		t.Errorf("supply should decrease: k=1 %.3f <= k=4 %.3f", supply[0], supply[3])
+	}
+	if supply[1] < 0.03 || supply[1] > 0.45 {
+		t.Errorf("supply at k=2 = %.3f, want a moderate fraction", supply[1])
+	}
+	if supply[5] < 0.005 || supply[5] > 0.30 {
+		t.Errorf("supply at k=6 = %.3f, want small but non-zero", supply[5])
+	}
+}
+
+func TestSynthesizerConfigValidation(t *testing.T) {
+	cl := smallCluster(t)
+	stream := simulation.NewRNG(1).Stream("s")
+
+	bad := DefaultSynthesizerConfig()
+	bad.ConstrainedFraction = 2
+	if _, err := NewSynthesizer(bad, cl, stream); err == nil {
+		t.Error("bad constrained fraction accepted")
+	}
+
+	bad = DefaultSynthesizerConfig()
+	bad.CountWeights = nil
+	if _, err := NewSynthesizer(bad, cl, stream); err == nil {
+		t.Error("empty count weights accepted")
+	}
+
+	bad = DefaultSynthesizerConfig()
+	bad.CountWeights = []float64{1, -1}
+	if _, err := NewSynthesizer(bad, cl, stream); err == nil {
+		t.Error("negative count weight accepted")
+	}
+
+	bad = DefaultSynthesizerConfig()
+	bad.CountWeights = []float64{0, 0}
+	if _, err := NewSynthesizer(bad, cl, stream); err == nil {
+		t.Error("zero-sum count weights accepted")
+	}
+
+	bad = DefaultSynthesizerConfig()
+	for i := range bad.DimWeights {
+		bad.DimWeights[i] = 0
+	}
+	if _, err := NewSynthesizer(bad, cl, stream); err == nil {
+		t.Error("zero-sum dim weights accepted")
+	}
+
+	empty, err := cluster.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSynthesizer(DefaultSynthesizerConfig(), empty, stream); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}

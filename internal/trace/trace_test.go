@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+func validJob(id int, arrival simulation.Time, taskID int) Job {
+	return Job{
+		ID:      id,
+		Arrival: arrival,
+		Short:   true,
+		Tasks: []Task{
+			{ID: taskID, JobID: id, Index: 0, Duration: simulation.Second},
+		},
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	tr := &Trace{
+		Name:        "t",
+		NumNodes:    10,
+		ShortCutoff: simulation.Second,
+		Jobs:        []Job{validJob(0, 0, 0), validJob(1, simulation.Second, 1)},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mk := func() *Trace {
+		return &Trace{Jobs: []Job{validJob(0, 0, 0), validJob(1, simulation.Second, 1)}}
+	}
+
+	tr := mk()
+	tr.Jobs[1].ID = 5
+	if err := tr.Validate(); err == nil {
+		t.Error("non-dense job ID accepted")
+	}
+
+	tr = mk()
+	tr.Jobs[1].Arrival = -1
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-order arrival accepted")
+	}
+
+	tr = mk()
+	tr.Jobs[0].Tasks = nil
+	if err := tr.Validate(); err == nil {
+		t.Error("empty job accepted")
+	}
+
+	tr = mk()
+	tr.Jobs[0].Tasks[0].JobID = 9
+	if err := tr.Validate(); err == nil {
+		t.Error("task pointing at wrong job accepted")
+	}
+
+	tr = mk()
+	tr.Jobs[0].Tasks[0].Index = 3
+	if err := tr.Validate(); err == nil {
+		t.Error("bad task index accepted")
+	}
+
+	tr = mk()
+	tr.Jobs[0].Tasks[0].Duration = 0
+	if err := tr.Validate(); err == nil {
+		t.Error("zero-duration task accepted")
+	}
+
+	tr = mk()
+	tr.Jobs[1].Tasks[0].ID = 0
+	if err := tr.Validate(); err == nil {
+		t.Error("duplicate task ID accepted")
+	}
+
+	tr = mk()
+	tr.Jobs[0].Tasks[0].Constraints = constraint.Set{{Dim: constraint.Dim(0), Op: constraint.OpEQ}}
+	if err := tr.Validate(); err == nil {
+		t.Error("invalid constraint accepted")
+	}
+}
+
+func TestJobAccessors(t *testing.T) {
+	j := Job{
+		ID: 0,
+		Tasks: []Task{
+			{ID: 0, JobID: 0, Index: 0, Duration: 2 * simulation.Second,
+				Constraints: constraint.Set{{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: 1}}},
+			{ID: 1, JobID: 0, Index: 1, Duration: 4 * simulation.Second,
+				Constraints: constraint.Set{{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: 1}}},
+		},
+	}
+	if !j.Constrained() {
+		t.Error("Constrained = false")
+	}
+	if got := j.TotalWork(); got != 6*simulation.Second {
+		t.Errorf("TotalWork = %v", got)
+	}
+	if got := j.MeanTaskDuration(); got != 3*simulation.Second {
+		t.Errorf("MeanTaskDuration = %v", got)
+	}
+	if len(j.Constraints()) != 1 {
+		t.Errorf("Constraints = %v", j.Constraints())
+	}
+
+	var empty Job
+	if empty.Constrained() {
+		t.Error("empty job constrained")
+	}
+	if empty.MeanTaskDuration() != 0 {
+		t.Error("empty job mean duration != 0")
+	}
+	if empty.Constraints() != nil {
+		t.Error("empty job constraints != nil")
+	}
+}
+
+func TestTraceAggregates(t *testing.T) {
+	tr := &Trace{
+		NumNodes: 2,
+		Jobs: []Job{
+			{ID: 0, Arrival: 0, Tasks: []Task{{ID: 0, JobID: 0, Duration: 10 * simulation.Second}}},
+			{ID: 1, Arrival: 10 * simulation.Second, Tasks: []Task{
+				{ID: 1, JobID: 1, Duration: 5 * simulation.Second},
+				{ID: 2, JobID: 1, Index: 1, Duration: 5 * simulation.Second},
+			}},
+		},
+	}
+	if got := tr.NumTasks(); got != 3 {
+		t.Errorf("NumTasks = %d", got)
+	}
+	if got := tr.Makespan(); got != 10*simulation.Second {
+		t.Errorf("Makespan = %v", got)
+	}
+	if got := tr.TotalWork(); got != 20*simulation.Second {
+		t.Errorf("TotalWork = %v", got)
+	}
+	if got := tr.OfferedLoad(2); got != 1.0 {
+		t.Errorf("OfferedLoad = %v, want 1.0", got)
+	}
+	empty := &Trace{}
+	if empty.Makespan() != 0 || empty.OfferedLoad(5) != 0 {
+		t.Error("empty trace aggregates non-zero")
+	}
+}
+
+func TestStripConstraints(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 200
+	tr, err := Generate(cfg, cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := tr.StripConstraints()
+	if err := stripped.Validate(); err != nil {
+		t.Fatalf("stripped trace invalid: %v", err)
+	}
+	for i := range stripped.Jobs {
+		if stripped.Jobs[i].Constrained() {
+			t.Fatalf("job %d still constrained after strip", i)
+		}
+		// Arrival times and durations must be untouched.
+		if stripped.Jobs[i].Arrival != tr.Jobs[i].Arrival {
+			t.Fatalf("job %d arrival changed", i)
+		}
+		if stripped.Jobs[i].TotalWork() != tr.Jobs[i].TotalWork() {
+			t.Fatalf("job %d work changed", i)
+		}
+	}
+	// Deep copy: mutating the stripped trace must not touch the original.
+	stripped.Jobs[0].Tasks[0].Duration = 123456
+	if tr.Jobs[0].Tasks[0].Duration == 123456 {
+		t.Error("strip shares task storage with original")
+	}
+	if !anyConstrained(tr) {
+		t.Error("original lost its constraints")
+	}
+}
+
+func anyConstrained(tr *Trace) bool {
+	for i := range tr.Jobs {
+		if tr.Jobs[i].Constrained() {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSummaryString(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 100
+	tr, err := Generate(cfg, cl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tr)
+	if s.NumJobs != 100 {
+		t.Errorf("summary jobs = %d", s.NumJobs)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}

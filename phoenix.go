@@ -1,0 +1,211 @@
+package phoenix
+
+import (
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/core"
+	"github.com/phoenix-sched/phoenix/internal/experiments"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/centralized"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/eagle"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/hawk"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/sparrow"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// This file is the library's public API: a facade over the internal
+// packages, so downstream modules can build clusters, generate workloads,
+// run schedulers, and read metrics without reaching into internal paths.
+// The aliases are the same types the rest of the repository uses — no
+// wrapping, no copying.
+
+// Virtual time.
+type (
+	// Time is a virtual timestamp/duration in microseconds.
+	Time = simulation.Time
+	// RNG derives deterministic named random streams for a run.
+	RNG = simulation.RNG
+)
+
+// Common durations.
+const (
+	Microsecond = simulation.Microsecond
+	Millisecond = simulation.Millisecond
+	Second      = simulation.Second
+	Minute      = simulation.Minute
+)
+
+// NewRNG returns a deterministic random source for seed.
+func NewRNG(seed uint64) *RNG { return simulation.NewRNG(seed) }
+
+// Cluster substrate.
+type (
+	// Cluster is an immutable heterogeneous machine set with a constraint
+	// index.
+	Cluster = cluster.Cluster
+	// ClusterProfile describes a hardware mix as weighted configuration
+	// families.
+	ClusterProfile = cluster.Profile
+	// Machine is one worker node's hardware description.
+	Machine = cluster.Machine
+)
+
+// Built-in hardware mixes patterned on the paper's three traces.
+var (
+	GoogleCluster   = cluster.GoogleProfile
+	YahooCluster    = cluster.YahooProfile
+	ClouderaCluster = cluster.ClouderaProfile
+)
+
+// Constraint model.
+type (
+	// Constraint is one placement requirement: dimension <op> value.
+	Constraint = constraint.Constraint
+	// ConstraintSet is a task's conjunction of constraints.
+	ConstraintSet = constraint.Set
+	// Attributes is a machine's value on every constraint dimension.
+	Attributes = constraint.Attributes
+	// CRV is a Constraint Resource Vector: one demand/supply ratio per
+	// dimension.
+	CRV = constraint.Vector
+)
+
+// Workload substrate.
+type (
+	// Trace is a complete workload: jobs of tasks with arrivals,
+	// durations, and constraints.
+	Trace = trace.Trace
+	// Job is a set of tasks arriving together.
+	Job = trace.Job
+	// Task is one unit of work.
+	Task = trace.Task
+	// WorkloadConfig parameterizes the synthetic generators.
+	WorkloadConfig = trace.GeneratorConfig
+	// TraceSummary aggregates a workload's headline statistics.
+	TraceSummary = trace.Summary
+)
+
+// Built-in workload profiles calibrated to the paper's published
+// statistics; scale 1.0 is paper scale (15,000 nodes for Google).
+var (
+	GoogleWorkload   = trace.GoogleConfig
+	YahooWorkload    = trace.YahooConfig
+	ClouderaWorkload = trace.ClouderaConfig
+)
+
+// GenerateTrace produces a deterministic synthetic workload whose
+// constraints are anchored to the given cluster's machine configurations.
+func GenerateTrace(cfg WorkloadConfig, cl *Cluster, seed uint64) (*Trace, error) {
+	return trace.Generate(cfg, cl, seed)
+}
+
+// SummarizeTrace computes a workload's summary statistics.
+func SummarizeTrace(t *Trace) TraceSummary { return trace.Summarize(t) }
+
+// ReadTraceFile / WriteTraceFile round-trip traces as JSONL.
+var (
+	ReadTraceFile  = trace.ReadFile
+	WriteTraceFile = trace.WriteFile
+)
+
+// Scheduling framework.
+type (
+	// Scheduler is the interface every scheduling policy implements.
+	Scheduler = sched.Scheduler
+	// Driver runs one trace through one scheduler on one cluster.
+	Driver = sched.Driver
+	// SimConfig carries the shared simulation parameters (probe ratio,
+	// heartbeat, network delay, failure injection, ...).
+	SimConfig = sched.Config
+	// Result summarizes one run.
+	Result = sched.Result
+	// Worker is one single-slot execution node.
+	Worker = sched.Worker
+	// JobState is the driver's bookkeeping for one in-flight job.
+	JobState = sched.JobState
+)
+
+// DefaultSimConfig returns the paper's simulation parameters.
+func DefaultSimConfig() SimConfig { return sched.DefaultConfig() }
+
+// NewDriver constructs a run; Result comes from Driver.Run.
+func NewDriver(cfg SimConfig, cl *Cluster, tr *Trace, s Scheduler, seed uint64) (*Driver, error) {
+	return sched.NewDriver(cfg, cl, tr, s, seed)
+}
+
+// Phoenix, the paper's contribution.
+type (
+	// PhoenixOptions configure the Phoenix scheduler.
+	PhoenixOptions = core.Options
+	// PhoenixScheduler is the constraint-aware hybrid scheduler.
+	PhoenixScheduler = core.Scheduler
+)
+
+// DefaultPhoenixOptions returns the paper-calibrated configuration.
+func DefaultPhoenixOptions() PhoenixOptions { return core.DefaultOptions() }
+
+// NewPhoenix constructs the Phoenix scheduler.
+func NewPhoenix(opts PhoenixOptions) (*PhoenixScheduler, error) { return core.New(opts) }
+
+// Baseline schedulers from the paper's evaluation.
+
+// NewEagleC constructs the Eagle-C baseline (hybrid, SSS + SBP + SRPT).
+func NewEagleC() Scheduler { return eagle.New() }
+
+// NewHawkC constructs the Hawk-C baseline (hybrid, random work stealing).
+func NewHawkC() (Scheduler, error) { return hawk.New(hawk.DefaultOptions()) }
+
+// NewSparrowC constructs the Sparrow-C baseline (fully distributed batch
+// sampling).
+func NewSparrowC() Scheduler { return sparrow.New() }
+
+// NewYaccD constructs the Yacc-D baseline (early binding with bounded
+// queues).
+func NewYaccD() (Scheduler, error) { return yaccd.New(yaccd.DefaultOptions()) }
+
+// NewCentralized constructs the Borg-like monolithic baseline.
+func NewCentralized() (Scheduler, error) { return centralized.New(centralized.DefaultOptions()) }
+
+// Metrics.
+type (
+	// Collector holds per-job outcomes and scheduler counters.
+	Collector = metrics.Collector
+	// JobRecord is the outcome of one job.
+	JobRecord = metrics.JobRecord
+	// Filter selects a subset of job records.
+	Filter = metrics.Filter
+	// P50P90P99 is the percentile triple the paper reports everywhere.
+	P50P90P99 = metrics.P50P90P99
+)
+
+// Standard job filters.
+var (
+	AllJobs            = metrics.All
+	ShortJobs          = metrics.Short
+	LongJobs           = metrics.Long
+	ConstrainedJobs    = metrics.Constrained
+	UnconstrainedJobs  = metrics.Unconstrained
+	FilterAnd          = metrics.AndFilter
+	ResponsePercentile = metrics.Percentile
+)
+
+// Experiments: regenerate the paper's tables and figures.
+type (
+	// ExperimentOptions scope an experiment run (scale, seeds, sweep).
+	ExperimentOptions = experiments.Options
+	// Report is a printable experiment result.
+	Report = experiments.Report
+)
+
+// Experiment runners.
+var (
+	// ExperimentIDs lists every experiment identifier.
+	ExperimentIDs = experiments.IDs
+	// RunExperiment regenerates one experiment by ID.
+	RunExperiment = experiments.Run
+	// DefaultExperimentOptions returns laptop-scale settings.
+	DefaultExperimentOptions = experiments.DefaultOptions
+)

@@ -1,0 +1,98 @@
+package phoenix_test
+
+import (
+	"fmt"
+	"testing"
+
+	phoenix "github.com/phoenix-sched/phoenix"
+)
+
+// The facade must support the full quickstart flow without touching
+// internal packages.
+func TestFacadeEndToEnd(t *testing.T) {
+	cl, err := phoenix.GoogleCluster().GenerateCluster(300, phoenix.NewRNG(1).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := phoenix.GoogleWorkload(1.0)
+	cfg.NumNodes = cl.Size()
+	cfg.NumJobs = 300
+	tr, err := phoenix.GenerateTrace(cfg, cl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := phoenix.SummarizeTrace(tr)
+	if sum.NumJobs != 300 {
+		t.Fatalf("summary jobs = %d", sum.NumJobs)
+	}
+
+	p, err := phoenix.NewPhoenix(phoenix.DefaultPhoenixOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := phoenix.NewDriver(phoenix.DefaultSimConfig(), cl, tr, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.NumJobs() != 300 {
+		t.Fatalf("completed %d/300", res.Collector.NumJobs())
+	}
+	pct := res.Collector.ResponsePercentiles(phoenix.FilterAnd(phoenix.ShortJobs, phoenix.ConstrainedJobs))
+	if pct.P99 <= 0 {
+		t.Errorf("p99 = %v", pct.P99)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	mks := []func() (phoenix.Scheduler, error){
+		func() (phoenix.Scheduler, error) { return phoenix.NewEagleC(), nil },
+		phoenix.NewHawkC,
+		func() (phoenix.Scheduler, error) { return phoenix.NewSparrowC(), nil },
+		phoenix.NewYaccD,
+		phoenix.NewCentralized,
+	}
+	for _, mk := range mks {
+		s, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() == "" {
+			t.Error("unnamed scheduler")
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(phoenix.ExperimentIDs()) < 18 {
+		t.Errorf("only %d experiments exposed", len(phoenix.ExperimentIDs()))
+	}
+	opts := phoenix.DefaultExperimentOptions()
+	opts.Scale = 0.02
+	opts.Seeds = 1
+	rep, err := phoenix.RunExperiment("fig6", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig6" {
+		t.Errorf("report ID = %q", rep.ID)
+	}
+}
+
+func ExampleNewPhoenix() {
+	cl, _ := phoenix.GoogleCluster().GenerateCluster(200, phoenix.NewRNG(42).Stream("machines"))
+	cfg := phoenix.GoogleWorkload(1.0)
+	cfg.NumNodes = cl.Size()
+	cfg.NumJobs = 100
+	tr, _ := phoenix.GenerateTrace(cfg, cl, 7)
+
+	p, _ := phoenix.NewPhoenix(phoenix.DefaultPhoenixOptions())
+	d, _ := phoenix.NewDriver(phoenix.DefaultSimConfig(), cl, tr, p, 1)
+	res, _ := d.Run()
+	fmt.Println(res.Scheduler, "completed", res.Collector.NumJobs(), "jobs")
+	// Output:
+	// phoenix completed 100 jobs
+}
