@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench experiments figures clean
+.PHONY: all build test race vet ci bench experiments figures clean
 
 all: build test
+
+# Everything CI runs, in the same order (see .github/workflows/ci.yml).
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/...
 
 build:
 	$(GO) build ./...

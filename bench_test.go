@@ -11,6 +11,7 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/sched"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
+	"github.com/phoenix-sched/phoenix/internal/validate"
 )
 
 // benchOptions is the scaled-down configuration the benchmark harness
@@ -201,4 +202,65 @@ func BenchmarkDriverThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(tr.NumTasks()*b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkValidatedDriverThroughput is BenchmarkDriverThroughput with the
+// invariant checker attached: the delta between the two is the full cost of
+// always-on validation, and every iteration asserts a clean run and a
+// stable digest (same seed, same digest — checked against iteration 0).
+func BenchmarkValidatedDriverThroughput(b *testing.B) {
+	cl, tr := ablationBed(b)
+	var refDigest uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, p, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chk := validate.Attach(d)
+		res, err := d.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := chk.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+		dig := res.Collector.Digest()
+		if i == 0 {
+			refDigest = dig
+		} else if dig != refDigest {
+			b.Fatalf("iteration %d digest %016x differs from %016x", i, dig, refDigest)
+		}
+	}
+	b.ReportMetric(float64(tr.NumTasks()*b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkRunDigest isolates the digest computation itself over a
+// realistic collector.
+func BenchmarkRunDigest(b *testing.B) {
+	cl, tr := ablationBed(b)
+	p, err := core.New(core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, p, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= res.Collector.Digest()
+	}
+	_ = sink
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/phoenix-sched/phoenix/internal/experiments"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func run(args []string) error {
 		seeds = fs.Int("seeds", 0, "repetitions per data point override (0 = default)")
 		csv   = fs.String("csv", "", "directory to also write per-experiment CSV files into")
 		svg   = fs.String("svg", "", "directory to also render per-experiment SVG figures into")
+		check = fs.Bool("validate", false, "attach the invariant checker to every run; fail on any violation")
+		dig   = fs.Bool("digest", false, "print a digest of each experiment's table for regression diffing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +59,7 @@ func run(args []string) error {
 	if *seeds > 0 {
 		opts.Seeds = *seeds
 	}
+	opts.ValidateRuns = *check
 
 	ids := experiments.IDs()
 	if *runID != "all" {
@@ -76,6 +80,11 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Printf("%s[%v]\n", rep, time.Since(start).Round(time.Millisecond))
+		if *dig {
+			d := metrics.NewDigest()
+			d.Text(rep.CSV())
+			fmt.Printf("digest %s %016x\n", id, d.Sum64())
+		}
 		if *csv != "" {
 			path := filepath.Join(*csv, id+".csv")
 			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {

@@ -37,6 +37,13 @@ func TestRunOneWithOutputs(t *testing.T) {
 	}
 }
 
+func TestRunValidatedWithDigest(t *testing.T) {
+	err := run([]string{"-run", "table3", "-scale", "0.02", "-seeds", "1", "-validate", "-digest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunCommaSeparated(t *testing.T) {
 	if err := run([]string{"-run", "fig6, table3", "-scale", "0.02", "-seeds", "1"}); err != nil {
 		t.Fatal(err)

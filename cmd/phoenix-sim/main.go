@@ -23,6 +23,7 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/sched"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
+	"github.com/phoenix-sched/phoenix/internal/validate"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func run(args []string) error {
 		traceSeed = fs.Uint64("trace-seed", 1000, "trace generation seed")
 		load      = fs.Float64("load", 0, "target offered load override (0 = profile default)")
 		failRate  = fs.Float64("failure-rate", 0, "worker failures per node-hour (0 = off)")
+		doCheck   = fs.Bool("validate", false, "run the invariant checker and fail on any violation")
+		doDigest  = fs.Bool("digest", false, "print the run digest (same seed => same digest)")
 
 		crvThreshold = fs.Float64("crv-threshold", 0, "Phoenix CRV contention threshold override (0 = default)")
 		qwait        = fs.Float64("qwait", 0, "Phoenix Qwait threshold seconds override (0 = default)")
@@ -123,11 +126,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var chk *validate.Checker
+	if *doCheck {
+		chk = validate.Attach(d)
+	}
 	res, err := d.Run()
 	if err != nil {
 		return err
 	}
 	printResult(tr, cl, res)
+	if *doDigest {
+		fmt.Printf("digest         %016x\n", res.Collector.Digest())
+	}
+	if chk != nil {
+		if err := chk.Finalize(); err != nil {
+			return err
+		}
+		fmt.Printf("validate       ok (%d events, 0 violations)\n", chk.Events())
+	}
 	return nil
 }
 

@@ -17,6 +17,14 @@ func TestRunSynthetic(t *testing.T) {
 	}
 }
 
+func TestRunValidateAndDigest(t *testing.T) {
+	for _, s := range []string{"phoenix", "sparrow-c"} {
+		if err := run([]string{"-scheduler", s, "-scale", "0.01", "-validate", "-digest"}); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
 func TestRunWithFailures(t *testing.T) {
 	if err := run([]string{"-scale", "0.01", "-failure-rate", "10"}); err != nil {
 		t.Fatal(err)

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/trace"
 )
 
 func TestGenerateAndSummarize(t *testing.T) {
@@ -23,6 +26,31 @@ func TestLoadOverride(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "t.jsonl")
 	if err := run([]string{"-profile", "google", "-scale", "0.01", "-load", "0.5", "-o", out}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOutputRoundTripsByteForByte reads a tracegen-written file back through
+// the trace package and re-encodes it: the bytes must be identical, so any
+// simulator (or person) re-saving a trace cannot corrupt or drift it.
+func TestOutputRoundTripsByteForByte(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run([]string{"-profile", "cloudera", "-scale", "0.01", "-seed", "9", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	original, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re bytes.Buffer
+	if err := trace.Write(&re, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(original, re.Bytes()) {
+		t.Fatalf("re-encoded trace differs from tracegen output: %d vs %d bytes", len(original), re.Len())
 	}
 }
 

@@ -39,7 +39,7 @@ func DesignSpace(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(cl, tr, s, driverSeed(rep))
+		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}

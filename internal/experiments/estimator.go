@@ -33,7 +33,7 @@ func EstimatorAccuracy(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := runOne(cl, tr, p, driverSeed(0)); err != nil {
+	if _, err := runOne(&opts, cl, tr, p, driverSeed(0)); err != nil {
 		return nil, err
 	}
 	samples := p.Monitor().EstimateSamples()

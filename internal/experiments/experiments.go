@@ -28,6 +28,7 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
+	"github.com/phoenix-sched/phoenix/internal/validate"
 )
 
 // Options scope an experiment run.
@@ -48,6 +49,9 @@ type Options struct {
 	Parallelism int
 	// ClusterSeed fixes the machine sample.
 	ClusterSeed uint64
+	// ValidateRuns attaches the invariant checker to every simulation and
+	// fails the experiment on any violation (the -validate CLI flag).
+	ValidateRuns bool
 	// Phoenix carries the Phoenix parameters used wherever Phoenix runs.
 	Phoenix core.Options
 }
@@ -180,13 +184,28 @@ func (e *env) trace(rep int) (*trace.Trace, error) {
 // driverSeed is the per-repetition scheduler randomness seed.
 func driverSeed(rep int) uint64 { return uint64(7 + rep) }
 
-// runOne executes a single (cluster, trace, scheduler) simulation.
-func runOne(cl *cluster.Cluster, tr *trace.Trace, s sched.Scheduler, seed uint64) (*sched.Result, error) {
+// runOne executes a single (cluster, trace, scheduler) simulation. When the
+// options request validation, the invariant checker rides along and any
+// violation fails the run.
+func runOne(o *Options, cl *cluster.Cluster, tr *trace.Trace, s sched.Scheduler, seed uint64) (*sched.Result, error) {
 	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, seed)
 	if err != nil {
 		return nil, err
 	}
-	return d.Run()
+	var chk *validate.Checker
+	if o.ValidateRuns {
+		chk = validate.Attach(d)
+	}
+	res, err := d.Run()
+	if err != nil {
+		return nil, err
+	}
+	if chk != nil {
+		if err := chk.Finalize(); err != nil {
+			return nil, fmt.Errorf("%s seed %d: %w", s.Name(), seed, err)
+		}
+	}
+	return res, nil
 }
 
 // parallel runs fn(0..n-1) over a bounded worker pool, returning the first

@@ -57,7 +57,7 @@ func Fig2(opts Options, profile string) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(cl, tr, s, driverSeed(rep))
+		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}
@@ -108,7 +108,7 @@ func Fig3(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := runOne(cl, tr, s, driverSeed(0))
+	res, err := runOne(&opts, cl, tr, s, driverSeed(0))
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +166,7 @@ func Fig4(opts Options, profile string) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(cl, tr, s, driverSeed(rep))
+		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}
@@ -261,7 +261,7 @@ func Fig9(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(cl, tr, s, driverSeed(rep))
+		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}

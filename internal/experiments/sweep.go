@@ -64,7 +64,7 @@ func sweepNormalized(opts Options, profile, subject, baseline string, filter met
 		if err != nil {
 			return err
 		}
-		res, err := runOne(cl, tr, s, driverSeed(sp.rep))
+		res, err := runOne(&opts, cl, tr, s, driverSeed(sp.rep))
 		if err != nil {
 			return fmt.Errorf("%s on %s x%.2f: %w", sp.name, profile, opts.SweepMults[sp.point], err)
 		}

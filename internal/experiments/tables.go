@@ -40,7 +40,7 @@ func TableII(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(cl, tr, s, driverSeed(rep))
+		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}
@@ -133,7 +133,7 @@ func TableIII(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(cl, tr, s, driverSeed(0))
+		res, err := runOne(&opts, cl, tr, s, driverSeed(0))
 		if err != nil {
 			return err
 		}

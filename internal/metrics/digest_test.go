@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+func sampleRecord(id int) JobRecord {
+	return JobRecord{
+		JobID:         id,
+		Arrival:       simulation.Time(id) * simulation.Second,
+		Completion:    simulation.Time(id+1) * simulation.Second,
+		Short:         id%2 == 0,
+		NumTasks:      3,
+		MaxQueueDelay: simulation.Millisecond,
+		SumQueueDelay: 2 * simulation.Millisecond,
+	}
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	build := func() *Collector {
+		c := NewCollector(4)
+		for i := 0; i < 4; i++ {
+			c.AddJob(sampleRecord(i))
+		}
+		c.Probes = 17
+		c.BusyTime = simulation.Minute
+		return c
+	}
+	if build().Digest() != build().Digest() {
+		t.Fatal("identical collectors produced different digests")
+	}
+}
+
+func TestDigestCountersContribute(t *testing.T) {
+	d := NewDigest()
+	d.Int(0)
+	jobPrefixOnly := d.Sum64()
+	if got := NewCollector(0).Digest(); got == 0 {
+		t.Fatal("digest of empty collector is zero")
+	} else if got == jobPrefixOnly {
+		t.Fatal("empty collector digest ignores counters")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	base := func() *Collector {
+		c := NewCollector(2)
+		c.AddJob(sampleRecord(0))
+		c.AddJob(sampleRecord(1))
+		return c
+	}
+	ref := base().Digest()
+
+	mutations := map[string]func(*Collector){
+		"completion": func(c *Collector) { c.jobs[1].Completion++ },
+		"order": func(c *Collector) {
+			c.jobs[0], c.jobs[1] = c.jobs[1], c.jobs[0]
+		},
+		"short-flag": func(c *Collector) { c.jobs[0].Short = !c.jobs[0].Short },
+		"max-delay":  func(c *Collector) { c.jobs[0].MaxQueueDelay++ },
+		"counter":    func(c *Collector) { c.StolenTasks++ },
+		"busy-time":  func(c *Collector) { c.BusyTime++ },
+		"extra-job":  func(c *Collector) { c.AddJob(sampleRecord(2)) },
+	}
+	for name, mutate := range mutations {
+		c := base()
+		mutate(c)
+		if c.Digest() == ref {
+			t.Errorf("%s: digest unchanged by mutation", name)
+		}
+	}
+}
+
+func TestDigestPrefixFreedom(t *testing.T) {
+	// Length prefixes keep adjacent variable-length fields from colliding.
+	a := NewDigest()
+	a.Text("ab")
+	a.Text("c")
+	b := NewDigest()
+	b.Text("a")
+	b.Text("bc")
+	if a.Sum64() == b.Sum64() {
+		t.Error("shifted string boundaries collide")
+	}
+	x := NewDigest()
+	x.Bytes([]byte{1, 2})
+	y := NewDigest()
+	y.Bytes([]byte{1})
+	y.Byte(2)
+	if x.Sum64() == y.Sum64() {
+		t.Error("length prefix missing from Bytes")
+	}
+}

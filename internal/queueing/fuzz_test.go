@@ -1,0 +1,168 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPKWait checks the P-K formula's contract over arbitrary inputs: the
+// result is never NaN, never negative, zero outside the positive-parameter
+// region, +Inf exactly at and beyond saturation, and finite inside the
+// stable region with finite inputs.
+func FuzzPKWait(f *testing.F) {
+	f.Add(0.5, 1.0, 2.0)
+	f.Add(0.999, 1e-9, 1e-18)
+	f.Add(1.0, 1.0, 1.0)
+	f.Add(-1.0, -1.0, -1.0)
+	f.Add(math.Inf(1), 1.0, 1.0)
+	f.Add(0.3, math.NaN(), 1.0)
+	f.Fuzz(func(t *testing.T, rho, meanS, m2 float64) {
+		w := PKWait(rho, meanS, m2)
+		if math.IsNaN(w) {
+			t.Fatalf("PKWait(%v, %v, %v) = NaN", rho, meanS, m2)
+		}
+		if w < 0 {
+			t.Fatalf("PKWait(%v, %v, %v) = %v < 0", rho, meanS, m2, w)
+		}
+		switch {
+		case math.IsNaN(rho) || math.IsNaN(meanS) || math.IsNaN(m2):
+			if w != 0 {
+				t.Fatalf("PKWait(%v, %v, %v) = %v with NaN input, want 0", rho, meanS, m2, w)
+			}
+		case meanS <= 0 || m2 <= 0 || rho <= 0:
+			if w != 0 {
+				t.Fatalf("PKWait(%v, %v, %v) = %v outside positive region, want 0", rho, meanS, m2, w)
+			}
+		case rho >= 1:
+			if !math.IsInf(w, 1) {
+				t.Fatalf("PKWait(%v, %v, %v) = %v at saturation, want +Inf", rho, meanS, m2, w)
+			}
+		default:
+			if math.IsInf(m2, 1) || math.IsInf(meanS, 1) {
+				break // infinite moments may legitimately produce +Inf or 0
+			}
+			if math.IsInf(w, 1) {
+				t.Fatalf("PKWait(%v, %v, %v) = +Inf inside the stable region", rho, meanS, m2)
+			}
+		}
+	})
+}
+
+// FuzzEstimator feeds an arbitrary observation stream into an Estimator
+// (service times made positive, arrival times made non-decreasing as the
+// monitor does) and asserts EstimateWait's contract: the wait is never NaN,
+// never negative, and +Inf exactly when saturated is reported.
+func FuzzEstimator(f *testing.F) {
+	f.Add([]byte{10, 200, 30, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 1, 255, 1, 255, 1, 255, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := NewEstimator(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock := 0.0
+		for i, b := range data {
+			if i%2 == 0 {
+				e.ObserveService(float64(b) / 16)
+			} else {
+				clock += float64(b) / 64
+				e.ObserveArrival(clock)
+			}
+			wait, saturated := e.EstimateWait()
+			if math.IsNaN(wait) {
+				t.Fatalf("step %d: wait is NaN", i)
+			}
+			if wait < 0 {
+				t.Fatalf("step %d: wait %v < 0", i, wait)
+			}
+			if saturated != math.IsInf(wait, 1) {
+				t.Fatalf("step %d: saturated=%v but wait=%v", i, saturated, wait)
+			}
+			if rho := e.Utilization(); rho < 0 {
+				t.Fatalf("step %d: utilization %v < 0", i, rho)
+			}
+		}
+	})
+}
+
+// TestEstimatorEmptySamples pins the no-data regime: with nothing observed
+// the estimate is exactly zero and the queue is not saturated.
+func TestEstimatorEmptySamples(t *testing.T) {
+	e, err := NewEstimator(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, sat := e.EstimateWait(); w != 0 || sat {
+		t.Fatalf("empty estimator: wait=%v saturated=%v, want 0/false", w, sat)
+	}
+	// Services alone (no arrivals) still estimate zero: rho is 0.
+	e.ObserveService(2)
+	if w, sat := e.EstimateWait(); w != 0 || sat {
+		t.Fatalf("services only: wait=%v saturated=%v, want 0/false", w, sat)
+	}
+}
+
+// TestEstimatorZeroVariance pins the deterministic-service regime: with
+// constant service time s, E[S^2] = s^2 and the P-K wait reduces to
+// rho/(1-rho) * s/2.
+func TestEstimatorZeroVariance(t *testing.T) {
+	e, err := NewEstimator(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const s = 2.0
+	for i := 0; i < 16; i++ {
+		e.ObserveService(s)
+		e.ObserveArrival(float64(i) * 4) // lambda = 1/4, rho = 1/2
+	}
+	rho := e.Utilization()
+	if math.Abs(rho-0.5) > 1e-12 {
+		t.Fatalf("rho = %v, want 0.5", rho)
+	}
+	w, sat := e.EstimateWait()
+	if sat {
+		t.Fatal("rho=0.5 reported saturated")
+	}
+	want := rho / (1 - rho) * s / 2
+	if math.Abs(w-want) > 1e-12 {
+		t.Fatalf("zero-variance wait = %v, want %v", w, want)
+	}
+}
+
+// TestEstimatorNearSaturation walks rho toward 1 and checks the estimate
+// stays finite, non-negative, and monotone until saturation flips it to
+// +Inf at rho >= 1.
+func TestEstimatorNearSaturation(t *testing.T) {
+	prev := 0.0
+	for _, gap := range []float64{4, 2, 1.25, 1.05, 1.01} {
+		e, err := NewEstimator(16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			e.ObserveService(1)
+			e.ObserveArrival(float64(i) * gap) // rho = 1/gap < 1
+		}
+		w, sat := e.EstimateWait()
+		if sat || math.IsInf(w, 1) {
+			t.Fatalf("gap %v (rho %v): spuriously saturated", gap, e.Utilization())
+		}
+		if w < prev {
+			t.Fatalf("gap %v: wait %v decreased from %v as rho grew", gap, w, prev)
+		}
+		prev = w
+	}
+	// At gap <= 1 arrival pressure meets or exceeds service capacity.
+	e, err := NewEstimator(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		e.ObserveService(1)
+		e.ObserveArrival(float64(i))
+	}
+	if w, sat := e.EstimateWait(); !sat || !math.IsInf(w, 1) {
+		t.Fatalf("rho=1: wait=%v saturated=%v, want +Inf/true", w, sat)
+	}
+}

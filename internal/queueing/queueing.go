@@ -142,8 +142,12 @@ func (r *RateTracker) Rate() float64 {
 // PKWait evaluates the Pollaczek–Khinchin mean waiting time for an M/G/1
 // queue with utilization rho, mean service time meanS, and second moment
 // secondMomentS. Inputs outside the stable region (rho >= 1) yield +Inf:
-// the queue has no stationary wait. Non-positive service parameters yield 0.
+// the queue has no stationary wait. Non-positive or NaN parameters yield 0
+// — the estimate must never poison downstream comparisons with NaN.
 func PKWait(rho, meanS, secondMomentS float64) float64 {
+	if math.IsNaN(rho) || math.IsNaN(meanS) || math.IsNaN(secondMomentS) {
+		return 0
+	}
 	if meanS <= 0 || secondMomentS <= 0 {
 		return 0
 	}

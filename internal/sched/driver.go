@@ -32,6 +32,11 @@ type Driver struct {
 	stickyP    StickyProvider
 	startObs   StartObserver
 
+	// observers receive every driver state transition (AttachObserver);
+	// empty for plain runs so the notification helpers cost one length
+	// check on the hot path.
+	observers []Observer
+
 	// longOccupied flags workers hosting long-job work (queued, in flight,
 	// or running) — the bit vector Eagle's succinct state sharing gossips.
 	longOccupied *bitset.Set
@@ -152,6 +157,10 @@ func (d *Driver) After(delay simulation.Time, fn func()) {
 // ShortCutoff returns the trace's short-job classification threshold.
 func (d *Driver) ShortCutoff() simulation.Time { return d.tr.ShortCutoff }
 
+// Trace returns the workload being replayed. Callers must treat it as
+// read-only; it is shared across concurrent runs.
+func (d *Driver) Trace() *trace.Trace { return d.tr }
+
 // SetPolicy assigns worker w's queue policy.
 func (d *Driver) SetPolicy(w *Worker, p QueuePolicy) { d.policies[w.ID] = p }
 
@@ -197,6 +206,7 @@ func (d *Driver) Run() (*Result, error) {
 		}
 		js.ConstraintDims = js.Constraints.Dims()
 		d.engine.Schedule(job.Arrival, func(simulation.Time) {
+			d.notifyJobArrival(js)
 			d.scheduler.SubmitJob(d, js)
 		})
 	}
@@ -266,6 +276,7 @@ func (d *Driver) failWorker(w *Worker, now simulation.Time) {
 			d.collector.BusyTime += wasted
 		}
 	}
+	d.notifyWorkerFailure(w)
 	d.engine.ScheduleAfter(d.cfg.RepairDelay, func(rec simulation.Time) { d.recoverWorker(w) })
 }
 
@@ -273,6 +284,7 @@ func (d *Driver) failWorker(w *Worker, now simulation.Time) {
 // otherwise the queue resumes dispatch.
 func (d *Driver) recoverWorker(w *Worker) {
 	w.failed = false
+	d.notifyWorkerRecovery(w)
 	now := d.engine.Now()
 	if w.running != nil {
 		w.runningStarted = now
@@ -319,6 +331,7 @@ func (d *Driver) MoveEntry(victim, thief *Worker, idx int) bool {
 	}
 	e := victim.stealAt(idx)
 	d.releaseLong(victim, e)
+	d.notifyDequeue(victim, e, DequeueMigrate)
 	d.reserve(thief, e)
 	d.engine.ScheduleAfter(d.cfg.NetworkDelay, func(now simulation.Time) {
 		e.Enqueued = now
@@ -331,6 +344,7 @@ func (d *Driver) MoveEntry(victim, thief *Worker, idx int) bool {
 func (d *Driver) admit(w *Worker, e *Entry) {
 	w.push(e)
 	w.Estimator.ObserveArrival(d.engine.Now().Seconds())
+	d.notifyEnqueue(w, e)
 	if w.Idle() && !w.failed {
 		d.tryDispatch(w)
 	}
@@ -357,9 +371,11 @@ func (d *Driver) tryDispatch(w *Worker) {
 			task = e.Job.Claim()
 			if task == nil {
 				d.releaseLong(w, e)
+				d.notifyDequeue(w, e, DequeueStale)
 				continue // stale probe
 			}
 		}
+		d.notifyDequeue(w, e, DequeueDispatch)
 		d.startTask(w, e, task)
 	}
 }
@@ -381,6 +397,7 @@ func (d *Driver) startTask(w *Worker, e *Entry, task *trace.Task) {
 	w.runningStarted = start
 	w.runningEnds = start + task.Duration
 	w.completion = d.engine.Schedule(w.runningEnds, func(simulation.Time) { d.completeTask(w) })
+	d.notifyStart(w, e, task)
 }
 
 // runSticky lets a StickyProvider start a task on w immediately, outside
@@ -411,6 +428,7 @@ func (d *Driver) completeTask(w *Worker) {
 	js := e.Job
 	d.releaseLong(w, e)
 	js.done++
+	d.notifyComplete(w, js, task)
 	if d.completeH != nil {
 		d.completeH.OnTaskComplete(d, w, js, task)
 	}
@@ -446,6 +464,7 @@ func (d *Driver) finishJob(js *JobState, now simulation.Time) {
 		d.span = now
 	}
 	d.pendingJobs--
+	d.notifyJobFinish(js)
 }
 
 // CandidateWorkers computes the set of workers able to host js's tasks,

@@ -1,0 +1,153 @@
+package sched
+
+import "github.com/phoenix-sched/phoenix/internal/trace"
+
+// DequeueReason says why an entry left a worker's queue.
+type DequeueReason int
+
+const (
+	// DequeueDispatch: the queue policy selected the entry and it is about
+	// to occupy the worker's slot.
+	DequeueDispatch DequeueReason = iota
+	// DequeueStale: a late-binding probe whose job had no unclaimed tasks
+	// left was discarded for free.
+	DequeueStale
+	// DequeueMigrate: the entry was removed to migrate to another worker
+	// (work stealing or probe rescheduling); it re-enqueues at the
+	// destination after one network delay.
+	DequeueMigrate
+)
+
+// String names the reason.
+func (r DequeueReason) String() string {
+	switch r {
+	case DequeueDispatch:
+		return "dispatch"
+	case DequeueStale:
+		return "stale"
+	case DequeueMigrate:
+		return "migrate"
+	}
+	return "dequeue(?)"
+}
+
+// Observer receives every state transition the driver performs, in causal
+// order. Observers attach to a driver with AttachObserver and are passive:
+// they must not mutate driver, worker, or job state. They exist for
+// cross-cutting instrumentation that is not a scheduling decision —
+// invariant checking (internal/validate), event tracing, custom metrics —
+// and fire in addition to (never instead of) the scheduler's own optional
+// hook interfaces.
+//
+// Callback timing: OnEnqueue fires after the entry is in the queue;
+// OnDequeue fires after it left; OnStart fires after the slot state is
+// fully updated; OnComplete fires after the slot is free and the job's
+// done-count incremented, but before job completion is recorded, so
+// OnJobFinish (if the job is done) follows within the same event.
+type Observer interface {
+	// OnJobArrival fires when a job is handed to the scheduler.
+	OnJobArrival(d *Driver, js *JobState)
+	// OnEnqueue fires when an entry (bound task or probe) is admitted to
+	// w's queue, after the placement network delay.
+	OnEnqueue(d *Driver, w *Worker, e *Entry)
+	// OnDequeue fires when an entry leaves w's queue.
+	OnDequeue(d *Driver, w *Worker, e *Entry, reason DequeueReason)
+	// OnStart fires when w's slot begins executing task on behalf of e.
+	OnStart(d *Driver, w *Worker, e *Entry, t *trace.Task)
+	// OnComplete fires when task finishes on w.
+	OnComplete(d *Driver, w *Worker, js *JobState, t *trace.Task)
+	// OnJobFinish fires when the last task of js completes.
+	OnJobFinish(d *Driver, js *JobState)
+	// OnWorkerFailure fires when fault injection takes w down.
+	OnWorkerFailure(d *Driver, w *Worker)
+	// OnWorkerRecovery fires when w comes back up.
+	OnWorkerRecovery(d *Driver, w *Worker)
+}
+
+// NopObserver implements Observer with no-ops; embed it to observe only
+// selected events.
+type NopObserver struct{}
+
+var _ Observer = NopObserver{}
+
+// OnJobArrival implements Observer.
+func (NopObserver) OnJobArrival(*Driver, *JobState) {}
+
+// OnEnqueue implements Observer.
+func (NopObserver) OnEnqueue(*Driver, *Worker, *Entry) {}
+
+// OnDequeue implements Observer.
+func (NopObserver) OnDequeue(*Driver, *Worker, *Entry, DequeueReason) {}
+
+// OnStart implements Observer.
+func (NopObserver) OnStart(*Driver, *Worker, *Entry, *trace.Task) {}
+
+// OnComplete implements Observer.
+func (NopObserver) OnComplete(*Driver, *Worker, *JobState, *trace.Task) {}
+
+// OnJobFinish implements Observer.
+func (NopObserver) OnJobFinish(*Driver, *JobState) {}
+
+// OnWorkerFailure implements Observer.
+func (NopObserver) OnWorkerFailure(*Driver, *Worker) {}
+
+// OnWorkerRecovery implements Observer.
+func (NopObserver) OnWorkerRecovery(*Driver, *Worker) {}
+
+// AttachObserver registers obs to receive driver events. Multiple observers
+// fire in attachment order. Attach before Run; attaching mid-run would miss
+// the events already processed.
+func (d *Driver) AttachObserver(obs Observer) {
+	d.observers = append(d.observers, obs)
+}
+
+// Notification helpers. Each is a single nil-length check on the hot path
+// when no observer is attached.
+
+func (d *Driver) notifyJobArrival(js *JobState) {
+	for _, o := range d.observers {
+		o.OnJobArrival(d, js)
+	}
+}
+
+func (d *Driver) notifyEnqueue(w *Worker, e *Entry) {
+	for _, o := range d.observers {
+		o.OnEnqueue(d, w, e)
+	}
+}
+
+func (d *Driver) notifyDequeue(w *Worker, e *Entry, reason DequeueReason) {
+	for _, o := range d.observers {
+		o.OnDequeue(d, w, e, reason)
+	}
+}
+
+func (d *Driver) notifyStart(w *Worker, e *Entry, t *trace.Task) {
+	for _, o := range d.observers {
+		o.OnStart(d, w, e, t)
+	}
+}
+
+func (d *Driver) notifyComplete(w *Worker, js *JobState, t *trace.Task) {
+	for _, o := range d.observers {
+		o.OnComplete(d, w, js, t)
+	}
+}
+
+func (d *Driver) notifyJobFinish(js *JobState) {
+	for _, o := range d.observers {
+		o.OnJobFinish(d, js)
+	}
+}
+
+func (d *Driver) notifyWorkerFailure(w *Worker) {
+	for _, o := range d.observers {
+		o.OnWorkerFailure(d, w)
+	}
+}
+
+func (d *Driver) notifyWorkerRecovery(w *Worker) {
+	for _, o := range d.observers {
+		o.OnWorkerRecovery(d, w)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
+	"github.com/phoenix-sched/phoenix/internal/validate"
 )
 
 // allSchedulers constructs one of each scheduler.
@@ -86,35 +87,10 @@ func TestAllSchedulersCompleteAllJobs(t *testing.T) {
 
 func TestAllSchedulersAreDeterministic(t *testing.T) {
 	cl, tr := testbed(t, 60, 150, 0.8, 2)
-	for _, name := range []string{"sparrow", "hawk", "eagle", "yaccd", "phoenix"} {
-		mk := func(t *testing.T) sched.Scheduler {
-			switch name {
-			case "sparrow":
-				return sparrow.New()
-			case "hawk":
-				h, err := hawk.New(hawk.DefaultOptions())
-				if err != nil {
-					t.Fatal(err)
-				}
-				return h
-			case "eagle":
-				return eagle.New()
-			case "yaccd":
-				y, err := yaccd.New(yaccd.DefaultOptions())
-				if err != nil {
-					t.Fatal(err)
-				}
-				return y
-			default:
-				p, err := core.New(core.DefaultOptions())
-				if err != nil {
-					t.Fatal(err)
-				}
-				return p
-			}
-		}
-		a := run(t, mk(t), cl, tr, 9)
-		b := run(t, mk(t), cl, tr, 9)
+	for _, reg := range registeredSchedulers {
+		name := reg.name
+		a := run(t, makeScheduler(t, name), cl, tr, 9)
+		b := run(t, makeScheduler(t, name), cl, tr, 9)
 		ja, jb := a.Collector.Jobs(), b.Collector.Jobs()
 		if len(ja) != len(jb) {
 			t.Fatalf("%s: job counts differ", name)
@@ -123,6 +99,144 @@ func TestAllSchedulersAreDeterministic(t *testing.T) {
 			if ja[i] != jb[i] {
 				t.Fatalf("%s: job record %d differs across same-seed runs", name, i)
 			}
+		}
+	}
+}
+
+// makeScheduler constructs one scheduler by registry name.
+func makeScheduler(t *testing.T, name string) sched.Scheduler {
+	t.Helper()
+	switch name {
+	case "sparrow":
+		return sparrow.New()
+	case "hawk":
+		h, err := hawk.New(hawk.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	case "eagle":
+		return eagle.New()
+	case "yaccd":
+		y, err := yaccd.New(yaccd.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return y
+	case "phoenix":
+		p, err := core.New(core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	case "centralized":
+		c, err := centralized.New(centralized.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	default:
+		t.Fatalf("unknown scheduler %q", name)
+		return nil
+	}
+}
+
+// registeredSchedulers is every scheduler the digest and invariant
+// batteries cover. seeded marks schedulers that consume driver randomness
+// (probe sampling); the centralized baseline is fully deterministic and
+// must produce the same digest for every seed.
+var registeredSchedulers = []struct {
+	name   string
+	seeded bool
+}{
+	{"sparrow", true},
+	{"hawk", true},
+	{"eagle", true},
+	{"yaccd", true},
+	{"phoenix", true},
+	{"centralized", false},
+}
+
+// TestAllSchedulersSatisfyInvariants runs every scheduler under heavy
+// constraints and rack placements with the invariant checker attached and
+// requires zero violations: no constraint-violating start, exact slot and
+// queue accounting, exactly-once task conservation, the slack bound, and
+// monotone virtual time.
+func TestAllSchedulersSatisfyInvariants(t *testing.T) {
+	cl, err := cluster.GoogleProfile().GenerateCluster(80, simulation.NewRNG(11).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumJobs = 250
+	cfg.NumNodes = 80
+	cfg.TargetLoad = 0.9
+	cfg.SpreadFraction = 0.3
+	cfg.PackFraction = 0.2
+	tr, err := trace.Generate(cfg, cl, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range registeredSchedulers {
+		s := makeScheduler(t, reg.name)
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := validate.Attach(d)
+		if _, err := d.Run(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := chk.Finalize(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+		if chk.Events() == 0 {
+			t.Errorf("%s: checker observed no events", s.Name())
+		}
+	}
+}
+
+// TestAllSchedulersSatisfyInvariantsUnderChurn repeats the invariant battery
+// with fail-stop worker churn enabled, which exercises the
+// failure/recovery observer paths and restart accounting.
+func TestAllSchedulersSatisfyInvariantsUnderChurn(t *testing.T) {
+	cl, tr := testbed(t, 60, 200, 0.85, 12)
+	simCfg := sched.DefaultConfig()
+	simCfg.FailureRatePerHour = 20
+	for _, reg := range registeredSchedulers {
+		s := makeScheduler(t, reg.name)
+		d, err := sched.NewDriver(simCfg, cl, tr, s, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := validate.Attach(d)
+		if _, err := d.Run(); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := chk.Finalize(); err != nil {
+			t.Errorf("%s under churn: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestRunDigestDeterminism is the determinism regression: same seed =>
+// identical run digest, different seed => different digest for every
+// scheduler that consumes randomness. The centralized baseline has no
+// random decisions, so its digest must instead be identical across seeds.
+func TestRunDigestDeterminism(t *testing.T) {
+	cl, tr := testbed(t, 60, 150, 0.8, 2)
+	for _, reg := range registeredSchedulers {
+		a := run(t, makeScheduler(t, reg.name), cl, tr, 9).Collector.Digest()
+		b := run(t, makeScheduler(t, reg.name), cl, tr, 9).Collector.Digest()
+		if a != b {
+			t.Errorf("%s: same-seed digests differ: %016x vs %016x", reg.name, a, b)
+		}
+		c := run(t, makeScheduler(t, reg.name), cl, tr, 10).Collector.Digest()
+		if reg.seeded && c == a {
+			t.Errorf("%s: digest unchanged across seeds (%016x)", reg.name, a)
+		}
+		if !reg.seeded && c != a {
+			t.Errorf("%s: seed leaked into a deterministic scheduler: %016x vs %016x", reg.name, a, c)
 		}
 	}
 }

@@ -1,0 +1,153 @@
+package simulation
+
+import "testing"
+
+// TestEngineCancelFromEarlierEventSameTime cancels an event from inside
+// another event carrying the same timestamp: the victim is already near the
+// heap top when Cancel runs, and must still not fire while its same-time
+// neighbors do.
+func TestEngineCancelFromEarlierEventSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	var victim *ScheduledEvent
+	e.Schedule(Second, func(Time) {
+		order = append(order, "killer")
+		if !e.Cancel(victim) {
+			t.Error("Cancel returned false for a pending same-time event")
+		}
+	})
+	victim = e.Schedule(Second, func(Time) { order = append(order, "victim") })
+	e.Schedule(Second, func(Time) { order = append(order, "bystander") })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "killer" || order[1] != "bystander" {
+		t.Fatalf("order = %v, want [killer bystander]", order)
+	}
+}
+
+// TestEngineCancelAfterFireIsNoOp cancels an event that has already
+// executed: the call must report false, not perturb the queue, and still
+// mark the handle cancelled.
+func TestEngineCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	ev := e.Schedule(Second, func(Time) { fired++ })
+	e.Schedule(2*Second, func(Time) {
+		if e.Cancel(ev) {
+			t.Error("Cancel returned true for an already-fired event")
+		}
+	})
+	later := e.Schedule(3*Second, func(Time) { fired++ })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if !ev.Canceled() {
+		t.Error("late Cancel did not mark the handle")
+	}
+	_ = later
+}
+
+// TestEngineHaltLeavesPendingEventsResumable halts mid-run and checks the
+// remaining events survive intact, then drains them with a second Run.
+func TestEngineHaltLeavesPendingEventsResumable(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*Second, func(Time) {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	if err := e.Run(); err != ErrHalted {
+		t.Fatalf("Run = %v, want ErrHalted", err)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending after halt = %d, want 7", e.Pending())
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("Now after halt = %v, want 3s", e.Now())
+	}
+	// A fresh Run clears the halt flag and drains what was left.
+	if err := e.Run(); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if count != 10 || e.Pending() != 0 {
+		t.Fatalf("after resume count = %d pending = %d, want 10/0", count, e.Pending())
+	}
+}
+
+// TestEngineHaltBeforeRun halts an idle engine: the next Run must report
+// ErrHalted without consuming any event, and the one after that proceeds.
+func TestEngineHaltBeforeRun(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(Second, func(Time) { fired = true })
+	e.Halt()
+	// RunUntil resets the flag on entry, so a pre-run Halt is absorbed.
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run after pre-run Halt: %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+}
+
+// TestEnginePastSchedulingPreservesOrder schedules a burst of past-time
+// events from inside a handler and checks they are clamped to Now, run in
+// insertion order, and never overtake an event already due at Now.
+func TestEnginePastSchedulingPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	var times []Time
+	record := func(id int) EventFunc {
+		return func(now Time) {
+			order = append(order, id)
+			times = append(times, now)
+		}
+	}
+	e.Schedule(5*Second, func(Time) {
+		order = append(order, 0)
+		times = append(times, e.Now())
+		// All in the past or present — every one must clamp to 5s.
+		e.Schedule(Second, record(1))
+		e.Schedule(0, record(2))
+		e.Schedule(3*Second, record(3))
+		e.Schedule(5*Second, record(4))
+		// And one genuinely in the future.
+		e.Schedule(6*Second, record(5))
+	})
+	e.Schedule(5*Second, record(6)) // same-time sibling inserted before the burst
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{0, 6, 1, 2, 3, 4, 5}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	for i, at := range times {
+		wantAt := 5 * Second
+		if order[i] == 5 {
+			wantAt = 6 * Second
+		}
+		if at != wantAt {
+			t.Fatalf("event %d fired at %v, want %v", order[i], at, wantAt)
+		}
+	}
+	// The clock never ran backwards.
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("virtual time regressed: %v after %v", times[i], times[i-1])
+		}
+	}
+}

@@ -49,6 +49,47 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteReadWriteByteIdentical checks the encoding is a fixed point:
+// writing a decoded trace reproduces the original byte stream exactly.
+// Field-by-field comparison (above) would miss silently dropped or
+// re-ordered JSON fields; byte equality cannot.
+func TestWriteReadWriteByteIdentical(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	cfg.NumJobs = 120
+	tr, err := Generate(cfg, cl, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first bytes.Buffer
+	if err := Write(&first, tr); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Read(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := Write(&second, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		a, b := first.String(), second.String()
+		line := 1
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("re-encoded trace diverges at byte %d (line %d): %d vs %d bytes total",
+					i, line, first.Len(), second.Len())
+			}
+			if a[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("re-encoded trace is a strict prefix/extension: %d vs %d bytes", first.Len(), second.Len())
+	}
+}
+
 func TestFileRoundTrip(t *testing.T) {
 	cl := smallCluster(t)
 	cfg := smallConfig()

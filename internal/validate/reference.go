@@ -1,0 +1,141 @@
+package validate
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// This file holds the brute-force reference model used for differential
+// testing of the driver's queueing machinery. StaticBinder is the simplest
+// scheduler expressible in the framework — every task early-binds to a
+// deterministically chosen candidate worker at submission, FIFO queues,
+// no reordering, stealing, or probes — and Replay recomputes the exact
+// completion times such a run must produce using nothing but a per-worker
+// cursor loop. Any disagreement implicates the driver's event plumbing
+// (reservation, admission delay, dispatch, completion), not the scheduler.
+
+// Binding records where StaticBinder placed one task.
+type Binding struct {
+	// JobID and TaskIndex identify the task.
+	JobID, TaskIndex int
+	// WorkerID is the chosen worker.
+	WorkerID int
+	// Arrival is the job's submission time (when the placement happened).
+	Arrival simulation.Time
+	// Duration is the task's service time.
+	Duration simulation.Time
+}
+
+// StaticBinder is a deliberately trivial scheduler for differential tests:
+// each task of each job is bound, at submission, to a worker drawn
+// uniformly from the job's candidate set. It records every placement so
+// Replay can recompute the run's outcome independently.
+type StaticBinder struct {
+	stream *simulation.Stream
+	// Bindings accumulate in placement order (which, with FIFO queues,
+	// is also per-worker service order).
+	Bindings []Binding
+}
+
+var _ sched.Scheduler = (*StaticBinder)(nil)
+
+// Name implements sched.Scheduler.
+func (s *StaticBinder) Name() string { return "static-binder" }
+
+// Init implements sched.Scheduler.
+func (s *StaticBinder) Init(d *sched.Driver) error {
+	s.stream = d.Stream("static-binder")
+	s.Bindings = s.Bindings[:0]
+	d.SetAllPolicies(sched.FIFO{})
+	return nil
+}
+
+// SubmitJob implements sched.Scheduler.
+func (s *StaticBinder) SubmitJob(d *sched.Driver, js *sched.JobState) {
+	cands := d.CandidateWorkers(js)
+	n := cands.Count()
+	for i := range js.Job.Tasks {
+		t := &js.Job.Tasks[i]
+		w := d.Worker(cands.NthSet(s.stream.Intn(n)))
+		d.EnqueueTask(w, js, t)
+		s.Bindings = append(s.Bindings, Binding{
+			JobID:     js.Job.ID,
+			TaskIndex: i,
+			WorkerID:  w.ID,
+			Arrival:   js.Job.Arrival,
+			Duration:  t.Duration,
+		})
+	}
+}
+
+// RefJob is the reference model's prediction for one job.
+type RefJob struct {
+	// Completion is when the job's last task finishes.
+	Completion simulation.Time
+	// MaxWait and SumWait are the largest and summed per-task waits
+	// (task start minus job arrival), matching the driver's
+	// MaxQueueDelay/SumQueueDelay bookkeeping.
+	MaxWait, SumWait simulation.Time
+}
+
+// Replay brute-forces the outcome of a StaticBinder run: tasks bound to a
+// worker are admitted one network delay after submission and served FIFO on
+// the worker's single slot, so per worker a single time cursor suffices.
+// It returns the predicted per-job outcomes keyed by job ID.
+func Replay(cfg sched.Config, bindings []Binding) map[int]RefJob {
+	cursor := make(map[int]simulation.Time)
+	out := make(map[int]RefJob)
+	for _, b := range bindings {
+		admit := b.Arrival + cfg.NetworkDelay
+		start := admit
+		if c := cursor[b.WorkerID]; c > start {
+			start = c
+		}
+		end := start + b.Duration
+		cursor[b.WorkerID] = end
+		wait := start - b.Arrival
+		r := out[b.JobID]
+		if end > r.Completion {
+			r.Completion = end
+		}
+		if wait > r.MaxWait {
+			r.MaxWait = wait
+		}
+		r.SumWait += wait
+		out[b.JobID] = r
+	}
+	return out
+}
+
+// Diff compares a collector's job records against the reference
+// predictions, returning a descriptive error on the first mismatch. Exact
+// equality is required: virtual time is integral, so there is no tolerance
+// to hide drift in.
+func Diff(records []metrics.JobRecord, ref map[int]RefJob) error {
+	if len(records) != len(ref) {
+		return fmt.Errorf("validate: simulator completed %d jobs, reference predicts %d", len(records), len(ref))
+	}
+	for i := range records {
+		r := &records[i]
+		want, ok := ref[r.JobID]
+		if !ok {
+			return fmt.Errorf("validate: job %d completed but never bound", r.JobID)
+		}
+		if r.Completion != want.Completion {
+			return fmt.Errorf("validate: job %d completed at %v, reference predicts %v",
+				r.JobID, r.Completion, want.Completion)
+		}
+		if r.MaxQueueDelay != want.MaxWait {
+			return fmt.Errorf("validate: job %d max wait %v, reference predicts %v",
+				r.JobID, r.MaxQueueDelay, want.MaxWait)
+		}
+		if r.SumQueueDelay != want.SumWait {
+			return fmt.Errorf("validate: job %d summed wait %v, reference predicts %v",
+				r.JobID, r.SumQueueDelay, want.SumWait)
+		}
+	}
+	return nil
+}

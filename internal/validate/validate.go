@@ -1,0 +1,301 @@
+// Package validate is the scheduler-agnostic run-time invariant checker for
+// the simulation. It attaches to a sched.Driver as a passive Observer and
+// asserts, on every event, the bookkeeping properties every figure in the
+// paper's evaluation silently relies on:
+//
+//   - constraint: no task starts on a machine that fails the job's
+//     effective (post-admission-control) constraint set.
+//   - slot-occupancy: each worker's single execution slot never holds more
+//     than one task and never completes a task it is not running.
+//   - conservation: every arrived job finishes exactly once, every task of
+//     every arrived job starts and completes exactly once, and no queue
+//     entry is created or destroyed unaccounted.
+//   - slack: under reordering, no queued entry is ever bypassed more than
+//     the configured SlackThreshold (the paper's starvation guard, 5).
+//   - time-monotone: virtual time never decreases across observer
+//     callbacks.
+//   - queue-accounting: the checker's independently-counted queue length
+//     matches the worker's, and reserved backlog never goes negative.
+//
+// Checking is opt-in (it costs one map update per task event) and reports
+// violations instead of panicking, so a broken scheduler produces a
+// readable diagnosis rather than a corrupted run.
+package validate
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	// Invariant names the broken property ("constraint", "conservation",
+	// "slot-occupancy", "slack", "time-monotone", "queue-accounting").
+	Invariant string
+	// Time is the virtual time of the observation.
+	Time simulation.Time
+	// Detail describes the breach.
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%v [%s] %s", v.Time, v.Invariant, v.Detail)
+}
+
+// maxRecorded caps stored violations; a systematically broken scheduler
+// would otherwise record one violation per task.
+const maxRecorded = 64
+
+// Checker asserts run-time invariants on a single driver. Construct with
+// Attach before Run and call Finalize after; a Checker must not be shared
+// across drivers or reused.
+type Checker struct {
+	d     *sched.Driver
+	slack int
+
+	last      simulation.Time
+	events    uint64
+	occupancy []int
+	queueLen  []int
+	enqueues  uint64
+	dequeues  uint64
+
+	started   map[*trace.Task]int
+	completed map[*trace.Task]int
+	arrived   map[int]int
+	finished  map[int]int
+
+	violations []Violation
+	total      int
+}
+
+var _ sched.Observer = (*Checker)(nil)
+
+// Attach registers a new Checker on d and returns it. The driver's
+// SlackThreshold is the bypass bound enforced by the slack invariant.
+func Attach(d *sched.Driver) *Checker {
+	c := &Checker{
+		d:         d,
+		slack:     d.Config().SlackThreshold,
+		occupancy: make([]int, len(d.Workers())),
+		queueLen:  make([]int, len(d.Workers())),
+		started:   make(map[*trace.Task]int),
+		completed: make(map[*trace.Task]int),
+		arrived:   make(map[int]int),
+		finished:  make(map[int]int),
+	}
+	d.AttachObserver(c)
+	return c
+}
+
+// Events reports the number of observer callbacks checked so far.
+func (c *Checker) Events() uint64 { return c.events }
+
+// Violations returns the recorded violations (capped at an internal limit;
+// TotalViolations reports the uncapped count).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// TotalViolations reports every violation observed, including those beyond
+// the recording cap.
+func (c *Checker) TotalViolations() int { return c.total }
+
+func (c *Checker) violate(invariant, format string, args ...any) {
+	c.total++
+	if len(c.violations) < maxRecorded {
+		c.violations = append(c.violations, Violation{
+			Invariant: invariant,
+			Time:      c.d.Now(),
+			Detail:    fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// observe runs the per-callback common checks.
+func (c *Checker) observe() {
+	c.events++
+	now := c.d.Now()
+	if now < c.last {
+		c.violate("time-monotone", "virtual time went backwards: %v after %v", now, c.last)
+	}
+	c.last = now
+}
+
+// checkQueue verifies the checker's independent queue count against the
+// worker's and that reserved backlog stayed non-negative.
+func (c *Checker) checkQueue(w *sched.Worker) {
+	if c.queueLen[w.ID] != w.QueueLen() {
+		c.violate("queue-accounting", "worker %d queue length %d, observed %d enqueue/dequeue balance",
+			w.ID, w.QueueLen(), c.queueLen[w.ID])
+		c.queueLen[w.ID] = w.QueueLen() // resync so one breach reports once
+	}
+	if w.QueuedWork() < 0 {
+		c.violate("queue-accounting", "worker %d reserved backlog negative: %v", w.ID, w.QueuedWork())
+	}
+}
+
+// OnJobArrival implements sched.Observer.
+func (c *Checker) OnJobArrival(_ *sched.Driver, js *sched.JobState) {
+	c.observe()
+	c.arrived[js.Job.ID]++
+	if c.arrived[js.Job.ID] > 1 {
+		c.violate("conservation", "job %d arrived %d times", js.Job.ID, c.arrived[js.Job.ID])
+	}
+}
+
+// OnEnqueue implements sched.Observer.
+func (c *Checker) OnEnqueue(_ *sched.Driver, w *sched.Worker, _ *sched.Entry) {
+	c.observe()
+	c.enqueues++
+	c.queueLen[w.ID]++
+	c.checkQueue(w)
+}
+
+// OnDequeue implements sched.Observer.
+func (c *Checker) OnDequeue(_ *sched.Driver, w *sched.Worker, e *sched.Entry, reason sched.DequeueReason) {
+	c.observe()
+	c.dequeues++
+	c.queueLen[w.ID]--
+	if c.queueLen[w.ID] < 0 {
+		c.violate("queue-accounting", "worker %d dequeued from an empty queue", w.ID)
+	}
+	c.checkQueue(w)
+	if e.Bypassed > c.slack {
+		c.violate("slack", "worker %d served an entry of job %d bypassed %d times (threshold %d)",
+			w.ID, e.Job.Job.ID, e.Bypassed, c.slack)
+	}
+	if reason == sched.DequeueDispatch {
+		// Serving out of order charged one bypass to every earlier entry;
+		// none may have been pushed past the threshold.
+		for _, q := range w.Queue() {
+			if q.Bypassed > c.slack {
+				c.violate("slack", "worker %d left an entry of job %d bypassed %d times in queue (threshold %d)",
+					w.ID, q.Job.Job.ID, q.Bypassed, c.slack)
+			}
+		}
+	}
+}
+
+// OnStart implements sched.Observer.
+func (c *Checker) OnStart(_ *sched.Driver, w *sched.Worker, e *sched.Entry, t *trace.Task) {
+	c.observe()
+	c.occupancy[w.ID]++
+	if c.occupancy[w.ID] > 1 {
+		c.violate("slot-occupancy", "worker %d started task %d with %d tasks already running",
+			w.ID, t.ID, c.occupancy[w.ID]-1)
+	}
+	js := e.Job
+	if !js.Constraints.SatisfiedBy(&w.Machine.Attrs) {
+		c.violate("constraint", "task %d of job %d started on worker %d violating %v (attrs %v)",
+			t.ID, js.Job.ID, w.ID, js.Constraints, &w.Machine.Attrs)
+	}
+	c.started[t]++
+	if c.started[t] > 1 {
+		c.violate("conservation", "task %d started %d times", t.ID, c.started[t])
+	}
+	if c.arrived[js.Job.ID] == 0 {
+		c.violate("conservation", "task %d of job %d started before the job arrived", t.ID, js.Job.ID)
+	}
+}
+
+// OnComplete implements sched.Observer.
+func (c *Checker) OnComplete(_ *sched.Driver, w *sched.Worker, js *sched.JobState, t *trace.Task) {
+	c.observe()
+	c.occupancy[w.ID]--
+	if c.occupancy[w.ID] < 0 {
+		c.violate("slot-occupancy", "worker %d completed task %d while idle", w.ID, t.ID)
+	}
+	c.completed[t]++
+	if c.completed[t] > 1 {
+		c.violate("conservation", "task %d completed %d times", t.ID, c.completed[t])
+	}
+	if c.started[t] == 0 {
+		c.violate("conservation", "task %d of job %d completed without starting", t.ID, js.Job.ID)
+	}
+}
+
+// OnJobFinish implements sched.Observer.
+func (c *Checker) OnJobFinish(_ *sched.Driver, js *sched.JobState) {
+	c.observe()
+	c.finished[js.Job.ID]++
+	if c.finished[js.Job.ID] > 1 {
+		c.violate("conservation", "job %d finished %d times", js.Job.ID, c.finished[js.Job.ID])
+	}
+	if js.Done() != len(js.Job.Tasks) {
+		c.violate("conservation", "job %d finished with %d/%d tasks done",
+			js.Job.ID, js.Done(), len(js.Job.Tasks))
+	}
+}
+
+// OnWorkerFailure implements sched.Observer.
+func (c *Checker) OnWorkerFailure(_ *sched.Driver, w *sched.Worker) {
+	c.observe()
+	if !w.Failed() {
+		c.violate("queue-accounting", "worker %d reported failed while up", w.ID)
+	}
+}
+
+// OnWorkerRecovery implements sched.Observer.
+func (c *Checker) OnWorkerRecovery(_ *sched.Driver, w *sched.Worker) {
+	c.observe()
+	if w.Failed() {
+		c.violate("queue-accounting", "worker %d reported recovered while down", w.ID)
+	}
+}
+
+// Finalize runs the end-of-run conservation checks — every job arrived and
+// finished exactly once, every task completed exactly once, all queues and
+// slots drained — and returns an error summarizing all violations, or nil
+// for a clean run. Call it after Driver.Run returns.
+func (c *Checker) Finalize() error {
+	tr := c.d.Trace()
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if n := c.arrived[j.ID]; n != 1 {
+			c.violate("conservation", "job %d arrived %d times, want 1", j.ID, n)
+		}
+		if n := c.finished[j.ID]; n != 1 {
+			c.violate("conservation", "job %d finished %d times, want 1", j.ID, n)
+		}
+		for k := range j.Tasks {
+			t := &j.Tasks[k]
+			if n := c.completed[t]; n != 1 {
+				c.violate("conservation", "task %d of job %d completed %d times, want 1", t.ID, j.ID, n)
+			}
+		}
+	}
+	if c.enqueues != c.dequeues {
+		c.violate("conservation", "%d enqueues vs %d dequeues at end of run", c.enqueues, c.dequeues)
+	}
+	for _, w := range c.d.Workers() {
+		if c.occupancy[w.ID] != 0 {
+			c.violate("slot-occupancy", "worker %d ended the run with occupancy %d", w.ID, c.occupancy[w.ID])
+		}
+		if w.QueueLen() != 0 {
+			c.violate("conservation", "worker %d ended the run with %d queued entries", w.ID, w.QueueLen())
+		}
+	}
+	return c.Err()
+}
+
+// Err returns an error describing the violations observed so far, nil when
+// none.
+func (c *Checker) Err() error {
+	if c.total == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "validate: %d invariant violation(s) over %d events", c.total, c.events)
+	for _, v := range c.violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if c.total > len(c.violations) {
+		fmt.Fprintf(&b, "\n  ... and %d more", c.total-len(c.violations))
+	}
+	return fmt.Errorf("%s", b.String())
+}

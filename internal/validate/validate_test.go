@@ -1,0 +1,261 @@
+package validate_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+	"github.com/phoenix-sched/phoenix/internal/validate"
+)
+
+// TestDifferentialStaticBinder compares the full driver machinery against
+// the brute-force reference model on a battery of tiny randomized clusters
+// and workloads: exact completion times, exact waits, zero invariant
+// violations. Any event-plumbing regression (reservation, admission delay,
+// dispatch order, completion accounting) breaks the equality.
+func TestDifferentialStaticBinder(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		seed := uint64(100 + trial)
+		rng := simulation.NewRNG(seed)
+		nodes := 3 + int(rng.Stream("nodes").Intn(8))
+		jobs := 15 + int(rng.Stream("jobs").Intn(30))
+		load := 0.5 + rng.Stream("load").Float64()
+
+		cl, err := cluster.GoogleProfile().GenerateCluster(nodes, rng.Stream("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := trace.GoogleConfig(1.0)
+		cfg.NumJobs = jobs
+		cfg.NumNodes = nodes
+		cfg.TargetLoad = load
+		tr, err := trace.Generate(cfg, cl, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sb := &validate.StaticBinder{}
+		simCfg := sched.DefaultConfig()
+		d, err := sched.NewDriver(simCfg, cl, tr, sb, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := validate.Attach(d)
+		res, err := d.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := chk.Finalize(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref := validate.Replay(simCfg, sb.Bindings)
+		if err := validate.Diff(res.Collector.Jobs(), ref); err != nil {
+			t.Fatalf("trial %d (nodes=%d jobs=%d load=%.2f): %v", trial, nodes, jobs, load, err)
+		}
+	}
+}
+
+// twoMachineCluster returns a 2-machine cluster where only machine 1 has
+// more than 8 cores.
+func twoMachineCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	var small, big constraint.Attributes
+	small.Set(constraint.DimCores, 4)
+	big.Set(constraint.DimCores, 16)
+	cl, err := cluster.New([]cluster.Machine{
+		{ID: 0, Attrs: small},
+		{ID: 1, Attrs: big},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// constrainedJob builds a one-task job requiring cores > 8.
+func constrainedTrace() *trace.Trace {
+	cons := constraint.Set{{Dim: constraint.DimCores, Op: constraint.OpGT, Value: 8}}
+	return &trace.Trace{
+		Name:        "manual",
+		NumNodes:    2,
+		ShortCutoff: simulation.Second,
+		Jobs: []trace.Job{{
+			ID:      0,
+			Arrival: 0,
+			Short:   true,
+			Tasks: []trace.Task{{
+				ID: 0, JobID: 0, Index: 0,
+				Duration:    100 * simulation.Millisecond,
+				Constraints: cons,
+			}},
+		}},
+	}
+}
+
+// workerZeroScheduler ignores constraints and binds everything to worker 0.
+type workerZeroScheduler struct{}
+
+func (workerZeroScheduler) Name() string               { return "worker-zero" }
+func (workerZeroScheduler) Init(d *sched.Driver) error { return nil }
+func (workerZeroScheduler) SubmitJob(d *sched.Driver, js *sched.JobState) {
+	for i := range js.Job.Tasks {
+		d.EnqueueTask(d.Worker(0), js, &js.Job.Tasks[i])
+	}
+}
+
+func hasInvariant(vs []validate.Violation, name string) bool {
+	for _, v := range vs {
+		if v.Invariant == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckerFlagsConstraintViolation(t *testing.T) {
+	cl := twoMachineCluster(t)
+	tr := constrainedTrace()
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, workerZeroScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := validate.Attach(d)
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	err = chk.Finalize()
+	if err == nil {
+		t.Fatal("checker accepted a constraint-violating placement")
+	}
+	if !hasInvariant(chk.Violations(), "constraint") {
+		t.Fatalf("no constraint violation recorded; got %v", chk.Violations())
+	}
+	if !strings.Contains(err.Error(), "constraint") {
+		t.Errorf("error does not name the invariant: %v", err)
+	}
+}
+
+// duplicatingScheduler enqueues every task twice — a conservation bug.
+type duplicatingScheduler struct{}
+
+func (duplicatingScheduler) Name() string               { return "duplicator" }
+func (duplicatingScheduler) Init(d *sched.Driver) error { return nil }
+func (duplicatingScheduler) SubmitJob(d *sched.Driver, js *sched.JobState) {
+	for i := range js.Job.Tasks {
+		d.EnqueueTask(d.Worker(1), js, &js.Job.Tasks[i])
+		d.EnqueueTask(d.Worker(1), js, &js.Job.Tasks[i])
+	}
+}
+
+func TestCheckerFlagsDoubleExecution(t *testing.T) {
+	cl := twoMachineCluster(t)
+	tr := constrainedTrace()
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, duplicatingScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := validate.Attach(d)
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Finalize(); err == nil {
+		t.Fatal("checker accepted a task executing twice")
+	}
+	if !hasInvariant(chk.Violations(), "conservation") {
+		t.Fatalf("no conservation violation recorded; got %v", chk.Violations())
+	}
+}
+
+// lifoPolicy always serves the newest entry, ignoring the slack guard.
+type lifoPolicy struct{}
+
+func (lifoPolicy) Name() string { return "lifo" }
+func (lifoPolicy) Select(_ *sched.Driver, w *sched.Worker) int {
+	return w.QueueLen() - 1
+}
+
+// lifoScheduler binds every task to worker 0 and serves LIFO — under a
+// backlog, the oldest entry is bypassed past any slack threshold.
+type lifoScheduler struct{}
+
+func (lifoScheduler) Name() string { return "lifo" }
+func (lifoScheduler) Init(d *sched.Driver) error {
+	d.SetAllPolicies(lifoPolicy{})
+	return nil
+}
+func (lifoScheduler) SubmitJob(d *sched.Driver, js *sched.JobState) {
+	for i := range js.Job.Tasks {
+		d.EnqueueTask(d.Worker(0), js, &js.Job.Tasks[i])
+	}
+}
+
+func TestCheckerFlagsSlackViolation(t *testing.T) {
+	var attrs constraint.Attributes
+	cl, err := cluster.New([]cluster.Machine{{ID: 0, Attrs: attrs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten single-task jobs arriving together on one worker: LIFO service
+	// bypasses the oldest entry nine times, past the threshold of 5.
+	tr := &trace.Trace{Name: "burst", NumNodes: 1, ShortCutoff: simulation.Second}
+	for j := 0; j < 10; j++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			ID:      j,
+			Arrival: 0,
+			Short:   true,
+			Tasks: []trace.Task{{
+				ID: j, JobID: j, Index: 0, Duration: simulation.Second,
+			}},
+		})
+	}
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, lifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := validate.Attach(d)
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Finalize(); err == nil {
+		t.Fatal("checker accepted starvation past the slack threshold")
+	}
+	if !hasInvariant(chk.Violations(), "slack") {
+		t.Fatalf("no slack violation recorded; got %v", chk.Violations())
+	}
+}
+
+// TestCheckerCleanOnCompliantRun double-checks the checker itself stays
+// silent for a correct scheduler on the same manual fixtures the violation
+// tests use.
+func TestCheckerCleanOnCompliantRun(t *testing.T) {
+	cl := twoMachineCluster(t)
+	tr := constrainedTrace()
+	sb := &validate.StaticBinder{}
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, sb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := validate.Attach(d)
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Finalize(); err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+	if chk.Events() == 0 {
+		t.Fatal("checker observed no events")
+	}
+	if chk.TotalViolations() != 0 {
+		t.Fatalf("TotalViolations = %d, want 0", chk.TotalViolations())
+	}
+}
+
+func TestReplayEmptyBindings(t *testing.T) {
+	if got := validate.Replay(sched.DefaultConfig(), nil); len(got) != 0 {
+		t.Fatalf("Replay(nil) = %v, want empty", got)
+	}
+}
