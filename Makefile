@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench experiments figures clean
+.PHONY: all build test race vet ci bench bench-hotpath experiments figures clean
 
 all: build test
 
@@ -12,6 +12,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/...
+	$(MAKE) bench-hotpath
 
 build:
 	$(GO) build ./...
@@ -28,6 +29,12 @@ vet:
 # Full benchmark harness: one bench per paper table/figure plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path microbenchmarks, one iteration each: a cheap CI smoke that the
+# match cache, streaming counts, and candidate lookup still compile, run,
+# and report their allocation profiles.
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'MatchCache|Satisfying|CandidateWorkers' -benchtime=1x -benchmem ./internal/cluster/ .
 
 # Regenerate every paper table/figure (tables to stdout, CSVs + SVGs to results/).
 experiments:

@@ -264,3 +264,65 @@ func BenchmarkRunDigest(b *testing.B) {
 	}
 	_ = sink
 }
+
+// candidateBed builds a driver plus the job states of every constrained
+// job in the trace, for exercising the candidate-worker hot path the way
+// submission does.
+func candidateBed(b *testing.B) (*sched.Driver, []*sched.JobState) {
+	b.Helper()
+	cl, tr := ablationBed(b)
+	p, err := core.New(core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, p, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jss []*sched.JobState
+	for i := range tr.Jobs {
+		cs := tr.Jobs[i].Constraints()
+		if len(cs) == 0 {
+			continue
+		}
+		jss = append(jss, &sched.JobState{
+			Job:            &tr.Jobs[i],
+			Constraints:    cs,
+			ConstraintDims: cs.Dims(),
+			Constrained:    true,
+			Short:          true,
+		})
+	}
+	if len(jss) == 0 {
+		b.Fatal("trace has no constrained jobs")
+	}
+	return d, jss
+}
+
+// BenchmarkCandidateWorkersCached measures the submission hot path with the
+// match cache warm: repeat queries must be lock-protected map hits with
+// zero allocations.
+func BenchmarkCandidateWorkersCached(b *testing.B) {
+	d, jss := candidateBed(b)
+	for _, js := range jss {
+		d.CandidateWorkers(js)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.CandidateWorkers(jss[i%len(jss)])
+	}
+}
+
+// BenchmarkCandidateWorkersUncached is the pre-cache implementation of the
+// same query — materialize the satisfying set per call — as the allocs/op
+// baseline the cached path is judged against.
+func BenchmarkCandidateWorkersUncached(b *testing.B) {
+	d, jss := candidateBed(b)
+	cl := d.Cluster()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Satisfying(jss[i%len(jss)].Constraints)
+	}
+}

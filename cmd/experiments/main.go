@@ -20,6 +20,7 @@ import (
 
 	"github.com/phoenix-sched/phoenix/internal/experiments"
 	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/profiling"
 )
 
 func main() {
@@ -29,7 +30,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		list  = fs.Bool("list", false, "list experiment IDs and exit")
@@ -40,10 +41,23 @@ func run(args []string) error {
 		svg   = fs.String("svg", "", "directory to also render per-experiment SVG figures into")
 		check = fs.Bool("validate", false, "attach the invariant checker to every run; fail on any violation")
 		dig   = fs.Bool("digest", false, "print a digest of each experiment's table for regression diffing")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	if *list {
 		for _, id := range experiments.IDs() {

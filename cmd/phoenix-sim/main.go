@@ -20,6 +20,7 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/cluster"
 	"github.com/phoenix-sched/phoenix/internal/experiments"
 	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/profiling"
 	"github.com/phoenix-sched/phoenix/internal/sched"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
@@ -33,7 +34,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("phoenix-sim", flag.ContinueOnError)
 	var (
 		schedName = fs.String("scheduler", "phoenix", "scheduler: phoenix, eagle-c, hawk-c, sparrow-c, yacc-d")
@@ -48,6 +49,9 @@ func run(args []string) error {
 		doCheck   = fs.Bool("validate", false, "run the invariant checker and fail on any violation")
 		doDigest  = fs.Bool("digest", false, "print the run digest (same seed => same digest)")
 
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+
 		crvThreshold = fs.Float64("crv-threshold", 0, "Phoenix CRV contention threshold override (0 = default)")
 		qwait        = fs.Float64("qwait", 0, "Phoenix Qwait threshold seconds override (0 = default)")
 		noCRV        = fs.Bool("no-crv-reorder", false, "disable Phoenix CRV queue reordering")
@@ -57,6 +61,16 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	prof, err := cluster.ProfileByName(*profile)
 	if err != nil {

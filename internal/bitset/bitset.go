@@ -58,6 +58,12 @@ func (s *Set) Test(i int) bool {
 	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
 }
 
+// Words exposes the backing word slice (64 bits per word, bit i of the set
+// at word i/64). Callers must treat it as read-only; it is shared, not
+// copied, so that word-wise streaming operations (the cluster index's
+// materialization-free satisfying counts) need no allocation.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Count reports the number of set bits.
 func (s *Set) Count() int {
 	c := 0

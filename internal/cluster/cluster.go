@@ -11,6 +11,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"github.com/phoenix-sched/phoenix/internal/bitset"
@@ -37,6 +38,7 @@ const RackSize = 40
 type Cluster struct {
 	machines []Machine
 	index    *Index
+	matches  *MatchCache
 }
 
 // New builds a cluster from machines. Machine IDs must be dense 0..n-1 in
@@ -50,8 +52,14 @@ func New(machines []Machine) (*Cluster, error) {
 	}
 	c := &Cluster{machines: machines}
 	c.index = buildIndex(machines)
+	c.matches = newMatchCache(c)
 	return c, nil
 }
+
+// Matches returns the cluster's constraint-candidate cache. The cluster is
+// immutable, so cached results stay valid for its lifetime and the cache is
+// shared by every run over the cluster, concurrent ones included.
+func (c *Cluster) Matches() *MatchCache { return c.matches }
 
 // RackOf reports the rack a machine belongs to.
 func (c *Cluster) RackOf(id int) int { return id / RackSize }
@@ -124,18 +132,44 @@ func (c *Cluster) SatisfyingInto(dst *bitset.Set, s constraint.Set) error {
 }
 
 // SatisfyingCount reports how many machines satisfy s without materializing
-// the index list.
+// the satisfying set: the intersection is popcounted word by word against
+// the index's precomputed per-constraint masks, allocating nothing.
 func (c *Cluster) SatisfyingCount(s constraint.Set) int {
-	return c.Satisfying(s).Count()
+	return c.index.countSatisfying(s)
 }
 
-// SatisfyingOne reports how many machines satisfy the single constraint cn.
-// Used by the CRV monitor's supply side.
+// SatisfyingOne reports how many machines satisfy the single constraint cn
+// in O(log values) arithmetic over the index's precomputed counts, without
+// touching a bitset. Used by the CRV monitor's supply side every heartbeat.
 func (c *Cluster) SatisfyingOne(cn constraint.Constraint) int {
-	out := bitset.New(len(c.machines))
-	out.SetAll()
-	c.index.apply(out, cn)
-	return out.Count()
+	if !cn.Dim.Valid() {
+		return 0
+	}
+	di := &c.index.dims[cn.Dim.Index()]
+	switch cn.Op {
+	case constraint.OpEQ:
+		i := sort.Search(len(di.values), func(i int) bool { return di.values[i] >= cn.Value })
+		if i >= len(di.values) || di.values[i] != cn.Value {
+			return 0
+		}
+		return di.eqCount[i]
+	case constraint.OpLT:
+		i := sort.Search(len(di.values), func(i int) bool { return di.values[i] >= cn.Value })
+		if i == 0 {
+			return 0
+		}
+		return di.leCount[i-1]
+	case constraint.OpGT:
+		i := sort.Search(len(di.values), func(i int) bool { return di.values[i] > cn.Value })
+		if i == 0 {
+			return c.index.n
+		}
+		if i >= len(di.values) {
+			return 0
+		}
+		return c.index.n - di.leCount[i-1]
+	}
+	return 0
 }
 
 // Index answers per-constraint machine-membership queries. For every
@@ -148,9 +182,11 @@ type Index struct {
 }
 
 type dimIndex struct {
-	values []int64       // sorted distinct attribute values
-	eq     []*bitset.Set // eq[i]: machines with value == values[i]
-	le     []*bitset.Set // le[i]: machines with value <= values[i]
+	values  []int64       // sorted distinct attribute values
+	eq      []*bitset.Set // eq[i]: machines with value == values[i]
+	le      []*bitset.Set // le[i]: machines with value <= values[i]
+	eqCount []int         // eqCount[i] = eq[i].Count(), precomputed
+	leCount []int         // leCount[i] = le[i].Count(), precomputed
 }
 
 func buildIndex(machines []Machine) *Index {
@@ -171,13 +207,17 @@ func buildIndex(machines []Machine) *Index {
 
 		di.eq = make([]*bitset.Set, len(di.values))
 		di.le = make([]*bitset.Set, len(di.values))
+		di.eqCount = make([]int, len(di.values))
+		di.leCount = make([]int, len(di.values))
 		var running *bitset.Set
+		runningCount := 0
 		for i, v := range di.values {
 			s := bitset.New(len(machines))
 			for _, m := range byValue[v] {
 				s.Set(m)
 			}
 			di.eq[i] = s
+			di.eqCount[i] = len(byValue[v])
 			if running == nil {
 				running = s.Clone()
 			} else {
@@ -186,50 +226,142 @@ func buildIndex(machines []Machine) *Index {
 				_ = running.Or(s)
 			}
 			di.le[i] = running
+			runningCount += len(byValue[v])
+			di.leCount[i] = runningCount
 		}
 	}
 	return idx
 }
 
-// empty is a reusable all-zero mask the size of the cluster; apply
-// intersects with it for unsatisfiable constraints.
-func (ix *Index) applyEmpty(dst *bitset.Set) {
-	dst.Reset()
-}
+// maskKind classifies a single constraint's satisfying-machine set.
+type maskKind int
 
-// apply intersects dst with the machines satisfying cn.
-func (ix *Index) apply(dst *bitset.Set, cn constraint.Constraint) {
+const (
+	// maskSome: the constraint selects the returned mask (or, negated,
+	// its complement).
+	maskSome maskKind = iota
+	// maskAll: every machine satisfies the constraint (no-op).
+	maskAll
+	// maskNone: no machine satisfies the constraint.
+	maskNone
+)
+
+// resolve maps one constraint onto the index's precomputed bitsets: EQ and
+// LT select a stored mask directly, GT selects the complement of a prefix
+// union (negate == true), and out-of-range values degenerate to all/none.
+func (ix *Index) resolve(cn constraint.Constraint) (mask *bitset.Set, negate bool, kind maskKind) {
 	di := &ix.dims[cn.Dim.Index()]
 	switch cn.Op {
 	case constraint.OpEQ:
 		i := sort.Search(len(di.values), func(i int) bool { return di.values[i] >= cn.Value })
 		if i >= len(di.values) || di.values[i] != cn.Value {
-			ix.applyEmpty(dst)
-			return
+			return nil, false, maskNone
 		}
-		_ = dst.And(di.eq[i]) // capacities match by construction
+		return di.eq[i], false, maskSome
 	case constraint.OpLT:
 		// Largest index with values[i] < cn.Value.
 		i := sort.Search(len(di.values), func(i int) bool { return di.values[i] >= cn.Value })
 		if i == 0 {
-			ix.applyEmpty(dst)
-			return
+			return nil, false, maskNone
 		}
-		_ = dst.And(di.le[i-1])
+		return di.le[i-1], false, maskSome
 	case constraint.OpGT:
 		// Machines NOT in le[largest index with values[i] <= cn.Value].
 		i := sort.Search(len(di.values), func(i int) bool { return di.values[i] > cn.Value })
 		if i == 0 {
-			return // every machine exceeds the value: no-op intersection
+			return nil, false, maskAll // every machine exceeds the value
 		}
 		if i >= len(di.values) {
-			ix.applyEmpty(dst)
-			return
+			return nil, false, maskNone
 		}
-		_ = dst.AndNot(di.le[i-1])
-	default:
-		ix.applyEmpty(dst)
+		return di.le[i-1], true, maskSome
 	}
+	return nil, false, maskNone
+}
+
+// apply intersects dst with the machines satisfying cn.
+func (ix *Index) apply(dst *bitset.Set, cn constraint.Constraint) {
+	mask, negate, kind := ix.resolve(cn)
+	switch kind {
+	case maskAll:
+		return
+	case maskNone:
+		dst.Reset()
+		return
+	}
+	// And/AndNot cannot fail: index masks share the cluster capacity.
+	if negate {
+		_ = dst.AndNot(mask)
+	} else {
+		_ = dst.And(mask)
+	}
+}
+
+// countInlineMax bounds how many constraint masks countSatisfying keeps on
+// the stack. Valid sets constrain each of the NumDims dimensions at most
+// once; anything longer is malformed and takes the materializing fallback.
+const countInlineMax = constraint.KeyCap
+
+// countSatisfying popcounts the machines satisfying every constraint in s
+// without materializing the intersection: per 64-machine word it folds the
+// precomputed constraint masks together and popcounts the result, so the
+// whole query allocates nothing.
+func (ix *Index) countSatisfying(s constraint.Set) int {
+	if len(s) > countInlineMax {
+		// Malformed oversized set: fall back to materializing.
+		out := bitset.New(ix.n)
+		out.SetAll()
+		for _, cn := range s {
+			ix.apply(out, cn)
+			if !out.Any() {
+				return 0
+			}
+		}
+		return out.Count()
+	}
+	var (
+		masks   [countInlineMax][]uint64
+		negates [countInlineMax]bool
+		k       int
+	)
+	for _, cn := range s {
+		mask, negate, kind := ix.resolve(cn)
+		switch kind {
+		case maskNone:
+			return 0
+		case maskAll:
+			continue
+		}
+		masks[k] = mask.Words()
+		negates[k] = negate
+		k++
+	}
+	if k == 0 {
+		return ix.n
+	}
+	nw := len(masks[0])
+	// Unused high bits of the last word must not leak into the popcount
+	// when every mask is negated, so the all-ones seed is trimmed there.
+	tail := ^uint64(0)
+	if r := uint(ix.n) % 64; r != 0 {
+		tail = (1 << r) - 1
+	}
+	count := 0
+	for wi := 0; wi < nw; wi++ {
+		w := ^uint64(0)
+		if wi == nw-1 {
+			w = tail
+		}
+		for mi := 0; mi < k; mi++ {
+			if negates[mi] {
+				w &^= masks[mi][wi]
+			} else {
+				w &= masks[mi][wi]
+			}
+		}
+		count += bits.OnesCount64(w)
+	}
+	return count
 }
 
 // Prefix returns a new cluster over the first k machines. Machines are

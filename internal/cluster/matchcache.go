@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+)
+
+// MatchCache memoizes "which machines satisfy this constraint set" per
+// logical set. Constraint sets are drawn from a small template pool — the
+// synthesizer anchors every value to a real machine configuration, so the
+// same set recurs across thousands of jobs — while the cluster is immutable,
+// so a satisfying set computed once is valid for the cluster's lifetime and
+// needs no invalidation. The cache turns the per-submission bitset
+// allocation and re-intersection into a single lock-protected map lookup.
+//
+// Returned bitsets are interned and shared: CALLERS MUST TREAT THEM AS
+// READ-ONLY. Mutating one would corrupt every other user of the same set,
+// concurrent runs included; Clone before modifying (as every scheduler that
+// filters candidates already does).
+//
+// Concurrency: lookups take a read lock and misses briefly take the write
+// lock, so one cache is safely shared by concurrent simulations over the
+// same cluster — exactly how the experiment harness runs seeds in parallel.
+type MatchCache struct {
+	c *Cluster
+
+	mu sync.RWMutex
+	m  map[constraint.SetKey]*matchEntry
+
+	// allEntry is the interned unconstrained result (every machine).
+	allEntry matchEntry
+
+	hits, misses atomic.Int64
+}
+
+// matchEntry pairs an interned satisfying set with its popcount, so
+// SatisfyingCount on a cached set costs O(1).
+type matchEntry struct {
+	set   *bitset.Set
+	count int
+}
+
+// newMatchCache builds the cache for c; called once from New.
+func newMatchCache(c *Cluster) *MatchCache {
+	all := bitset.New(len(c.machines))
+	all.SetAll()
+	return &MatchCache{
+		c:        c,
+		m:        make(map[constraint.SetKey]*matchEntry),
+		allEntry: matchEntry{set: all, count: len(c.machines)},
+	}
+}
+
+// Cluster returns the cluster the cache answers for.
+func (mc *MatchCache) Cluster() *Cluster { return mc.c }
+
+// All returns the interned full-cluster set (read-only, like every set the
+// cache hands out).
+func (mc *MatchCache) All() *bitset.Set { return mc.allEntry.set }
+
+// Satisfying returns the interned read-only set of machines satisfying
+// every constraint in s. Hits allocate nothing.
+func (mc *MatchCache) Satisfying(s constraint.Set) *bitset.Set {
+	set, _ := mc.SatisfyingWithCount(s)
+	return set
+}
+
+// SatisfyingCount reports how many machines satisfy s; the count is interned
+// alongside the set, so repeat queries cost one map lookup.
+func (mc *MatchCache) SatisfyingCount(s constraint.Set) int {
+	_, count := mc.SatisfyingWithCount(s)
+	return count
+}
+
+// SatisfyingWithCount returns the interned read-only satisfying set and its
+// size in one lookup.
+func (mc *MatchCache) SatisfyingWithCount(s constraint.Set) (*bitset.Set, int) {
+	if len(s) == 0 {
+		mc.hits.Add(1)
+		return mc.allEntry.set, mc.allEntry.count
+	}
+	key, ok := s.Key()
+	if !ok {
+		// Oversized (malformed) sets fall outside the keyed space; serve
+		// them uncached rather than reject them.
+		set := mc.c.Satisfying(s)
+		return set, set.Count()
+	}
+	mc.mu.RLock()
+	e := mc.m[key]
+	mc.mu.RUnlock()
+	if e != nil {
+		mc.hits.Add(1)
+		return e.set, e.count
+	}
+	mc.misses.Add(1)
+	set := mc.c.Satisfying(s)
+	e = &matchEntry{set: set, count: set.Count()}
+	mc.mu.Lock()
+	if prior := mc.m[key]; prior != nil {
+		// A concurrent miss interned first; keep its copy so every caller
+		// shares one stable pointer per logical set.
+		e = prior
+	} else {
+		mc.m[key] = e
+	}
+	mc.mu.Unlock()
+	return e.set, e.count
+}
+
+// Len reports how many distinct constraint sets are interned.
+func (mc *MatchCache) Len() int {
+	mc.mu.RLock()
+	defer mc.mu.RUnlock()
+	return len(mc.m)
+}
+
+// Stats reports cumulative cache hits and misses (the unconstrained fast
+// path counts as a hit, uncacheable oversized sets count as neither).
+func (mc *MatchCache) Stats() (hits, misses int64) {
+	return mc.hits.Load(), mc.misses.Load()
+}

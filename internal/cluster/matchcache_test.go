@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// genCluster builds a profile-generated cluster large enough for the cache
+// to see realistic value distributions.
+func genCluster(t testing.TB, n int) *Cluster {
+	t.Helper()
+	cl, err := GoogleProfile().GenerateCluster(n, simulation.NewRNG(5).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// genSets draws constraint sets from the cluster's own value space, the way
+// the synthesizer anchors job constraints.
+func genSets(cl *Cluster, count int, seed uint64) []constraint.Set {
+	pick := simulation.NewRNG(seed).Stream("sets")
+	sets := make([]constraint.Set, count)
+	for i := range sets {
+		n := 1 + pick.Intn(4)
+		var s constraint.Set
+		for j := 0; j < n; j++ {
+			d := constraint.Dims[pick.Intn(constraint.NumDims)]
+			vals := cl.ValuesOn(d)
+			s = append(s, constraint.Constraint{
+				Dim:   d,
+				Op:    constraint.Op(pick.Intn(3)) + constraint.OpEQ,
+				Value: vals[pick.Intn(len(vals))],
+			})
+		}
+		sets[i] = s
+	}
+	return sets
+}
+
+func TestMatchCacheAgreesWithDirectComputation(t *testing.T) {
+	cl := genCluster(t, 200)
+	mc := cl.Matches()
+	for _, s := range genSets(cl, 200, 11) {
+		direct := cl.Satisfying(s)
+		cached := mc.Satisfying(s)
+		if direct.Count() != cached.Count() {
+			t.Fatalf("count mismatch for %v: direct %d, cached %d", s, direct.Count(), cached.Count())
+		}
+		for i := 0; i < cl.Size(); i++ {
+			if direct.Test(i) != cached.Test(i) {
+				t.Fatalf("bit %d mismatch for %v", i, s)
+			}
+		}
+		if n := mc.SatisfyingCount(s); n != direct.Count() {
+			t.Fatalf("SatisfyingCount(%v) = %d, want %d", s, n, direct.Count())
+		}
+	}
+}
+
+func TestMatchCacheInternsPerLogicalSet(t *testing.T) {
+	cl := genCluster(t, 120)
+	mc := cl.Matches()
+	a := constraint.Set{
+		{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: cl.ValuesOn(constraint.DimISA)[0]},
+		{Dim: constraint.DimCores, Op: constraint.OpGT, Value: 1},
+	}
+	// Same logical set, reversed element order.
+	b := constraint.Set{a[1], a[0]}
+
+	before := mc.Len()
+	p1 := mc.Satisfying(a)
+	p2 := mc.Satisfying(b)
+	if p1 != p2 {
+		t.Error("logically equal sets returned distinct interned pointers")
+	}
+	if mc.Len() != before+1 {
+		t.Errorf("interned %d entries for one logical set", mc.Len()-before)
+	}
+	h0, m0 := mc.Stats()
+	mc.Satisfying(a)
+	h1, m1 := mc.Stats()
+	if h1 != h0+1 || m1 != m0 {
+		t.Errorf("repeat lookup: hits %d->%d misses %d->%d, want one new hit", h0, h1, m0, m1)
+	}
+}
+
+func TestMatchCacheEmptySetReturnsAll(t *testing.T) {
+	cl := genCluster(t, 50)
+	mc := cl.Matches()
+	set, n := mc.SatisfyingWithCount(nil)
+	if n != cl.Size() || set.Count() != cl.Size() {
+		t.Errorf("empty set: count %d, bits %d, want %d", n, set.Count(), cl.Size())
+	}
+	if set != mc.All() {
+		t.Error("empty set did not return the interned all-machines set")
+	}
+}
+
+func TestMatchCacheOversizedSetServedUncached(t *testing.T) {
+	cl := genCluster(t, 50)
+	mc := cl.Matches()
+	// KeyCap+1 constraints (duplicate dimensions — malformed, but the
+	// cache must still answer correctly).
+	var s constraint.Set
+	for i := 0; i <= constraint.KeyCap; i++ {
+		s = append(s, constraint.Constraint{Dim: constraint.DimCores, Op: constraint.OpGT, Value: int64(i)})
+	}
+	before := mc.Len()
+	h0, m0 := mc.Stats()
+	set, n := mc.SatisfyingWithCount(s)
+	if set.Count() != n {
+		t.Errorf("oversized set: count %d != bits %d", n, set.Count())
+	}
+	if direct := cl.Satisfying(s); direct.Count() != n {
+		t.Errorf("oversized set: cached count %d != direct %d", n, direct.Count())
+	}
+	h1, m1 := mc.Stats()
+	if mc.Len() != before || h1 != h0 || m1 != m0 {
+		t.Error("oversized set touched the cache")
+	}
+}
+
+func TestMatchCacheHitAllocatesNothing(t *testing.T) {
+	cl := genCluster(t, 150)
+	mc := cl.Matches()
+	sets := genSets(cl, 16, 13)
+	for _, s := range sets {
+		mc.Satisfying(s) // warm
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, s := range sets {
+			mc.Satisfying(s)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestSatisfyingCountAllocatesNothing(t *testing.T) {
+	cl := genCluster(t, 150)
+	sets := genSets(cl, 16, 17)
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, s := range sets {
+			cl.SatisfyingCount(s)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SatisfyingCount allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestSatisfyingOneAllocatesNothing(t *testing.T) {
+	cl := genCluster(t, 150)
+	cn := constraint.Constraint{Dim: constraint.DimCores, Op: constraint.OpGT, Value: 4}
+	allocs := testing.AllocsPerRun(200, func() {
+		cl.SatisfyingOne(cn)
+	})
+	if allocs != 0 {
+		t.Errorf("SatisfyingOne allocates %v per run, want 0", allocs)
+	}
+}
+
+// The experiment harness shares one cluster (and so one cache) across
+// concurrently running seeds; hammer the cache from many goroutines and
+// check every caller sees the same interned pointer per set. Run under
+// -race this also proves the locking discipline.
+func TestMatchCacheConcurrentSharing(t *testing.T) {
+	cl := genCluster(t, 150)
+	mc := cl.Matches()
+	sets := genSets(cl, 32, 23)
+
+	const workers = 8
+	got := make([][]*bitset.Set, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ptrs := make([]*bitset.Set, len(sets))
+			for round := 0; round < 50; round++ {
+				for i, s := range sets {
+					set, n := mc.SatisfyingWithCount(s)
+					if set.Count() != n {
+						t.Errorf("count %d != bits %d", n, set.Count())
+						return
+					}
+					ptrs[i] = set
+				}
+			}
+			got[g] = ptrs
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < workers; g++ {
+		for i := range sets {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d saw a different interned set for %v", g, sets[i])
+			}
+		}
+	}
+}
+
+func BenchmarkMatchCacheHit(b *testing.B) {
+	cl := genCluster(b, 500)
+	mc := cl.Matches()
+	sets := genSets(cl, 64, 29)
+	for _, s := range sets {
+		mc.Satisfying(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Satisfying(sets[i%len(sets)])
+	}
+}
+
+func BenchmarkMatchCacheMiss(b *testing.B) {
+	cl := genCluster(b, 500)
+	sets := genSets(cl, 64, 31)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(sets) == 0 {
+			b.StopTimer()
+			cl.matches = newMatchCache(cl) // cold cache each cycle
+			b.StartTimer()
+		}
+		cl.Matches().Satisfying(sets[i%len(sets)])
+	}
+}
+
+func BenchmarkSatisfyingCountStreaming(b *testing.B) {
+	cl := genCluster(b, 500)
+	sets := genSets(cl, 64, 37)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.SatisfyingCount(sets[i%len(sets)])
+	}
+}
+
+func BenchmarkSatisfyingMaterializing(b *testing.B) {
+	cl := genCluster(b, 500)
+	sets := genSets(cl, 64, 37)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Satisfying(sets[i%len(sets)])
+	}
+}

@@ -1,0 +1,85 @@
+package constraint
+
+// Canonical ordering and signature keys for constraint sets.
+//
+// Constraint sets in synthesized traces are drawn from a small template
+// pool (values are anchored to SKU-level machine configurations), so the
+// same logical set recurs across thousands of jobs — possibly with its
+// constraints in a different order. The match cache in internal/cluster
+// memoizes satisfying-set computations per logical set, which needs an
+// order-insensitive, allocation-free key: SetKey, a comparable struct
+// holding the constraints in canonical order, usable directly as a map key.
+
+// Less reports whether a orders before b in the canonical constraint
+// ordering: by dimension, then operator, then value.
+func Less(a, b Constraint) bool {
+	if a.Dim != b.Dim {
+		return a.Dim < b.Dim
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	return a.Value < b.Value
+}
+
+// KeyCap is the largest set length Key can represent. Valid sets constrain
+// each dimension at most once, so NumDims covers everything Validate
+// accepts; longer (malformed) sets fall outside the keyed space and callers
+// must handle ok == false.
+const KeyCap = NumDims
+
+// SetKey is a canonical, comparable signature of a Set: the constraints in
+// canonical order inside a fixed-size array, so two logically equal sets —
+// regardless of element order — produce identical keys, and the key can be
+// built and used as a map key without heap allocation.
+type SetKey struct {
+	n  int
+	cs [KeyCap]Constraint
+}
+
+// Key returns the canonical signature of s. ok is false when s holds more
+// than KeyCap constraints (malformed by Validate's duplicate-dimension
+// rule); such sets cannot be keyed and must take an uncached path.
+func (s Set) Key() (key SetKey, ok bool) {
+	if len(s) > KeyCap {
+		return SetKey{}, false
+	}
+	key.n = len(s)
+	copy(key.cs[:], s)
+	// Insertion sort: sets hold at most KeyCap (9) elements and arrive
+	// nearly sorted, and unlike sort.Slice this never allocates.
+	for i := 1; i < key.n; i++ {
+		for j := i; j > 0 && Less(key.cs[j], key.cs[j-1]); j-- {
+			key.cs[j], key.cs[j-1] = key.cs[j-1], key.cs[j]
+		}
+	}
+	return key, true
+}
+
+// Len reports the number of constraints the key encodes.
+func (k SetKey) Len() int { return k.n }
+
+// Set reconstructs the canonical constraint set the key encodes.
+func (k SetKey) Set() Set {
+	if k.n == 0 {
+		return nil
+	}
+	out := make(Set, k.n)
+	copy(out, k.cs[:k.n])
+	return out
+}
+
+// Canonical returns a copy of s sorted into canonical order. The input is
+// left untouched.
+func (s Set) Canonical() Set {
+	if s == nil {
+		return nil
+	}
+	out := s.Clone()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && Less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

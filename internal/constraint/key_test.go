@@ -1,0 +1,134 @@
+package constraint
+
+import (
+	"testing"
+)
+
+func keySet() Set {
+	return Set{
+		{Dim: DimCores, Op: OpGT, Value: 7},
+		{Dim: DimISA, Op: OpEQ, Value: 1},
+		{Dim: DimClock, Op: OpEQ, Value: 2600},
+	}
+}
+
+func TestLessOrdersByDimOpValue(t *testing.T) {
+	a := Constraint{Dim: DimISA, Op: OpEQ, Value: 1}
+	cases := []struct {
+		b    Constraint
+		want bool
+	}{
+		{Constraint{Dim: DimCores, Op: OpEQ, Value: 1}, DimISA < DimCores},
+		{Constraint{Dim: DimISA, Op: OpLT, Value: 1}, OpEQ < OpLT},
+		{Constraint{Dim: DimISA, Op: OpEQ, Value: 2}, true},
+		{a, false},
+	}
+	for i, c := range cases {
+		if got := Less(a, c.b); got != c.want {
+			t.Errorf("case %d: Less = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestKeyIsOrderInsensitive(t *testing.T) {
+	s := keySet()
+	want, ok := s.Key()
+	if !ok {
+		t.Fatal("keyable set rejected")
+	}
+	// All 6 permutations of a 3-element set.
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		perm := Set{s[p[0]], s[p[1]], s[p[2]]}
+		got, ok := perm.Key()
+		if !ok || got != want {
+			t.Errorf("permutation %v produced a different key", p)
+		}
+	}
+}
+
+func TestKeyDistinguishesDifferentSets(t *testing.T) {
+	base, _ := keySet().Key()
+	mutants := []Set{
+		keySet()[:2],
+		append(keySet(), Constraint{Dim: DimKernel, Op: OpEQ, Value: 3}),
+		{{Dim: DimCores, Op: OpGT, Value: 8}, keySet()[1], keySet()[2]},
+		{{Dim: DimCores, Op: OpEQ, Value: 7}, keySet()[1], keySet()[2]},
+		{{Dim: DimMaxDisks, Op: OpGT, Value: 7}, keySet()[1], keySet()[2]},
+	}
+	for i, m := range mutants {
+		k, ok := m.Key()
+		if !ok {
+			t.Fatalf("mutant %d not keyable", i)
+		}
+		if k == base {
+			t.Errorf("mutant %d collides with base key", i)
+		}
+	}
+}
+
+func TestKeyRejectsOversizedSets(t *testing.T) {
+	var s Set
+	for i := 0; i <= KeyCap; i++ {
+		s = append(s, Constraint{Dim: DimISA, Op: OpEQ, Value: int64(i)})
+	}
+	if _, ok := s.Key(); ok {
+		t.Errorf("set of %d constraints keyed, cap is %d", len(s), KeyCap)
+	}
+	if _, ok := s[:KeyCap].Key(); !ok {
+		t.Errorf("set of exactly %d constraints rejected", KeyCap)
+	}
+}
+
+func TestKeyRoundTripsToCanonical(t *testing.T) {
+	s := keySet()
+	k, _ := s.Key()
+	if k.Len() != len(s) {
+		t.Fatalf("Len = %d, want %d", k.Len(), len(s))
+	}
+	round := k.Set()
+	canon := s.Canonical()
+	if len(round) != len(canon) {
+		t.Fatalf("round trip %v != canonical %v", round, canon)
+	}
+	for i := range canon {
+		if round[i] != canon[i] {
+			t.Fatalf("round trip %v != canonical %v", round, canon)
+		}
+	}
+	var empty SetKey
+	if empty.Set() != nil {
+		t.Error("empty key did not reconstruct nil")
+	}
+}
+
+func TestCanonicalLeavesInputUntouched(t *testing.T) {
+	s := keySet()
+	orig := s.Clone()
+	c := s.Canonical()
+	for i := range s {
+		if s[i] != orig[i] {
+			t.Fatal("Canonical mutated its input")
+		}
+	}
+	for i := 1; i < len(c); i++ {
+		if Less(c[i], c[i-1]) {
+			t.Fatalf("Canonical output not sorted: %v", c)
+		}
+	}
+	if Set(nil).Canonical() != nil {
+		t.Error("Canonical(nil) != nil")
+	}
+}
+
+func TestKeyAllocatesNothing(t *testing.T) {
+	s := keySet()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := s.Key(); !ok {
+			t.Fatal("not keyable")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Key allocates %v per run, want 0", allocs)
+	}
+}

@@ -26,9 +26,6 @@ type Monitor struct {
 	// hot reports whether any CRV element exceeds the CRV threshold —
 	// the global switch between SRPT and CRV reordering.
 	hot bool
-	// supplyCache memoizes |satisfying workers| per distinct constraint;
-	// the value space is small (constraints are anchored to SKU levels).
-	supplyCache map[constraint.Constraint]int
 	// demandCredit[w] accumulates, with exponential decay per heartbeat,
 	// how much constrained demand worker w could have served: every
 	// constrained job adds 1/|candidates| to each of its candidate
@@ -59,7 +56,6 @@ func NewMonitor(n int) *Monitor {
 	return &Monitor{
 		lastWait:     make([]float64, n),
 		marked:       make([]bool, n),
-		supplyCache:  make(map[constraint.Constraint]int, 256),
 		demandCredit: make([]float64, n),
 	}
 }
@@ -121,14 +117,11 @@ func (m *Monitor) Wait(w int) float64 { return m.lastWait[w] }
 // Heartbeats reports how many refreshes have run.
 func (m *Monitor) Heartbeats() int64 { return m.heartbeats }
 
-// supply returns the number of workers satisfying c, memoized.
+// supply returns the number of workers satisfying c. The cluster index
+// precomputes per-value counts, so this is a binary search plus a lookup —
+// no memoization layer or bitset materialization needed.
 func (m *Monitor) supply(d *sched.Driver, c constraint.Constraint) int {
-	if n, ok := m.supplyCache[c]; ok {
-		return n
-	}
-	n := d.Cluster().SatisfyingOne(c)
-	m.supplyCache[c] = n
-	return n
+	return d.Cluster().SatisfyingOne(c)
 }
 
 // Refresh recomputes the CRV and the per-worker estimates (the body of

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/phoenix-sched/phoenix/internal/bitset"
 	"github.com/phoenix-sched/phoenix/internal/constraint"
@@ -55,6 +56,15 @@ type Options struct {
 	// RescheduleSample is how many alternative satisfying workers a
 	// rescheduled probe considers.
 	RescheduleSample int
+	// StuckWaitSeconds extends probe rescheduling to probes whose realized
+	// wait exceeds it, on any worker. The congestion mark is built from
+	// the P-K waiting-time *estimate*, which goes blind exactly where the
+	// tail forms: a worker whose slot is pinned by a long task dispatches
+	// nothing, so its queue generates no samples and the estimator never
+	// flags it. A probe that has already waited this long is stuck no
+	// matter what the estimator says. Zero disables the rescue and
+	// reverts to marked-worker-only rescheduling (for ablation).
+	StuckWaitSeconds float64
 	// ValidateEstimates records an (estimate, realized) waiting-time pair
 	// for every task start, for the estimator-accuracy experiment. Off by
 	// default: it allocates one sample per task.
@@ -71,6 +81,7 @@ func DefaultOptions() Options {
 		OversampleFactor:      2,
 		RescheduleBudget:      4,
 		RescheduleSample:      8,
+		StuckWaitSeconds:      30,
 	}
 }
 
@@ -91,6 +102,8 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("phoenix: negative reschedule budget")
 	case o.RescheduleBudget > 0 && o.RescheduleSample < 1:
 		return fmt.Errorf("phoenix: reschedule sample %d must be >= 1", o.RescheduleSample)
+	case o.StuckWaitSeconds < 0:
+		return fmt.Errorf("phoenix: negative stuck wait %v", o.StuckWaitSeconds)
 	}
 	return nil
 }
@@ -178,7 +191,12 @@ func rareFamilyWorkers(d *sched.Driver, frac float64) *bitset.Set {
 // CRV-based reordering while any dimension is contended (Algorithm 1).
 // Everyone else runs SRPT, which below saturation gives at least 99% of
 // jobs a response time no worse than any other discipline (§IV-A).
-func (s *Scheduler) OnHeartbeat(d *sched.Driver, _ simulation.Time) {
+// Rescheduling sweeps marked workers during hot intervals and, whenever
+// StuckWaitSeconds is set, rescues probes whose realized wait already
+// exceeds it from any worker — congestion marking is estimate-driven and
+// misses workers whose slot a long task has pinned (no dispatches, no
+// waiting-time samples), which is exactly where constrained shorts starve.
+func (s *Scheduler) OnHeartbeat(d *sched.Driver, now simulation.Time) {
 	hot := s.monitor.Refresh(d, s.opts.CRVThreshold, s.opts.QwaitThresholdSeconds)
 	if s.opts.CRVReordering {
 		for _, w := range d.Workers() {
@@ -189,7 +207,7 @@ func (s *Scheduler) OnHeartbeat(d *sched.Driver, _ simulation.Time) {
 			}
 		}
 	}
-	if hot && s.opts.RescheduleBudget > 0 {
+	if s.opts.RescheduleBudget > 0 {
 		// Per-beat caps: a congested cluster can have thousands of marked
 		// workers all wanting to dump probes on the few calm ones; without
 		// a per-target cap the calm workers become the next hotspot before
@@ -198,31 +216,39 @@ func (s *Scheduler) OnHeartbeat(d *sched.Driver, _ simulation.Time) {
 		if globalBudget < s.opts.RescheduleBudget {
 			globalBudget = s.opts.RescheduleBudget
 		}
+		overdue := simulation.Time(s.opts.StuckWaitSeconds * float64(simulation.Second))
 		targetLoad := make(map[int]int)
 		for _, w := range d.Workers() {
 			if globalBudget <= 0 {
 				break
 			}
-			if s.monitor.Marked(w.ID) {
-				globalBudget -= s.rescheduleStuckProbes(d, w, targetLoad, globalBudget)
+			switch {
+			case hot && s.monitor.Marked(w.ID):
+				globalBudget -= s.rescheduleStuckProbes(d, w, targetLoad, globalBudget, 0, now)
+			case overdue > 0:
+				globalBudget -= s.rescheduleStuckProbes(d, w, targetLoad, globalBudget, overdue, now)
 			}
 		}
 	}
 }
 
 // rescheduleStuckProbes migrates up to RescheduleBudget constrained short
-// probes from a congested worker to calmer satisfying workers — the dynamic
-// probe rescheduling of §VI-B2. Only probes whose job still has unclaimed
-// tasks are worth moving; each move pays one network delay. targetLoad
-// tracks per-beat arrivals per target so no calm worker absorbs more than
-// a couple of migrations; the return value counts moves performed, bounded
-// by remaining.
-func (s *Scheduler) rescheduleStuckProbes(d *sched.Driver, w *sched.Worker, targetLoad map[int]int, remaining int) int {
+// probes from this worker to calmer satisfying workers — the dynamic probe
+// rescheduling of §VI-B2. On congested (marked) workers minWait is zero and
+// any eligible probe qualifies; elsewhere only probes that have already
+// waited minWait do (the stuck-probe rescue). Only probes whose job still
+// has unclaimed tasks are worth moving; each move pays one network delay.
+// targetLoad tracks per-beat arrivals per target so no calm worker absorbs
+// more than a couple of migrations; the return value counts moves
+// performed, bounded by remaining.
+func (s *Scheduler) rescheduleStuckProbes(d *sched.Driver, w *sched.Worker, targetLoad map[int]int, remaining int, minWait simulation.Time, now simulation.Time) int {
 	budget := s.opts.RescheduleBudget
 	if budget > remaining {
 		budget = remaining
 	}
-	// Collect victims first: moving entries mutates the queue.
+	// Collect victims first: moving entries mutates the queue. Scan the
+	// whole queue and keep the longest-waiting probes — those are the
+	// entries forming the response-time tail.
 	type victim struct {
 		idx int
 		e   *sched.Entry
@@ -232,16 +258,26 @@ func (s *Scheduler) rescheduleStuckProbes(d *sched.Driver, w *sched.Worker, targ
 		if !e.IsProbe() || !e.Job.Short || !e.Job.Constrained || e.Job.Unclaimed() == 0 {
 			continue
 		}
-		victims = append(victims, victim{i, e})
-		if len(victims) == budget {
-			break
+		if minWait > 0 && now-e.Enqueued < minWait {
+			continue
 		}
+		victims = append(victims, victim{i, e})
 	}
+	sort.SliceStable(victims, func(a, b int) bool {
+		return victims[a].e.Enqueued < victims[b].e.Enqueued
+	})
+	if len(victims) > budget {
+		victims = victims[:budget]
+	}
+	// Restore queue order so the move-from-the-back loop below keeps
+	// earlier indices valid.
+	sort.Slice(victims, func(a, b int) bool { return victims[a].idx < victims[b].idx })
 	moved := 0
 	// Move from the back so earlier indices stay valid.
 	for i := len(victims) - 1; i >= 0; i-- {
 		v := victims[i]
-		cands := d.Cluster().Satisfying(v.e.Job.Constraints)
+		// Interned read-only candidate set; sampling below never mutates.
+		cands := d.Cluster().Matches().Satisfying(v.e.Job.Constraints)
 		best := s.calmestTarget(d, cands, w, targetLoad)
 		if best == nil {
 			continue

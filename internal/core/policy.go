@@ -30,9 +30,15 @@ func (*CRVPolicy) Name() string { return "crv" }
 // Select implements sched.QueuePolicy.
 func (p *CRVPolicy) Select(d *sched.Driver, w *sched.Worker) int {
 	vec := p.Monitor.Vector()
-	best := selectCRV(&vec, w.Queue(), p.Slack, p.Threshold)
+	q := w.Queue()
+	best := selectCRV(&vec, q, p.Slack, p.Threshold)
+	// Count the promotion only when the driver will actually serve it: a
+	// stale probe (no unclaimed tasks left) is about to be discarded, not
+	// served, so nobody is reordered past anybody.
 	if best > 0 && d != nil {
-		d.Collector().CRVReorderedTasks++
+		if e := q[best]; !e.IsProbe() || e.Job.Unclaimed() > 0 {
+			d.Collector().CRVReorderedTasks++
+		}
 	}
 	return best
 }

@@ -1,0 +1,53 @@
+// Package profiling wires the runtime/pprof CPU and heap profilers behind
+// the -cpuprofile/-memprofile flags shared by the phoenix-sim and
+// experiments commands.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile when cpuPath is non-empty and arranges for a
+// heap profile to be written to memPath (when non-empty) at stop time.
+// The returned stop function finalizes both profiles and must be called
+// exactly once before the process exits; it reports the first profile that
+// could not be written. Either path may be empty, in which case that
+// profile is skipped.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			// Settle the heap first so the profile reflects live objects
+			// rather than garbage awaiting collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

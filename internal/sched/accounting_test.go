@@ -1,0 +1,233 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// accountingBed builds a driver without running it, for direct queue
+// manipulation.
+func accountingBed(t *testing.T) *Driver {
+	t.Helper()
+	cl, tr := testbed(t, 10, 10)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// shortJob fabricates a job state with n tasks of the given estimate.
+func shortJob(n int, est simulation.Time) *JobState {
+	tasks := make([]trace.Task, n)
+	for i := range tasks {
+		tasks[i].Duration = est
+	}
+	return &JobState{
+		Job:    &trace.Job{Tasks: tasks},
+		Short:  true,
+		EstDur: est,
+	}
+}
+
+// enqueue places an entry directly into w's queue with backlog reserved,
+// mirroring the admit path without the network-delay event.
+func enqueue(d *Driver, w *Worker, e *Entry) {
+	d.reserve(w, e)
+	w.push(e)
+}
+
+// Regression test for the stale-probe accounting bug: a queue full of stale
+// probes ahead of a live entry must drain without charging the live entry a
+// single bypass and without counting any reorder — a discarded probe serves
+// nobody.
+func TestStaleProbeDiscardsChargeNothing(t *testing.T) {
+	d := accountingBed(t)
+	w := d.Worker(0)
+	d.SetPolicy(w, SRPT{Slack: 5})
+
+	// A job whose tasks were all claimed elsewhere: its probes are stale.
+	stale := shortJob(1, simulation.Second)
+	for stale.Claim() != nil {
+	}
+	// The live entry is a bound task with a LONGER estimate, so SRPT
+	// selects the stale probes (at positive indices) first.
+	live := shortJob(1, 10*simulation.Second)
+	task := live.Claim()
+
+	w.running = &Entry{} // block dispatch while the queue is built
+	liveEntry := &Entry{Job: live, Task: task}
+	enqueue(d, w, liveEntry)
+	for i := 0; i < 4; i++ {
+		enqueue(d, w, &Entry{Job: stale})
+	}
+	w.running = nil
+	d.tryDispatch(w)
+
+	if w.Running() != liveEntry {
+		t.Fatal("live entry was not dispatched")
+	}
+	if w.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d entries left", w.QueueLen())
+	}
+	if liveEntry.Bypassed != 0 {
+		t.Errorf("live entry charged %d bypasses by stale discards, want 0", liveEntry.Bypassed)
+	}
+	if n := d.Collector().ReorderedTasks; n != 0 {
+		t.Errorf("ReorderedTasks = %d, want 0 (stale discards are not reorders)", n)
+	}
+}
+
+// A real dispatch at a positive index still charges bypasses and counts a
+// reorder — the fix must not exempt genuine overtaking.
+func TestRealReorderStillCharges(t *testing.T) {
+	d := accountingBed(t)
+	w := d.Worker(0)
+	d.SetPolicy(w, SRPT{Slack: 5})
+
+	slow := shortJob(1, 10*simulation.Second)
+	fast := shortJob(1, simulation.Second)
+	w.running = &Entry{}
+	slowEntry := &Entry{Job: slow, Task: slow.Claim()}
+	fastEntry := &Entry{Job: fast, Task: fast.Claim()}
+	enqueue(d, w, slowEntry)
+	enqueue(d, w, fastEntry)
+	w.running = nil
+	d.tryDispatch(w)
+
+	if w.Running() != fastEntry {
+		t.Fatal("SRPT did not pick the shorter task")
+	}
+	if slowEntry.Bypassed != 1 {
+		t.Errorf("overtaken entry Bypassed = %d, want 1", slowEntry.Bypassed)
+	}
+	if n := d.Collector().ReorderedTasks; n != 1 {
+		t.Errorf("ReorderedTasks = %d, want 1", n)
+	}
+}
+
+// Regression test for the non-idempotent relaxation bug: calling
+// CandidateWorkers repeatedly on an unsatisfiable job must relax it exactly
+// once.
+func TestCandidateWorkersRelaxesAtMostOnce(t *testing.T) {
+	d := accountingBed(t)
+
+	// All-hard set no machine satisfies: even the hard subset is empty,
+	// so relaxation falls through to dropping everything.
+	impossible := constraint.Set{{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: 424242}}
+	js := shortJob(1, simulation.Second)
+	js.Constraints = impossible
+	js.ConstraintDims = impossible.Dims()
+	js.Constrained = true
+
+	first := d.CandidateWorkers(js)
+	if !js.Relaxed {
+		t.Fatal("job not marked relaxed")
+	}
+	if first.Count() != d.Cluster().Size() {
+		t.Errorf("relaxed candidates = %d machines, want all %d", first.Count(), d.Cluster().Size())
+	}
+	if n := d.Collector().RelaxedJobs; n != 1 {
+		t.Fatalf("RelaxedJobs = %d after first call, want 1", n)
+	}
+	second := d.CandidateWorkers(js)
+	if n := d.Collector().RelaxedJobs; n != 1 {
+		t.Errorf("RelaxedJobs = %d after second call, want 1 (relaxation must be idempotent)", n)
+	}
+	if second.Count() != first.Count() {
+		t.Errorf("second call changed candidates: %d vs %d", second.Count(), first.Count())
+	}
+}
+
+// Soft-constraint relaxation must also happen at most once, and keep the
+// hard subset.
+func TestCandidateWorkersSoftRelaxationIdempotent(t *testing.T) {
+	d := accountingBed(t)
+	cl := d.Cluster()
+
+	// A satisfiable hard constraint plus an unsatisfiable soft one
+	// (EthSpeed is soft in the paper's classification).
+	hard := constraint.Constraint{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: cl.ValuesOn(constraint.DimISA)[0]}
+	soft := constraint.Constraint{Dim: constraint.DimEthSpeed, Op: constraint.OpEQ, Value: 424242}
+	set := constraint.Set{hard, soft}
+	js := shortJob(1, simulation.Second)
+	js.Constraints = set
+	js.ConstraintDims = set.Dims()
+	js.Constrained = true
+
+	first := d.CandidateWorkers(js)
+	if !js.Relaxed {
+		t.Fatal("job not marked relaxed")
+	}
+	if len(js.Constraints) != 1 || js.Constraints[0] != hard {
+		t.Fatalf("constraints after relaxation = %v, want just the hard one", js.Constraints)
+	}
+	want := cl.SatisfyingCount(constraint.Set{hard})
+	if first.Count() != want {
+		t.Errorf("candidates = %d, want %d (hard subset)", first.Count(), want)
+	}
+	if n := d.Collector().RelaxedJobs; n != 1 {
+		t.Fatalf("RelaxedJobs = %d, want 1", n)
+	}
+	second := d.CandidateWorkers(js)
+	if n := d.Collector().RelaxedJobs; n != 1 {
+		t.Errorf("RelaxedJobs = %d after second call, want 1", n)
+	}
+	if second.Count() != want {
+		t.Errorf("second call candidates = %d, want %d", second.Count(), want)
+	}
+}
+
+// A sticky start is a real service overtaking every queued entry: each must
+// be charged one bypass, saturating at the slack cap so the validate
+// invariant (Bypassed <= SlackThreshold) keeps holding.
+func TestStickyStartChargesQueueSaturating(t *testing.T) {
+	d := accountingBed(t)
+	w := d.Worker(0)
+	cap := d.Config().SlackThreshold
+
+	fresh := &Entry{Job: shortJob(1, simulation.Second)}
+	aged := &Entry{Job: shortJob(1, simulation.Second), Bypassed: cap}
+	w.running = &Entry{}
+	enqueue(d, w, fresh)
+	enqueue(d, w, aged)
+	w.running = nil
+
+	js := shortJob(1, simulation.Second)
+	d.runSticky(w, js, js.Claim())
+
+	if fresh.Bypassed != 1 {
+		t.Errorf("fresh entry Bypassed = %d after sticky start, want 1", fresh.Bypassed)
+	}
+	if aged.Bypassed != cap {
+		t.Errorf("capped entry Bypassed = %d, want to stay %d", aged.Bypassed, cap)
+	}
+	if w.Running() == nil {
+		t.Error("sticky task did not start")
+	}
+}
+
+// CandidateWorkers must return the interned cached set on repeat queries
+// without allocating.
+func TestCandidateWorkersCachedAllocFree(t *testing.T) {
+	d := accountingBed(t)
+	cl := d.Cluster()
+	set := constraint.Set{{Dim: constraint.DimISA, Op: constraint.OpEQ, Value: cl.ValuesOn(constraint.DimISA)[0]}}
+	js := shortJob(1, simulation.Second)
+	js.Constraints = set
+	js.ConstraintDims = set.Dims()
+	js.Constrained = true
+
+	first := d.CandidateWorkers(js)
+	allocs := testing.AllocsPerRun(100, func() {
+		if d.CandidateWorkers(js) != first {
+			t.Fatal("repeat query returned a different interned set")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached CandidateWorkers allocates %v per call, want 0", allocs)
+	}
+}

@@ -111,14 +111,18 @@ func (p *CentralPlacer) placePack(d *Driver, js *JobState, cands *bitset.Set) {
 			bestRack, bestCount = rack, n
 		}
 	}
-	if bestRack < 0 {
-		p.placeFree(d, js, cands)
-		return
+	var inRack *bitset.Set
+	if bestRack >= 0 {
+		inRack = cands.Clone()
+		// And cannot fail: both sets span the cluster.
+		_ = inRack.And(cl.RackMembers(bestRack))
 	}
-	inRack := cands.Clone()
-	// And cannot fail: both sets span the cluster.
-	_ = inRack.And(cl.RackMembers(bestRack))
-	if !inRack.Any() {
+	if inRack == nil || !inRack.Any() {
+		// No candidate rack to pack into (defensive: bestRack is derived
+		// from cands, so this needs an empty candidate set). Falling back
+		// to free placement abandons the affinity preference, which is a
+		// relaxation and is accounted as one, like placeSpread's.
+		d.collector.PlacementRelaxed++
 		p.placeFree(d, js, cands)
 		return
 	}

@@ -353,6 +353,9 @@ func (d *Driver) admit(w *Worker, e *Entry) {
 // tryDispatch serves queue entries until the slot is busy or the queue is
 // exhausted. Stale probes (whose job has no unclaimed tasks left) are
 // discarded for free — the cancellation message overlaps the next dispatch.
+// Staleness is checked before any accounting: a discarded probe serves
+// nobody, so it must neither charge a bypass to the entries ahead of it nor
+// count as a reorder.
 func (d *Driver) tryDispatch(w *Worker) {
 	if w.failed {
 		return
@@ -362,18 +365,22 @@ func (d *Driver) tryDispatch(w *Worker) {
 		if idx < 0 {
 			return
 		}
+		e := w.queue[idx]
+		if e.Task == nil && e.Job.Unclaimed() == 0 {
+			w.discardAt(idx)
+			d.releaseLong(w, e)
+			d.notifyDequeue(w, e, DequeueStale)
+			continue // stale probe
+		}
 		if idx > 0 {
 			d.collector.ReorderedTasks++
 		}
-		e := w.removeAt(idx)
+		w.removeAt(idx)
 		task := e.Task
 		if task == nil {
+			// Non-nil: Unclaimed was checked above and nothing can claim
+			// between the check and here (single-threaded event loop).
 			task = e.Job.Claim()
-			if task == nil {
-				d.releaseLong(w, e)
-				d.notifyDequeue(w, e, DequeueStale)
-				continue // stale probe
-			}
 		}
 		d.notifyDequeue(w, e, DequeueDispatch)
 		d.startTask(w, e, task)
@@ -402,8 +409,20 @@ func (d *Driver) startTask(w *Worker, e *Entry, task *trace.Task) {
 
 // runSticky lets a StickyProvider start a task on w immediately, outside
 // the queue. w must be idle. Long residency is accounted so that SSS sees
-// sticky long work too.
+// sticky long work too. A sticky start is a real service overtaking every
+// queued entry, so each one is charged a bypass — the same
+// services-only accounting rule that exempts stale-probe discards; without
+// the charge, sticky-heavy workloads never age queued entries toward the
+// starvation cap and long-estimate shorts starve behind an endless batch.
+// The charge saturates at the cap: past it the entry is already
+// non-bypassable, and the slack invariant (Bypassed <= SlackThreshold)
+// must keep holding while sticky work the entry cannot preempt drains.
 func (d *Driver) runSticky(w *Worker, js *JobState, task *trace.Task) {
+	for _, qe := range w.queue {
+		if qe.Bypassed < d.cfg.SlackThreshold {
+			qe.Bypassed++
+		}
+	}
 	e := &Entry{Job: js, Task: task, Enqueued: d.engine.Now()}
 	if !js.Short {
 		w.longCount++
@@ -474,29 +493,35 @@ func (d *Driver) finishJob(js *JobState, now simulation.Time) {
 // paper's "negotiating resources for tasks in which all the constraints
 // could not be satisfied"; if even the hard subset matches nothing the job
 // runs unconstrained (never the case for synthesized traces, whose
-// constraints are anchored to real machines).
+// constraints are anchored to real machines). Relaxation runs at most once
+// per job: repeat calls neither re-count RelaxedJobs nor re-derive the
+// constraint set.
+//
+// The returned set comes from the cluster's match cache and is SHARED and
+// READ-ONLY; callers that filter candidates must Clone first.
 func (d *Driver) CandidateWorkers(js *JobState) *bitset.Set {
-	cands := d.cl.Satisfying(js.Constraints)
-	if cands.Any() {
+	matches := d.cl.Matches()
+	cands, n := matches.SatisfyingWithCount(js.Constraints)
+	if n > 0 {
 		return cands
 	}
-	hard := js.Constraints.Hard()
-	if len(hard) < len(js.Constraints) {
-		cands = d.cl.Satisfying(hard)
-		if cands.Any() {
-			js.Constraints = hard
-			js.ConstraintDims = hard.Dims()
-			js.Relaxed = true
-			d.collector.RelaxedJobs++
-			return cands
+	if !js.Relaxed {
+		hard := js.Constraints.Hard()
+		if len(hard) < len(js.Constraints) {
+			if cands, n = matches.SatisfyingWithCount(hard); n > 0 {
+				js.Constraints = hard
+				js.ConstraintDims = hard.Dims()
+				js.Relaxed = true
+				d.collector.RelaxedJobs++
+				return cands
+			}
 		}
+		js.Relaxed = true
+		d.collector.RelaxedJobs++
 	}
 	js.Constraints = nil
 	js.ConstraintDims = 0
-	js.Relaxed = true
-	d.collector.RelaxedJobs++
-	cands.SetAll()
-	return cands
+	return matches.All()
 }
 
 // SampleWorkers draws up to k distinct workers uniformly from the candidate

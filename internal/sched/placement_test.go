@@ -3,6 +3,7 @@ package sched
 import (
 	"testing"
 
+	"github.com/phoenix-sched/phoenix/internal/bitset"
 	"github.com/phoenix-sched/phoenix/internal/cluster"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
@@ -168,5 +169,61 @@ func TestPlacementJobsCompleteEndToEnd(t *testing.T) {
 	}
 	if res.Collector.NumJobs() != len(tr.Jobs) {
 		t.Errorf("completed %d/%d", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+}
+
+// placePack's fallback: with no candidates at all there is no rack to pack
+// into; the placer must fall back to free placement, account the abandoned
+// affinity preference as a relaxation, and not crash or spin.
+func TestPlacePackFallsBackWithoutCandidates(t *testing.T) {
+	d := placementDriver(t)
+	js := placementJob(3, trace.PlacementPack)
+	p := &CentralPlacer{}
+	empty := bitset.New(d.Cluster().Size())
+	p.placePack(d, js, empty)
+	if got := d.Collector().PlacementRelaxed; got != 1 {
+		t.Errorf("PlacementRelaxed = %d, want 1 for the abandoned pack", got)
+	}
+	if racks := placedRacks(d); len(racks) != 0 {
+		t.Errorf("empty candidate set still placed on racks %v", racks)
+	}
+}
+
+// placeSpread's fallback via the same direct route: a single-rack candidate
+// set forces rack reuse for every task after the first.
+func TestPlaceSpreadSingleRackCandidates(t *testing.T) {
+	d := placementDriver(t)
+	js := placementJob(3, trace.PlacementSpread)
+	p := &CentralPlacer{}
+	onlyRack0 := d.Cluster().RackMembers(0).Clone()
+	p.placeSpread(d, js, onlyRack0)
+	if got := d.Collector().PlacementRelaxed; got != 2 {
+		t.Errorf("PlacementRelaxed = %d, want 2 (3 tasks, 1 rack)", got)
+	}
+	racks := placedRacks(d)
+	if len(racks) != 1 || racks[0] != 3 {
+		t.Errorf("spread over one rack placed %v, want 3 workers in rack 0", racks)
+	}
+}
+
+// A constrained pack job must pack into the rack holding the most
+// satisfying machines, never touching non-candidates.
+func TestPlacePackHonorsCandidateSubset(t *testing.T) {
+	d := placementDriver(t)
+	js := placementJob(2, trace.PlacementPack)
+	p := &CentralPlacer{}
+	// Candidates: one worker in rack 1, three in rack 2 — rack 2 must win.
+	cands := bitset.New(d.Cluster().Size())
+	cands.Set(cluster.RackSize + 1)
+	cands.Set(2*cluster.RackSize + 0)
+	cands.Set(2*cluster.RackSize + 1)
+	cands.Set(2*cluster.RackSize + 2)
+	p.placePack(d, js, cands)
+	racks := placedRacks(d)
+	if len(racks) != 1 || racks[2] != 2 {
+		t.Errorf("pack placed %v, want 2 workers in rack 2", racks)
+	}
+	if got := d.Collector().PlacementRelaxed; got != 0 {
+		t.Errorf("PlacementRelaxed = %d, want 0", got)
 	}
 }

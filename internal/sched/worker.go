@@ -134,6 +134,12 @@ func (w *Worker) stealAt(i int) *Entry {
 	return e
 }
 
+// discardAt removes the entry at index i without bypass accounting: a stale
+// probe evaporating is not service, so nobody was served ahead of the
+// earlier entries and charging them a bypass would push them toward the
+// starvation cap for nothing.
+func (w *Worker) discardAt(i int) *Entry { return w.stealAt(i) }
+
 func (w *Worker) deleteAt(i int) {
 	copy(w.queue[i:], w.queue[i+1:])
 	w.queue[len(w.queue)-1] = nil

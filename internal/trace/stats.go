@@ -120,19 +120,22 @@ func peakToMedian(counts map[int64]int) float64 {
 
 // SupplyByCount computes Fig. 6's "Supply of nodes" series: element k-1 is
 // the mean fraction of cluster machines able to satisfy a job demanding k
-// constraints, averaged over the constrained jobs in the trace.
+// constraints, averaged over the constrained jobs in the trace. Constraint
+// sets are template-driven, so the per-set counts come from the cluster's
+// match cache rather than being re-intersected per job.
 func SupplyByCount(t *Trace, cl *cluster.Cluster) [MaxConstraints]float64 {
 	var (
 		sum   [MaxConstraints]float64
 		count [MaxConstraints]int
 	)
+	matches := cl.Matches()
 	for i := range t.Jobs {
 		cs := t.Jobs[i].Constraints()
 		k := len(cs)
 		if k == 0 || k > MaxConstraints {
 			continue
 		}
-		frac := float64(cl.SatisfyingCount(cs)) / float64(cl.Size())
+		frac := float64(matches.SatisfyingCount(cs)) / float64(cl.Size())
 		sum[k-1] += frac
 		count[k-1]++
 	}

@@ -136,7 +136,8 @@ func NewSynthesizer(cfg SynthesizerConfig, cl *cluster.Cluster, stream *simulati
 		dimPool: make([]float64, constraint.NumDims),
 	}
 	if cfg.HotRefFraction > 0 {
-		s.hotIDs = cl.Satisfying(cfg.HotSet).Indices()
+		// Indices copies, so the interned cached set stays untouched.
+		s.hotIDs = cl.Matches().Satisfying(cfg.HotSet).Indices()
 	}
 	return s, nil
 }
