@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-hotpath experiments figures clean
+.PHONY: all build test race vet ci bench bench-hotpath docs-check experiments figures clean
 
 all: build test
 
@@ -13,6 +13,7 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race ./internal/...
 	$(MAKE) bench-hotpath
+	$(MAKE) docs-check
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,11 @@ bench:
 # and report their allocation profiles.
 bench-hotpath:
 	$(GO) test -run '^$$' -bench 'MatchCache|Satisfying|CandidateWorkers' -benchtime=1x -benchmem ./internal/cluster/ .
+
+# Godoc coverage gate: fail on any exported identifier without a doc
+# comment in the documentation-critical packages.
+docs-check:
+	$(GO) run ./cmd/docs-check internal/telemetry internal/metrics internal/constraint
 
 # Regenerate every paper table/figure (tables to stdout, CSVs + SVGs to results/).
 experiments:

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePackage drops a single-file package into a temp dir and returns
+// the dir.
+func writePackage(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const documented = `// Package p is fully documented.
+package p
+
+// Answer is the answer.
+const Answer = 42
+
+// Exported constants, as a documented block.
+const (
+	A = 1
+	B = 2
+)
+
+// T is a documented type.
+type T struct{}
+
+// Do does a documented thing.
+func (T) Do() {}
+
+// F is a documented function.
+func F() {}
+
+type hidden struct{}
+
+func (hidden) Quiet() {} // method on unexported type: exempt
+func internal()       {} // unexported function: exempt
+`
+
+func TestDocumentedPackagePasses(t *testing.T) {
+	dir := writePackage(t, documented)
+	violations, err := lintDirs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("documented package flagged: %v", violations)
+	}
+}
+
+// TestDeletedDocCommentFails demonstrates the CI gate: removing any one
+// doc comment from an otherwise clean package makes docs-check fail.
+func TestDeletedDocCommentFails(t *testing.T) {
+	deletions := map[string]string{
+		"package comment": "// Package p is fully documented.\n",
+		"const doc":       "// Answer is the answer.\n",
+		"type doc":        "// T is a documented type.\n",
+		"method doc":      "// Do does a documented thing.\n",
+		"func doc":        "// F is a documented function.\n",
+	}
+	for name, comment := range deletions {
+		src := strings.Replace(documented, comment, "", 1)
+		if src == documented {
+			t.Fatalf("%s: deletion target not found", name)
+		}
+		dir := writePackage(t, src)
+		violations, err := lintDirs([]string{dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(violations) != 1 {
+			t.Errorf("%s deleted: got %d violations %v, want exactly 1", name, len(violations), violations)
+		}
+	}
+}
+
+func TestUndocumentedIdentifiersFlagged(t *testing.T) {
+	dir := writePackage(t, `// Package p has gaps.
+package p
+
+const Missing = 1
+
+var Also, Gone int
+
+type Bare struct{}
+
+func (Bare) Method() {}
+
+func Naked() {}
+`)
+	violations, err := lintDirs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"exported const Missing", "exported var Also", "exported var Gone",
+		"exported type Bare", "exported method Bare.Method", "exported function Naked",
+	} {
+		found := false
+		for _, v := range violations {
+			if strings.Contains(v, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing violation %q in %v", want, violations)
+		}
+	}
+}
+
+func TestTestFilesIgnored(t *testing.T) {
+	dir := writePackage(t, "// Package p is clean.\npackage p\n")
+	err := os.WriteFile(filepath.Join(dir, "p_test.go"),
+		[]byte("package p\n\nfunc Helper() {}\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations, err := lintDirs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("_test.go contents flagged: %v", violations)
+	}
+}
+
+// TestGatedPackagesAreClean runs the linter over the real directories the
+// Makefile target checks, so `go test` catches doc regressions even when
+// docs-check itself is not invoked.
+func TestGatedPackagesAreClean(t *testing.T) {
+	dirs := make([]string, len(defaultDirs))
+	for i, d := range defaultDirs {
+		dirs[i] = filepath.Join("..", "..", d)
+	}
+	violations, err := lintDirs(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("gated packages have undocumented identifiers:\n%s", strings.Join(violations, "\n"))
+	}
+}
+
+func TestMissingDirectoryErrors(t *testing.T) {
+	if _, err := lintDirs([]string{"/nonexistent-docs-check-dir"}); err == nil {
+		t.Error("missing directory accepted")
+	}
+}

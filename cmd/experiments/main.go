@@ -5,9 +5,13 @@
 //	experiments -list
 //	experiments -run fig7c
 //	experiments -run all -scale 0.2 -seeds 5 -csv out/
+//	experiments -report run.md -timeseries run.csv
 //
 // Each experiment prints an aligned text table whose rows mirror the
-// paper's plot; -csv additionally writes one CSV per experiment.
+// paper's plot; -csv additionally writes one CSV per experiment. -report
+// and -timeseries instead perform a single telemetry-instrumented
+// reference run (scheduler and profile selectable with -scheduler and
+// -profile) and write its Markdown run report and per-interval CSV.
 package main
 
 import (
@@ -42,6 +46,11 @@ func run(args []string) (err error) {
 		check = fs.Bool("validate", false, "attach the invariant checker to every run; fail on any violation")
 		dig   = fs.Bool("digest", false, "print a digest of each experiment's table for regression diffing")
 
+		timeseriesPath = fs.String("timeseries", "", "telemetry reference run: write its per-interval CSV to this file")
+		reportPath     = fs.String("report", "", "telemetry reference run: write its Markdown run report to this file")
+		repSched       = fs.String("scheduler", "phoenix", "scheduler for the telemetry reference run")
+		repProfile     = fs.String("profile", "google", "workload profile for the telemetry reference run")
+
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -74,6 +83,10 @@ func run(args []string) (err error) {
 		opts.Seeds = *seeds
 	}
 	opts.ValidateRuns = *check
+
+	if *timeseriesPath != "" || *reportPath != "" {
+		return reportRun(opts, *repSched, *repProfile, *timeseriesPath, *reportPath)
+	}
 
 	ids := experiments.IDs()
 	if *runID != "all" {
@@ -120,5 +133,28 @@ func run(args []string) (err error) {
 			}
 		}
 	}
+	return nil
+}
+
+// reportRun performs the telemetry reference run behind -timeseries and
+// -report (one instrumented simulation at the options' scale; the
+// table/figure experiments are skipped) and writes the requested files.
+func reportRun(opts experiments.Options, schedName, profile, timeseriesPath, reportPath string) error {
+	rec, res, meta, err := experiments.ReportRun(opts, schedName, profile)
+	if err != nil {
+		return err
+	}
+	if timeseriesPath != "" {
+		if err := os.WriteFile(timeseriesPath, []byte(rec.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	if reportPath != "" {
+		if err := os.WriteFile(reportPath, []byte(rec.Report(meta, res.Collector)), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("report run    %s on %s: %d jobs, span %s, %d telemetry samples\n",
+		meta.Scheduler, meta.Workload, meta.Jobs, meta.Span, len(rec.Samples()))
 	return nil
 }

@@ -50,11 +50,42 @@ func TestRunCommaSeparated(t *testing.T) {
 	}
 }
 
+func TestReportRun(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "run.csv")
+	reportPath := filepath.Join(dir, "run.md")
+	err := run([]string{"-scale", "0.02", "-scheduler", "eagle-c",
+		"-timeseries", csvPath, "-report", reportPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(csv), "\n") < 2 {
+		t.Error("telemetry CSV too short")
+	}
+	report, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(report), "| scheduler | eagle-c |") {
+		t.Error("report does not name the requested scheduler")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	if err := run([]string{"-run", "fig99", "-scale", "0.02"}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 	if err := run([]string{"-badflag"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-report", "/nonexistent-dir/x.md", "-scale", "0.02"}); err == nil {
+		t.Error("unwritable report path accepted")
+	}
+	if err := run([]string{"-scheduler", "mesos", "-report", filepath.Join(t.TempDir(), "r.md"), "-scale", "0.02"}); err == nil {
+		t.Error("unknown scheduler accepted for report run")
 	}
 }

@@ -6,10 +6,13 @@
 //
 //	phoenix-sim -scheduler phoenix -profile google -scale 0.1 -seed 1
 //	phoenix-sim -scheduler eagle-c -trace workload.jsonl -nodes 5000
+//	phoenix-sim -timeseries run.csv -report run.md
 //
 // Without -trace, a synthetic workload is generated from the named profile
 // at the given scale; with -trace, the JSONL file written by tracegen is
-// replayed.
+// replayed. -timeseries and -report attach the internal/telemetry sampler
+// (scheduler-invisible: the -digest output is unchanged) and write a
+// per-interval CSV and a Markdown run report respectively.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/profiling"
 	"github.com/phoenix-sched/phoenix/internal/sched"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/telemetry"
 	"github.com/phoenix-sched/phoenix/internal/trace"
 	"github.com/phoenix-sched/phoenix/internal/validate"
 )
@@ -48,6 +52,9 @@ func run(args []string) (err error) {
 		failRate  = fs.Float64("failure-rate", 0, "worker failures per node-hour (0 = off)")
 		doCheck   = fs.Bool("validate", false, "run the invariant checker and fail on any violation")
 		doDigest  = fs.Bool("digest", false, "print the run digest (same seed => same digest)")
+
+		timeseriesPath = fs.String("timeseries", "", "write a per-interval telemetry CSV (CRV, waits, queue depths) to this file")
+		reportPath     = fs.String("report", "", "write a Markdown run report to this file")
 
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -144,11 +151,40 @@ func run(args []string) (err error) {
 	if *doCheck {
 		chk = validate.Attach(d)
 	}
+	var rec *telemetry.Recorder
+	if *timeseriesPath != "" || *reportPath != "" {
+		topts := telemetry.Options{CRVThreshold: opts.Phoenix.CRVThreshold}
+		if src, ok := s.(telemetry.CRVSource); ok {
+			topts.CRV = src
+		}
+		rec = telemetry.Attach(d, topts)
+	}
 	res, err := d.Run()
 	if err != nil {
 		return err
 	}
 	printResult(tr, cl, res)
+	if *timeseriesPath != "" {
+		if err := os.WriteFile(*timeseriesPath, []byte(rec.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	if *reportPath != "" {
+		meta := telemetry.Meta{
+			Scheduler:   res.Scheduler,
+			Workload:    tr.Name,
+			Jobs:        len(tr.Jobs),
+			Tasks:       tr.NumTasks(),
+			Workers:     res.NumWorkers,
+			OfferedLoad: tr.OfferedLoad(cl.Size()),
+			Seed:        *seed,
+			Span:        res.Span,
+			Utilization: res.Utilization,
+		}
+		if err := os.WriteFile(*reportPath, []byte(rec.Report(meta, res.Collector)), 0o644); err != nil {
+			return err
+		}
+	}
 	if *doDigest {
 		fmt.Printf("digest         %016x\n", res.Collector.Digest())
 	}

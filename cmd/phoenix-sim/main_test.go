@@ -1,7 +1,9 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/phoenix-sched/phoenix/internal/cluster"
@@ -49,6 +51,37 @@ func TestRunReplaysTraceFile(t *testing.T) {
 	}
 	if err := run([]string{"-trace", path, "-scheduler", "eagle-c"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWritesTelemetryFiles(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "series.csv")
+	reportPath := filepath.Join(dir, "report.md")
+	err := run([]string{"-scale", "0.01", "-seed", "3",
+		"-timeseries", csvPath, "-report", reportPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("time series has %d lines, want header plus samples", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_s,crv_max,") {
+		t.Errorf("unexpected CSV header: %q", lines[0])
+	}
+	report, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, section := range []string{"# Run report", "## Headline percentiles", "## Scheduler counters"} {
+		if !strings.Contains(string(report), section) {
+			t.Errorf("report missing section %q", section)
+		}
 	}
 }
 

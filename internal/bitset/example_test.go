@@ -1,0 +1,32 @@
+package bitset_test
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+)
+
+// ExampleSet mirrors the cluster index's core operation: intersecting
+// per-attribute machine sets to answer "which machines satisfy every
+// constraint" with word-wise ANDs instead of per-machine checks.
+func ExampleSet() {
+	x86 := bitset.New(8)
+	for _, machine := range []int{0, 1, 2, 5, 6} {
+		x86.Set(machine)
+	}
+	fastEth := bitset.New(8)
+	for _, machine := range []int{1, 2, 3, 6, 7} {
+		fastEth.Set(machine)
+	}
+
+	candidates := x86.Clone()
+	if err := candidates.And(fastEth); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(candidates, "count:", candidates.Count())
+	fmt.Println("second candidate:", candidates.NthSet(1))
+	// Output:
+	// {1, 2, 6} count: 3
+	// second candidate: 2
+}

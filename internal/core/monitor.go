@@ -111,6 +111,18 @@ func (m *Monitor) Hot() bool { return m.hot }
 // Marked reports whether worker w was marked congested at the last refresh.
 func (m *Monitor) Marked(w int) bool { return m.marked[w] }
 
+// MarkedCount reports how many workers were marked congested at the last
+// refresh.
+func (m *Monitor) MarkedCount() int {
+	n := 0
+	for _, b := range m.marked {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
 // Wait returns worker w's latest estimated waiting time in seconds.
 func (m *Monitor) Wait(w int) float64 { return m.lastWait[w] }
 

@@ -144,6 +144,32 @@ func (s *Scheduler) Name() string { return "phoenix" }
 // Monitor exposes the CRV monitor (for tests and the experiment harness).
 func (s *Scheduler) Monitor() *Monitor { return s.monitor }
 
+// CRV-state accessors, implementing the telemetry layer's CRVSource so a
+// run report can show Phoenix's own contention view (monitor hot flag,
+// congested-worker count) next to the recorder's queue-derived CRV. All
+// three are read-only and return zero values before Init.
+
+// CRVVector returns the monitor's CRV as of the last heartbeat refresh.
+func (s *Scheduler) CRVVector() constraint.Vector {
+	if s.monitor == nil {
+		return constraint.Vector{}
+	}
+	return s.monitor.Vector()
+}
+
+// CRVHot reports whether any dimension exceeded the CRV threshold at the
+// last heartbeat refresh.
+func (s *Scheduler) CRVHot() bool { return s.monitor != nil && s.monitor.Hot() }
+
+// CongestedWorkers reports how many workers the monitor currently marks
+// congested.
+func (s *Scheduler) CongestedWorkers() int {
+	if s.monitor == nil {
+		return 0
+	}
+	return s.monitor.MarkedCount()
+}
+
 // Init implements sched.Scheduler.
 func (s *Scheduler) Init(d *sched.Driver) error {
 	slack := s.opts.Slack

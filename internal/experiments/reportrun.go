@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/telemetry"
+)
+
+// ReportRun executes one telemetry-instrumented reference simulation — the
+// run behind the -report/-timeseries flags of cmd/experiments. It builds
+// the named profile's workload at the options' scale exactly as the
+// table/figure experiments do (same cluster seed, same trace seed, same
+// driver seed as repetition 0), attaches a telemetry Recorder, runs the
+// named scheduler, and returns the recorder together with the run result
+// and the metadata a report needs. Telemetry is scheduler-invisible, so
+// the run's digest matches an uninstrumented repetition 0.
+func ReportRun(o Options, schedName, profile string) (*telemetry.Recorder, *sched.Result, telemetry.Meta, error) {
+	var meta telemetry.Meta
+	env, err := newEnv(o, profile)
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	cl, err := env.clusterAt(1.0)
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	tr, err := env.trace(0)
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	s, err := o.NewScheduler(schedName)
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, driverSeed(0))
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	topts := telemetry.Options{CRVThreshold: o.Phoenix.CRVThreshold}
+	if src, ok := s.(telemetry.CRVSource); ok {
+		topts.CRV = src
+	}
+	rec := telemetry.Attach(d, topts)
+	res, err := d.Run()
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	meta = telemetry.Meta{
+		Scheduler:   res.Scheduler,
+		Workload:    tr.Name,
+		Jobs:        len(tr.Jobs),
+		Tasks:       tr.NumTasks(),
+		Workers:     res.NumWorkers,
+		OfferedLoad: tr.OfferedLoad(cl.Size()),
+		Seed:        driverSeed(0),
+		Span:        res.Span,
+		Utilization: res.Utilization,
+	}
+	return rec, res, meta, nil
+}

@@ -104,6 +104,59 @@ func (c *Collector) Utilization(n int, span simulation.Time) float64 {
 	return float64(c.BusyTime) / (float64(span) * float64(n))
 }
 
+// CounterSnapshot is a copy of the collector's scheduler counters at one
+// instant. Telemetry samples the collector once per interval and
+// subtracts consecutive snapshots to obtain per-interval counter deltas
+// without the collector having to know about sampling.
+type CounterSnapshot struct {
+	// ReorderedTasks through WorkerFailures mirror the Collector fields
+	// of the same names.
+	ReorderedTasks    int64
+	CRVReorderedTasks int64
+	Probes            int64
+	StolenTasks       int64
+	RescheduledProbes int64
+	RelaxedJobs       int64
+	PlacementRelaxed  int64
+	WorkerFailures    int64
+	// WastedWork and BusyTime mirror the Collector's accumulated times.
+	WastedWork simulation.Time
+	BusyTime   simulation.Time
+}
+
+// Counters snapshots the collector's current counter values.
+func (c *Collector) Counters() CounterSnapshot {
+	return CounterSnapshot{
+		ReorderedTasks:    c.ReorderedTasks,
+		CRVReorderedTasks: c.CRVReorderedTasks,
+		Probes:            c.Probes,
+		StolenTasks:       c.StolenTasks,
+		RescheduledProbes: c.RescheduledProbes,
+		RelaxedJobs:       c.RelaxedJobs,
+		PlacementRelaxed:  c.PlacementRelaxed,
+		WorkerFailures:    c.WorkerFailures,
+		WastedWork:        c.WastedWork,
+		BusyTime:          c.BusyTime,
+	}
+}
+
+// Sub returns the element-wise difference s - prev: the counter activity
+// between two snapshots.
+func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		ReorderedTasks:    s.ReorderedTasks - prev.ReorderedTasks,
+		CRVReorderedTasks: s.CRVReorderedTasks - prev.CRVReorderedTasks,
+		Probes:            s.Probes - prev.Probes,
+		StolenTasks:       s.StolenTasks - prev.StolenTasks,
+		RescheduledProbes: s.RescheduledProbes - prev.RescheduledProbes,
+		RelaxedJobs:       s.RelaxedJobs - prev.RelaxedJobs,
+		PlacementRelaxed:  s.PlacementRelaxed - prev.PlacementRelaxed,
+		WorkerFailures:    s.WorkerFailures - prev.WorkerFailures,
+		WastedWork:        s.WastedWork - prev.WastedWork,
+		BusyTime:          s.BusyTime - prev.BusyTime,
+	}
+}
+
 // Filter selects a subset of job records.
 type Filter func(*JobRecord) bool
 

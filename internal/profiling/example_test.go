@@ -1,0 +1,39 @@
+package profiling_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/phoenix-sched/phoenix/internal/profiling"
+)
+
+// ExampleStart writes a heap profile the way the CLI commands do behind
+// -memprofile. Either path may be empty to skip that profile; stop must
+// be called exactly once.
+func ExampleStart() {
+	dir, err := os.MkdirTemp("", "profiling-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	heapPath := filepath.Join(dir, "heap.pprof")
+	stop, err := profiling.Start("", heapPath)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := stop(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	info, err := os.Stat(heapPath)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("heap profile written:", info.Size() > 0)
+	// Output: heap profile written: true
+}

@@ -1,0 +1,26 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/queueing"
+)
+
+// ExampleEstimator feeds a steady stream — one arrival per second, each
+// needing half a second of service — and reads back the Pollaczek–Khinchin
+// expected wait exactly as Phoenix's CRV monitor does per worker:
+// rho = 1/s * 0.5s = 0.5, E[W] = rho/(1-rho) * E[S^2]/(2 E[S]) = 0.25s.
+func ExampleEstimator() {
+	est, err := queueing.NewEstimator(4, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for t := 0.0; t < 8; t++ {
+		est.ObserveArrival(t)
+		est.ObserveService(0.5)
+	}
+	wait, saturated := est.EstimateWait()
+	fmt.Printf("rho=%.2f wait=%.2fs saturated=%v\n", est.Utilization(), wait, saturated)
+	// Output: rho=0.50 wait=0.25s saturated=false
+}

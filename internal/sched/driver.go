@@ -154,6 +154,20 @@ func (d *Driver) After(delay simulation.Time, fn func()) {
 	d.engine.ScheduleAfter(delay, func(simulation.Time) { fn() })
 }
 
+// Every schedules fn at now+interval and then every interval of virtual
+// time while fn returns true. It exists for passive periodic
+// instrumentation (the telemetry sampler): fn must not mutate driver,
+// worker, or job state, and the periodic events never reorder the events
+// already scheduled (equal-time events run in insertion order), so a run
+// with such a ticker attached is byte-identical to one without. A
+// non-positive interval is ignored.
+func (d *Driver) Every(interval simulation.Time, fn func(now simulation.Time) bool) {
+	// The only error is a non-positive interval, excluded here.
+	if interval > 0 {
+		_ = d.engine.Every(interval, fn)
+	}
+}
+
 // ShortCutoff returns the trace's short-job classification threshold.
 func (d *Driver) ShortCutoff() simulation.Time { return d.tr.ShortCutoff }
 

@@ -74,6 +74,26 @@ func (e *Engine) ScheduleAfter(delay Time, fn EventFunc) *ScheduledEvent {
 	return e.Schedule(e.now+delay, fn)
 }
 
+// Every arranges for fn to run at Now()+interval and then every interval
+// of virtual time for as long as fn returns true. The interval must be
+// positive. Each firing is an ordinary event: it obeys the same
+// insertion-order tie-breaking as everything else, so a periodic passive
+// task (telemetry sampling, progress reporting) never perturbs the
+// ordering of the events already scheduled.
+func (e *Engine) Every(interval Time, fn func(now Time) bool) error {
+	if interval <= 0 {
+		return errors.New("simulation: Every interval must be positive")
+	}
+	var arm EventFunc
+	arm = func(now Time) {
+		if fn(now) {
+			e.ScheduleAfter(interval, arm)
+		}
+	}
+	e.ScheduleAfter(interval, arm)
+	return nil
+}
+
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op. Reports whether the event was
 // actually removed.

@@ -1,0 +1,67 @@
+package simulation
+
+import "testing"
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	if err := e.Every(10, func(now Time) bool {
+		fired = append(fired, now)
+		return len(fired) < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 20, 30}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEngineEveryRejectsNonPositiveInterval(t *testing.T) {
+	e := NewEngine()
+	for _, interval := range []Time{0, -5} {
+		if err := e.Every(interval, func(Time) bool { return true }); err == nil {
+			t.Errorf("Every(%d) accepted", interval)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Errorf("rejected Every left %d events queued", e.Pending())
+	}
+}
+
+// TestEngineEveryPreservesTieOrder pins the property telemetry depends
+// on: a periodic task firing at the same instant as a previously-armed
+// recurring event never overtakes it once both chains are in flight, and
+// relative order between the two chains is stable across cycles.
+func TestEngineEveryPreservesTieOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	if err := e.Every(10, func(Time) bool {
+		order = append(order, "a")
+		return len(order) < 6
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Every(10, func(Time) bool {
+		order = append(order, "b")
+		return len(order) < 6
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(order); i += 2 {
+		if order[i] != "a" || order[i+1] != "b" {
+			t.Fatalf("tie order unstable: %v", order)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+)
+
+// WriteCSV emits the recorded time series as CSV: one row per sample, one
+// column per signal, with one crv_<dimension> column per constraint
+// dimension. Missing windowed values (an interval with no dispatches) are
+// emitted as empty cells rather than NaN so the file loads cleanly into
+// standard tooling. The encoding is deterministic: same-seed runs produce
+// byte-identical files.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cols := []string{"time_s", "crv_max", "crv_max_dim", "monitor_hot", "congested_workers"}
+	for _, d := range constraint.Dims {
+		cols = append(cols, "crv_"+dimSlug(d))
+	}
+	cols = append(cols,
+		"queued", "queued_probes", "busy_workers", "failed_workers",
+		"saturated_workers", "mean_est_wait_s", "max_est_wait_s",
+		"started_tasks", "mean_wait_s", "max_wait_s", "mean_abs_est_err_s",
+		"finished_jobs", "reordered", "crv_reordered", "probes", "stolen",
+		"rescheduled", "relaxed_jobs", "placement_relaxed", "worker_failures",
+	)
+	if _, err := io.WriteString(w, strings.Join(cols, ",")+"\n"); err != nil {
+		return err
+	}
+	for i := range r.samples {
+		if _, err := io.WriteString(w, r.csvRow(&r.samples[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the time series to a string (see WriteCSV).
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	// strings.Builder writes cannot fail.
+	_ = r.WriteCSV(&b)
+	return b.String()
+}
+
+// csvRow renders one sample.
+func (r *Recorder) csvRow(s *Sample) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.6f,%s,%s,%d,%d",
+		s.Time.Seconds(), csvFloat(s.MaxCRV), dimSlug(s.MaxCRVDim),
+		csvBool(s.MonitorHot), s.CongestedWorkers)
+	for _, d := range constraint.Dims {
+		b.WriteByte(',')
+		b.WriteString(csvFloat(s.CRV.Get(d)))
+	}
+	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%s,%s,%d,%s,%s,%s,%d",
+		s.QueuedEntries, s.QueuedProbes, s.BusyWorkers, s.FailedWorkers,
+		s.SaturatedWorkers, csvFloat(s.MeanEstWaitSeconds),
+		csvFloat(s.MaxEstWaitSeconds), s.StartedTasks,
+		csvFloat(s.MeanWaitSeconds), csvFloat(s.MaxWaitSeconds),
+		csvFloat(s.MeanAbsEstErrSeconds), s.FinishedJobs)
+	c := &s.Counters
+	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%d,%d,%d\n",
+		c.ReorderedTasks, c.CRVReorderedTasks, c.Probes, c.StolenTasks,
+		c.RescheduledProbes, c.RelaxedJobs, c.PlacementRelaxed,
+		c.WorkerFailures)
+	return b.String()
+}
+
+// csvFloat renders a float cell: empty for NaN, "inf" for +Inf, otherwise
+// six significant digits (deterministic and compact).
+func csvFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return ""
+	case math.IsInf(v, 1):
+		return "inf"
+	default:
+		return fmt.Sprintf("%.6g", v)
+	}
+}
+
+// csvBool renders a boolean as 0/1.
+func csvBool(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// dimSlug is a CSV/Markdown-safe name for a constraint dimension: the
+// trace name for valid dimensions (already lower-case slugs), "none" for
+// the zero Dim a contention-free sample carries.
+func dimSlug(d constraint.Dim) string {
+	if !d.Valid() {
+		return "none"
+	}
+	return d.String()
+}

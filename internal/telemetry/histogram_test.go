@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// exactQuantile is the nearest-rank percentile over a sorted copy, the
+// reference the histogram is bounded against.
+func exactQuantile(values []float64, p float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func TestNewHistogramRejectsBadParameters(t *testing.T) {
+	cases := []struct {
+		lo, growth float64
+		buckets    int
+	}{
+		{0, 1.05, 10},
+		{-1, 1.05, 10},
+		{math.NaN(), 1.05, 10},
+		{0.001, 1.0, 10},
+		{0.001, 0.9, 10},
+		{0.001, math.NaN(), 10},
+		{0.001, 1.05, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewHistogram(c.lo, c.growth, c.buckets); err == nil {
+			t.Errorf("NewHistogram(%v, %v, %d): expected error", c.lo, c.growth, c.buckets)
+		}
+	}
+}
+
+// TestHistogramQuantileErrorBound asserts the documented guarantee: for
+// in-range values the histogram's percentile estimate is within a factor
+// of the bucket growth of the exact nearest-rank percentile, across a
+// uniform, a heavy-tailed, and a lognormal sample.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	const growth = 1.05
+	rng := simulation.NewRNG(7)
+	distributions := map[string]func(s *simulation.Stream) float64{
+		"uniform":   func(s *simulation.Stream) float64 { return 0.01 + 100*s.Float64() },
+		"pareto":    func(s *simulation.Stream) float64 { return s.BoundedPareto(0.05, 1.2, 5000) },
+		"lognormal": func(s *simulation.Stream) float64 { return s.LogNormal(0, 2) },
+	}
+	for name, draw := range distributions {
+		h, err := NewHistogram(0.001, growth, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := rng.Stream("hist/" + name)
+		values := make([]float64, 20000)
+		for i := range values {
+			values[i] = draw(stream)
+			h.Observe(values[i])
+		}
+		for _, p := range []float64{1, 25, 50, 90, 99, 99.9} {
+			got := h.Quantile(p)
+			want := exactQuantile(values, p)
+			relErr := math.Abs(got-want) / want
+			if relErr > growth-1 {
+				t.Errorf("%s p%v: histogram %v vs exact %v, relative error %.4f > %.4f",
+					name, p, got, want, relErr, growth-1)
+			}
+		}
+		if h.Count() != uint64(len(values)) {
+			t.Errorf("%s: count %d, want %d", name, h.Count(), len(values))
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, v := range []float64{h.Quantile(50), h.Mean(), h.Min(), h.Max()} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty histogram query = %v, want NaN", v)
+		}
+	}
+	if h.Count() != 0 {
+		t.Errorf("empty histogram count = %d", h.Count())
+	}
+}
+
+// TestHistogramEdgeBuckets pins the exact-answer behaviour of the
+// underflow and overflow buckets and the handling of non-finite input.
+func TestHistogramEdgeBuckets(t *testing.T) {
+	h, err := NewHistogram(1, 2, 4) // regular range [1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(math.NaN()) // ignored
+	h.Observe(0.25)       // underflow
+	h.Observe(1e9)        // overflow
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2 (NaN must be ignored)", h.Count())
+	}
+	if got := h.Quantile(1); got != 0.25 {
+		t.Errorf("underflow quantile = %v, want exact min 0.25", got)
+	}
+	if got := h.Quantile(100); got != 1e9 {
+		t.Errorf("overflow quantile = %v, want exact max 1e9", got)
+	}
+	if got := h.Min(); got != 0.25 {
+		t.Errorf("min = %v", got)
+	}
+	if got := h.Max(); got != 1e9 {
+		t.Errorf("max = %v", got)
+	}
+}
+
+// TestHistogramDeterministicUnderPermutation asserts observation order
+// does not affect any query (the property that makes the telemetry CSV
+// reproducible).
+func TestHistogramDeterministicUnderPermutation(t *testing.T) {
+	stream := simulation.NewRNG(11).Stream("perm")
+	values := make([]float64, 5000)
+	for i := range values {
+		values[i] = stream.LogNormal(1, 1.5)
+	}
+	a := NewLatencyHistogram()
+	for _, v := range values {
+		a.Observe(v)
+	}
+	b := NewLatencyHistogram()
+	stream.Shuffle(len(values), func(i, j int) { values[i], values[j] = values[j], values[i] })
+	for _, v := range values {
+		b.Observe(v)
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		if a.Quantile(p) != b.Quantile(p) {
+			t.Errorf("p%v differs under permutation: %v vs %v", p, a.Quantile(p), b.Quantile(p))
+		}
+	}
+	if a.Min() != b.Min() || a.Max() != b.Max() || a.Count() != b.Count() {
+		t.Error("summary statistics differ under permutation")
+	}
+	// Mean uses a running float sum, so permutation may shift the last ulps.
+	if relErr := math.Abs(a.Mean()-b.Mean()) / a.Mean(); relErr > 1e-12 {
+		t.Errorf("means differ beyond rounding under permutation: %v vs %v", a.Mean(), b.Mean())
+	}
+}

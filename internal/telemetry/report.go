@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// Meta describes the run a report renders, supplied by the caller (the
+// recorder itself deliberately knows nothing about workload provenance).
+type Meta struct {
+	// Scheduler is the scheduler's name.
+	Scheduler string
+	// Workload names the trace.
+	Workload string
+	// Jobs and Tasks size the workload.
+	Jobs, Tasks int
+	// Workers is the cluster size.
+	Workers int
+	// OfferedLoad is the workload's offered load against the cluster.
+	OfferedLoad float64
+	// Seed is the driver seed.
+	Seed uint64
+	// Span is the completion time of the last job.
+	Span simulation.Time
+	// Utilization is the mean busy fraction over the span.
+	Utilization float64
+}
+
+// Report renders a self-contained Markdown run report: run metadata,
+// headline response/queue percentiles (exact, from the collector), the
+// streamed task-wait distribution, the CRV trigger timeline, a
+// per-dimension contention table, and the scheduler counters. The output
+// is deterministic and suitable for checking into results/ or pasting
+// into EXPERIMENTS.md.
+func (r *Recorder) Report(m Meta, c *metrics.Collector) string {
+	var b strings.Builder
+	b.WriteString("# Run report\n\n")
+	r.writeMeta(&b, m)
+	r.writeHeadline(&b, c)
+	r.writeWaitDistribution(&b)
+	r.writeTriggerTimeline(&b)
+	r.writeContentionTable(&b)
+	r.writeCounters(&b, c)
+	return b.String()
+}
+
+// writeMeta renders the run-identification table.
+func (r *Recorder) writeMeta(b *strings.Builder, m Meta) {
+	fmt.Fprintf(b, "| run | value |\n|---|---|\n")
+	fmt.Fprintf(b, "| scheduler | %s |\n", m.Scheduler)
+	fmt.Fprintf(b, "| workload | %s (%d jobs, %d tasks) |\n", m.Workload, m.Jobs, m.Tasks)
+	fmt.Fprintf(b, "| cluster | %d workers |\n", m.Workers)
+	fmt.Fprintf(b, "| offered load | %.2f |\n", m.OfferedLoad)
+	fmt.Fprintf(b, "| seed | %d |\n", m.Seed)
+	fmt.Fprintf(b, "| span | %s (utilization %.2f) |\n", m.Span, m.Utilization)
+	fmt.Fprintf(b, "| sampling interval | %s (%d samples) |\n\n",
+		r.opts.Interval, len(r.samples))
+}
+
+// writeHeadline renders the exact per-class percentile table the paper
+// reports everywhere, from the collector's job records.
+func (r *Recorder) writeHeadline(b *strings.Builder, c *metrics.Collector) {
+	b.WriteString("## Headline percentiles\n\n")
+	b.WriteString("| job class | jobs | response p50 | p90 | p99 | queue-delay p99 |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	classes := []struct {
+		label  string
+		filter metrics.Filter
+	}{
+		{"short constrained", metrics.AndFilter(metrics.Short, metrics.Constrained)},
+		{"short unconstrained", metrics.AndFilter(metrics.Short, metrics.Unconstrained)},
+		{"long", metrics.Long},
+		{"all", metrics.All},
+	}
+	for _, cl := range classes {
+		n := len(c.ResponseTimes(cl.filter))
+		p := c.ResponsePercentiles(cl.filter)
+		q := c.QueueDelayPercentiles(cl.filter)
+		fmt.Fprintf(b, "| %s | %d | %s | %s | %s | %s |\n",
+			cl.label, n, seconds(p.P50), seconds(p.P90), seconds(p.P99), seconds(q.P99))
+	}
+	b.WriteString("\n")
+}
+
+// writeWaitDistribution renders the streamed task-wait and job-response
+// histograms.
+func (r *Recorder) writeWaitDistribution(b *strings.Builder) {
+	b.WriteString("## Streamed latency distributions\n\n")
+	b.WriteString("Fixed-bucket histograms (≤2.5% relative quantile error), no per-sample storage.\n\n")
+	b.WriteString("| distribution | samples | p50 | p90 | p99 | max | mean |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	rows := []struct {
+		label string
+		h     *Histogram
+	}{
+		{"task queue wait", r.waitHist},
+		{"job response time", r.respHist},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(b, "| %s | %d | %s | %s | %s | %s | %s |\n",
+			row.label, row.h.Count(), seconds(row.h.Quantile(50)),
+			seconds(row.h.Quantile(90)), seconds(row.h.Quantile(99)),
+			seconds(row.h.Max()), seconds(row.h.Mean()))
+	}
+	b.WriteString("\n")
+}
+
+// trigger is one maximal run of consecutive samples whose queue-derived
+// max CRV exceeds the threshold.
+type trigger struct {
+	from, to simulation.Time
+	peak     float64
+	peakDim  constraint.Dim
+	hotBeats int // samples within the window where the scheduler's own monitor was hot
+	beats    int
+}
+
+// triggers folds the sample series into contended windows.
+func (r *Recorder) triggers() []trigger {
+	var out []trigger
+	open := false
+	for i := range r.samples {
+		s := &r.samples[i]
+		if s.MaxCRV <= r.opts.CRVThreshold {
+			open = false
+			continue
+		}
+		if !open {
+			out = append(out, trigger{from: s.Time, to: s.Time, peak: s.MaxCRV, peakDim: s.MaxCRVDim})
+			open = true
+		}
+		t := &out[len(out)-1]
+		t.to = s.Time
+		t.beats++
+		if s.MaxCRV > t.peak {
+			t.peak = s.MaxCRV
+			t.peakDim = s.MaxCRVDim
+		}
+		if s.MonitorHot {
+			t.hotBeats++
+		}
+	}
+	return out
+}
+
+// writeTriggerTimeline renders the contended windows.
+func (r *Recorder) writeTriggerTimeline(b *strings.Builder) {
+	fmt.Fprintf(b, "## CRV trigger timeline (threshold %.2f)\n\n", r.opts.CRVThreshold)
+	ts := r.triggers()
+	if len(ts) == 0 {
+		b.WriteString("No sample exceeded the contention threshold.\n\n")
+		return
+	}
+	b.WriteString("| window | samples | peak dimension | peak ratio | monitor hot |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, t := range ts {
+		fmt.Fprintf(b, "| %s – %s | %d | %s | %.3f | %d/%d |\n",
+			t.from, t.to, t.beats, dimSlug(t.peakDim), t.peak, t.hotBeats, t.beats)
+	}
+	b.WriteString("\n")
+}
+
+// writeContentionTable renders per-dimension CRV statistics over the whole
+// series.
+func (r *Recorder) writeContentionTable(b *strings.Builder) {
+	b.WriteString("## Per-dimension contention\n\n")
+	if len(r.samples) == 0 {
+		b.WriteString("No samples recorded.\n\n")
+		return
+	}
+	b.WriteString("| dimension | peak CRV | mean CRV | samples over threshold |\n")
+	b.WriteString("|---|---|---|---|\n")
+	n := len(r.samples)
+	for _, d := range constraint.Dims {
+		var peak, sum float64
+		over := 0
+		for i := range r.samples {
+			v := r.samples[i].CRV.Get(d)
+			sum += v
+			if v > peak {
+				peak = v
+			}
+			if v > r.opts.CRVThreshold {
+				over++
+			}
+		}
+		if peak == 0 {
+			continue // the dimension never appeared in any queue
+		}
+		fmt.Fprintf(b, "| %s | %.3f | %.3f | %d/%d (%.0f%%) |\n",
+			dimSlug(d), peak, sum/float64(n), over, n, 100*float64(over)/float64(n))
+	}
+	b.WriteString("\n")
+}
+
+// writeCounters renders the end-of-run scheduler counters.
+func (r *Recorder) writeCounters(b *strings.Builder, c *metrics.Collector) {
+	b.WriteString("## Scheduler counters\n\n")
+	b.WriteString("| counter | total |\n|---|---|\n")
+	cs := c.Counters()
+	rows := []struct {
+		label string
+		v     int64
+	}{
+		{"probes placed", cs.Probes},
+		{"queue reorders (all)", cs.ReorderedTasks},
+		{"queue reorders (CRV)", cs.CRVReorderedTasks},
+		{"stolen tasks", cs.StolenTasks},
+		{"rescheduled probes", cs.RescheduledProbes},
+		{"relaxed jobs", cs.RelaxedJobs},
+		{"placement relaxations", cs.PlacementRelaxed},
+		{"worker failures", cs.WorkerFailures},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(b, "| %s | %d |\n", row.label, row.v)
+	}
+	fmt.Fprintf(b, "| wasted work | %s |\n", cs.WastedWork)
+	fmt.Fprintf(b, "| busy time | %s |\n", cs.BusyTime)
+}
+
+// seconds renders a seconds value for the report tables.
+func seconds(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "–"
+	case math.IsInf(v, 1):
+		return "inf"
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}

