@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-hotpath docs-check experiments figures clean
+.PHONY: all build test race vet ci bench bench-hotpath docs-check faults experiments figures clean
 
 all: build test
 
@@ -13,6 +13,7 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race ./internal/...
 	$(MAKE) bench-hotpath
+	$(MAKE) faults
 	$(MAKE) docs-check
 
 build:
@@ -37,10 +38,16 @@ bench:
 bench-hotpath:
 	$(GO) test -run '^$$' -bench 'MatchCache|Satisfying|CandidateWorkers' -benchtime=1x -benchmem ./internal/cluster/ .
 
+# Fault-campaign smoke: a short mixed scenario (outage + slowdown + probe
+# loss) against every bundled scheduler, invariant checker attached, under
+# the race detector.
+faults:
+	$(GO) test -race -count=1 -run 'TestFaultCampaignSmoke' ./internal/faults/
+
 # Godoc coverage gate: fail on any exported identifier without a doc
 # comment in the documentation-critical packages.
 docs-check:
-	$(GO) run ./cmd/docs-check internal/telemetry internal/metrics internal/constraint
+	$(GO) run ./cmd/docs-check internal/telemetry internal/metrics internal/constraint internal/faults
 
 # Regenerate every paper table/figure (tables to stdout, CSVs + SVGs to results/).
 experiments:

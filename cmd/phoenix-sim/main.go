@@ -7,12 +7,15 @@
 //	phoenix-sim -scheduler phoenix -profile google -scale 0.1 -seed 1
 //	phoenix-sim -scheduler eagle-c -trace workload.jsonl -nodes 5000
 //	phoenix-sim -timeseries run.csv -report run.md
+//	phoenix-sim -faults scenarios/rack-outage.json -report outage.md
 //
 // Without -trace, a synthetic workload is generated from the named profile
 // at the given scale; with -trace, the JSONL file written by tracegen is
 // replayed. -timeseries and -report attach the internal/telemetry sampler
 // (scheduler-invisible: the -digest output is unchanged) and write a
-// per-interval CSV and a Markdown run report respectively.
+// per-interval CSV and a Markdown run report respectively. -faults runs a
+// deterministic fault campaign (internal/faults) from a scenario JSON file;
+// it overrides -failure-rate, and the report gains a fault timeline.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"github.com/phoenix-sched/phoenix/internal/cluster"
 	"github.com/phoenix-sched/phoenix/internal/experiments"
+	"github.com/phoenix-sched/phoenix/internal/faults"
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 	"github.com/phoenix-sched/phoenix/internal/profiling"
 	"github.com/phoenix-sched/phoenix/internal/sched"
@@ -50,6 +54,7 @@ func run(args []string) (err error) {
 		traceSeed = fs.Uint64("trace-seed", 1000, "trace generation seed")
 		load      = fs.Float64("load", 0, "target offered load override (0 = profile default)")
 		failRate  = fs.Float64("failure-rate", 0, "worker failures per node-hour (0 = off)")
+		faultPath = fs.String("faults", "", "run a fault-campaign scenario from this JSON file (overrides -failure-rate)")
 		doCheck   = fs.Bool("validate", false, "run the invariant checker and fail on any violation")
 		doDigest  = fs.Bool("digest", false, "print the run digest (same seed => same digest)")
 
@@ -141,6 +146,21 @@ func run(args []string) (err error) {
 		return err
 	}
 
+	var scenario *faults.Scenario
+	if *faultPath != "" {
+		scenario, err = faults.LoadScenario(*faultPath)
+		if err != nil {
+			return err
+		}
+		if *failRate > 0 {
+			// Random churn and a scripted campaign would double-fail
+			// workers in ways neither model intends; the explicit
+			// scenario wins.
+			fmt.Fprintf(os.Stderr, "phoenix-sim: warning: -failure-rate %.3g ignored, scenario %s takes precedence\n", *failRate, scenario.Name)
+			*failRate = 0
+		}
+	}
+
 	simCfg := sched.DefaultConfig()
 	simCfg.FailureRatePerHour = *failRate
 	d, err := sched.NewDriver(simCfg, cl, tr, s, *seed)
@@ -150,6 +170,13 @@ func run(args []string) (err error) {
 	var chk *validate.Checker
 	if *doCheck {
 		chk = validate.Attach(d)
+	}
+	var camp *faults.Campaign
+	if scenario != nil {
+		camp, err = faults.Attach(d, scenario)
+		if err != nil {
+			return err
+		}
 	}
 	var rec *telemetry.Recorder
 	if *timeseriesPath != "" || *reportPath != "" {
@@ -180,6 +207,17 @@ func run(args []string) (err error) {
 			Seed:        *seed,
 			Span:        res.Span,
 			Utilization: res.Utilization,
+		}
+		if camp != nil {
+			for _, w := range camp.Timeline() {
+				meta.Faults = append(meta.Faults, telemetry.FaultWindow{
+					Kind:    string(w.Kind),
+					From:    w.From,
+					To:      w.To,
+					Workers: w.Workers,
+					Detail:  w.Detail,
+				})
+			}
 		}
 		if err := os.WriteFile(*reportPath, []byte(rec.Report(meta, res.Collector)), 0o644); err != nil {
 			return err

@@ -172,6 +172,37 @@ func (c *Cluster) SatisfyingOne(cn constraint.Constraint) int {
 	return 0
 }
 
+// SatisfyingOneAmong reports how many machines in among satisfy the single
+// constraint cn, popcounting the intersection word by word against the
+// index's precomputed masks without materializing it. among must have the
+// cluster's capacity (bitset.New(cl.Size())); a mismatched set counts 0.
+// The fault layer uses it to subtract failed machines from a constraint's
+// static supply and obtain the live supply.
+func (c *Cluster) SatisfyingOneAmong(cn constraint.Constraint, among *bitset.Set) int {
+	if among == nil || among.Len() != len(c.machines) {
+		return 0
+	}
+	mask, negate, kind := c.index.resolve(cn)
+	switch kind {
+	case maskAll:
+		return among.Count()
+	case maskNone:
+		return 0
+	}
+	aw, mw := among.Words(), mask.Words()
+	count := 0
+	for i := range aw {
+		w := aw[i]
+		if negate {
+			w &^= mw[i]
+		} else {
+			w &= mw[i]
+		}
+		count += bits.OnesCount64(w)
+	}
+	return count
+}
+
 // Index answers per-constraint machine-membership queries. For every
 // dimension it keeps the sorted distinct attribute values, an equality
 // bitset per value, and prefix-union bitsets, so EQ/LT/GT queries each cost

@@ -12,6 +12,16 @@ import (
 // above CRVThreshold marks the dimension as contended.
 type Vector [NumDims]float64
 
+// SupplyLostRatio is the finite sentinel a CRV computation stores for a
+// dimension that has positive queued demand but zero live supply — every
+// satisfying machine is down, so the true demand/supply ratio is undefined
+// (division by zero). Clamping to a large finite value instead of +Inf
+// keeps the ratio orderable, keeps CSV/report output parseable, and still
+// exceeds any physically reachable ratio (demand is bounded by queued
+// entries, supply is at least 1 otherwise), so threshold checks such as
+// AnyAbove treat the dimension as maximally contended.
+const SupplyLostRatio = 1e6
+
 // Get returns the value on dimension d.
 func (v *Vector) Get(d Dim) float64 { return v[d.Index()] }
 

@@ -129,11 +129,12 @@ func (m *Monitor) Wait(w int) float64 { return m.lastWait[w] }
 // Heartbeats reports how many refreshes have run.
 func (m *Monitor) Heartbeats() int64 { return m.heartbeats }
 
-// supply returns the number of workers satisfying c. The cluster index
-// precomputes per-value counts, so this is a binary search plus a lookup —
-// no memoization layer or bitset materialization needed.
+// supply returns the number of live (non-failed) workers satisfying c. The
+// cluster index precomputes per-value static counts and the driver
+// subtracts failed satisfying machines with one word-wise popcount, so
+// this stays a binary search plus a lookup when nothing is down.
 func (m *Monitor) supply(d *sched.Driver, c constraint.Constraint) int {
-	return d.Cluster().SatisfyingOne(c)
+	return d.LiveSupplyOne(c)
 }
 
 // Refresh recomputes the CRV and the per-worker estimates (the body of
@@ -151,6 +152,7 @@ func (m *Monitor) Refresh(d *sched.Driver, crvThreshold, qwaitThresholdSeconds f
 		m.demandCredit[i] *= demandDecay
 	}
 	var vec constraint.Vector
+	var lost constraint.DimMask
 	for _, w := range d.Workers() {
 		for _, e := range w.Queue() {
 			cs := e.Job.Constraints
@@ -160,11 +162,25 @@ func (m *Monitor) Refresh(d *sched.Driver, crvThreshold, qwaitThresholdSeconds f
 			for _, c := range cs {
 				n := m.supply(d, c)
 				if n == 0 {
-					// Unsatisfiable constraints never reach queues
-					// (admission relaxes them), but guard the division.
+					// Demand with zero live supply: an outage erased every
+					// satisfying machine (admission guarantees static
+					// supply, so this is reachable only through failures).
+					// The ratio is clamped to the sentinel below instead of
+					// dividing by zero.
+					lost = lost.With(c.Dim)
 					continue
 				}
 				vec.Set(c.Dim, vec.Get(c.Dim)+1/float64(n))
+			}
+		}
+	}
+	if lost != 0 {
+		// Clamp supply-lost dimensions to the finite sentinel: maximally
+		// contended (AnyAbove fires, so the monitor goes hot and CRV
+		// reordering engages) without +Inf/NaN escaping into telemetry.
+		for _, dim := range constraint.Dims {
+			if lost.Has(dim) {
+				vec.Set(dim, constraint.SupplyLostRatio)
 			}
 		}
 	}

@@ -138,6 +138,10 @@ func New(opts Options) (*Scheduler, error) {
 	return &Scheduler{opts: opts}, nil
 }
 
+func init() {
+	sched.Register("phoenix", func() (sched.Scheduler, error) { return New(DefaultOptions()) })
+}
+
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string { return "phoenix" }
 

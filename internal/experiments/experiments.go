@@ -21,14 +21,18 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/cluster"
 	"github.com/phoenix-sched/phoenix/internal/core"
 	"github.com/phoenix-sched/phoenix/internal/sched"
-	"github.com/phoenix-sched/phoenix/internal/schedulers/centralized"
-	"github.com/phoenix-sched/phoenix/internal/schedulers/eagle"
-	"github.com/phoenix-sched/phoenix/internal/schedulers/hawk"
-	"github.com/phoenix-sched/phoenix/internal/schedulers/sparrow"
-	"github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
 	"github.com/phoenix-sched/phoenix/internal/validate"
+
+	// The bundled schedulers register themselves with the sched plug-in
+	// registry from their init functions; the harness links them in so
+	// every experiment and CLI can select them by name.
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/centralized"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/eagle"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/hawk"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/sparrow"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
 )
 
 // Options scope an experiment run.
@@ -116,24 +120,16 @@ const (
 	SchedCentralized = "centralized"
 )
 
-// NewScheduler constructs a scheduler by name. Phoenix uses the options'
-// Phoenix parameters.
+// NewScheduler constructs a scheduler by name via the sched plug-in
+// registry (sched.Register). Phoenix uses the options' Phoenix parameters.
 func (o *Options) NewScheduler(name string) (sched.Scheduler, error) {
-	switch name {
-	case SchedPhoenix:
+	// Phoenix is special-cased so experiments can sweep its options; every
+	// other scheduler — bundled or registered by downstream code — comes
+	// from the sched plug-in registry with its package defaults.
+	if name == SchedPhoenix {
 		return core.New(o.Phoenix)
-	case SchedEagle:
-		return eagle.New(), nil
-	case SchedHawk:
-		return hawk.New(hawk.DefaultOptions())
-	case SchedSparrow:
-		return sparrow.New(), nil
-	case SchedYacc:
-		return yaccd.New(yaccd.DefaultOptions())
-	case SchedCentralized:
-		return centralized.New(centralized.DefaultOptions())
 	}
-	return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+	return sched.NewByName(name)
 }
 
 // env is the shared, read-only substrate of one experiment: the workload

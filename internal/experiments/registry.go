@@ -33,11 +33,12 @@ var registry = map[string]Runner{
 	"sens-probe":     SensProbeRatio,
 	"sens-heartbeat": SensHeartbeat,
 	// Extensions beyond the paper's figures.
-	"ext-designspace": DesignSpace,
-	"ext-placement":   PlacementImpact,
-	"ext-failures":    FailureImpact,
-	"ext-fairness":    Fairness,
-	"ext-estimator":   EstimatorAccuracy,
+	"ext-designspace":   DesignSpace,
+	"ext-placement":     PlacementImpact,
+	"ext-failures":      FailureImpact,
+	"ext-faultcampaign": FaultCampaign,
+	"ext-fairness":      Fairness,
+	"ext-estimator":     EstimatorAccuracy,
 }
 
 // IDs lists every experiment identifier in sorted order.

@@ -1,0 +1,189 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// Window is one phase's realized injection window, for the run report's
+// fault timeline. From/To are fixed when the campaign attaches; Workers
+// and Detail are filled in when the phase actually fires (sampling happens
+// at begin time).
+type Window struct {
+	// Kind is the phase's injector.
+	Kind Kind
+	// From and To bound the phase in virtual time.
+	From, To simulation.Time
+	// Workers is how many workers the phase touched: machines taken down
+	// by an outage, workers degraded by a slowdown, 0 for probe loss.
+	Workers int
+	// Detail describes the phase scope, e.g. "platform=5 (8/8 machines)".
+	Detail string
+}
+
+// Campaign is a scenario armed on one driver. Construct with Attach before
+// Driver.Run; read Timeline after Run returns.
+type Campaign struct {
+	d       *sched.Driver
+	sc      *Scenario
+	windows []Window
+}
+
+// Attach validates sc against d's cluster and schedules every phase's
+// begin/end events on the driver's engine. It must be called before
+// Driver.Run. Beyond Scenario.Validate, scoped phases must match at least
+// one machine of the cluster — a scope that matches nothing is almost
+// always a typoed value, not an intended no-op.
+//
+// Each phase samples its victims from its own named RNG stream
+// (StreamName), so attaching a campaign never perturbs the streams the
+// scheduler draws from: a same-seed run with an empty scenario is
+// byte-identical to a run with no campaign at all.
+func Attach(d *sched.Driver, sc *Scenario) (*Campaign, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Campaign{d: d, sc: sc, windows: make([]Window, len(sc.Phases))}
+	for i := range sc.Phases {
+		ph := &sc.Phases[i]
+		scope, err := c.scope(ph)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: phase %d: %w", sc.Name, i, err)
+		}
+		c.windows[i] = Window{
+			Kind: ph.Kind,
+			From: simulation.FromSeconds(ph.StartSeconds),
+			To:   simulation.FromSeconds(ph.endSeconds()),
+		}
+		c.arm(i, ph, scope)
+	}
+	return c, nil
+}
+
+// Scenario returns the scenario this campaign replays.
+func (c *Campaign) Scenario() *Scenario { return c.sc }
+
+// Timeline returns one realized window per phase, in phase order. Complete
+// once Driver.Run has returned; callers must not mutate the slice.
+func (c *Campaign) Timeline() []Window { return c.windows }
+
+// scope resolves a phase's machine scope: the satisfying set of its
+// constraint for scoped phases, the whole cluster for unscoped slowdowns,
+// nil for probe loss (which intercepts placements, not machines).
+func (c *Campaign) scope(ph *Phase) (*bitset.Set, error) {
+	if ph.Kind == KindProbeLoss {
+		return nil, nil
+	}
+	cl := c.d.Cluster()
+	set := bitset.New(cl.Size())
+	if ph.Dim == "" {
+		set.SetAll()
+		return set, nil
+	}
+	dim, err := constraint.DimFromName(ph.Dim)
+	if err != nil {
+		return nil, err
+	}
+	cn := constraint.Constraint{Dim: dim, Op: constraint.OpEQ, Value: ph.Value}
+	if err := cl.SatisfyingInto(set, constraint.Set{cn}); err != nil {
+		return nil, err
+	}
+	if !set.Any() {
+		return nil, fmt.Errorf("scope %s=%d matches no machine", ph.Dim, ph.Value)
+	}
+	return set, nil
+}
+
+// victims samples the phase's affected workers from its scope: all of them
+// when Fraction is 0 or 1, otherwise ceil(fraction x |scope|) distinct
+// workers drawn from the phase's stream.
+func (c *Campaign) victims(ph *Phase, scope *bitset.Set, stream *simulation.Stream) []*sched.Worker {
+	n := scope.Count()
+	k := n
+	if ph.Fraction > 0 && ph.Fraction < 1 {
+		k = int(math.Ceil(ph.Fraction * float64(n)))
+	}
+	return c.d.SampleWorkers(scope, k, stream)
+}
+
+// arm schedules phase i's begin and end events.
+func (c *Campaign) arm(i int, ph *Phase, scope *bitset.Set) {
+	stream := c.d.Stream(StreamName(i, ph.Kind))
+	win := &c.windows[i]
+	start := win.From
+	dur := win.To - win.From
+	switch ph.Kind {
+	case KindOutage:
+		var downed []*sched.Worker
+		c.d.After(start, func() {
+			total := scope.Count()
+			for _, w := range c.victims(ph, scope, stream) {
+				if c.d.InjectFailure(w) {
+					downed = append(downed, w)
+				}
+			}
+			win.Workers = len(downed)
+			win.Detail = fmt.Sprintf("%s=%d (%d/%d machines)", ph.Dim, ph.Value, len(downed), total)
+			c.d.After(dur, func() {
+				// Recover exactly the workers this outage took down;
+				// workers churn failed first belong to churn's repair.
+				for _, w := range downed {
+					c.d.InjectRecovery(w)
+				}
+			})
+		})
+	case KindSlowdown:
+		var slowed []*sched.Worker
+		c.d.After(start, func() {
+			slowed = c.victims(ph, scope, stream)
+			for _, w := range slowed {
+				c.d.SetServiceFactor(w, ph.Factor)
+			}
+			win.Workers = len(slowed)
+			win.Detail = c.slowdownDetail(ph, len(slowed))
+			c.d.After(dur, func() {
+				for _, w := range slowed {
+					c.d.SetServiceFactor(w, 1)
+				}
+			})
+		})
+	case KindProbeLoss:
+		c.d.After(start, func() {
+			win.Detail = fmt.Sprintf("drop probability %.2f", ph.Fraction)
+			c.d.SetProbeFilter(func(_ *sched.Worker, _ *sched.JobState) bool {
+				return stream.Float64() < ph.Fraction
+			})
+			c.d.After(dur, func() { c.d.SetProbeFilter(nil) })
+		})
+	}
+}
+
+// slowdownDetail renders a slowdown window's scope description.
+func (c *Campaign) slowdownDetail(ph *Phase, n int) string {
+	if ph.Dim != "" {
+		return fmt.Sprintf("x%g on %s=%d (%d workers)", ph.Factor, ph.Dim, ph.Value, n)
+	}
+	return fmt.Sprintf("x%g on %d workers", ph.Factor, n)
+}
+
+// RackOutage builds the canonical correlated-outage scenario: every
+// machine with attribute dim == value goes down startS seconds into the
+// run and recovers durationS seconds later. It is the reference scenario
+// the fault-campaign experiment and the committed rack-outage report use.
+func RackOutage(dim string, value int64, startS, durationS float64) *Scenario {
+	return &Scenario{
+		Name: "rack-outage",
+		Phases: []Phase{{
+			Kind:            KindOutage,
+			StartSeconds:    startS,
+			DurationSeconds: durationS,
+			Dim:             dim,
+			Value:           value,
+		}},
+	}
+}

@@ -1,0 +1,184 @@
+// Package faults is the deterministic fault-campaign layer: it injects
+// correlated, constraint-aware failures into a simulation run, going beyond
+// the driver's built-in i.i.d. fail-stop churn (-failure-rate).
+//
+// Three composable injectors are provided, each modeling a fault shape the
+// related literature shows reshapes scheduler behavior far more than
+// independent machine death:
+//
+//   - Correlated outages (KindOutage): every machine satisfying one
+//     constraint value — a platform family, a rack size class — goes down
+//     at once and recovers together, erasing a constraint dimension's
+//     supply the way a rack or power-domain failure does. This is the case
+//     that drives Phoenix's CRV demand/supply ratio toward infinity; the
+//     CRV computations clamp it to constraint.SupplyLostRatio.
+//   - Transient slowdowns (KindSlowdown): a fraction of workers serve
+//     tasks at a multiplicatively degraded rate for a window. The realized
+//     service times flow into the workers' Pollaczek–Khinchin estimators,
+//     so E[S]/E[S²] — and every waiting-time estimate built on them —
+//     feel the degradation rather than just observing longer queues.
+//   - Probe loss (KindProbeLoss): a fraction of late-binding probe
+//     placements is dropped in flight; the driver retries each lost probe
+//     after sched.ProbeRetryDelay, modeling a lossy control plane.
+//
+// A fault campaign is data, not code: a Scenario is a list of Phases
+// parsed from JSON (ParseScenario/LoadScenario, selected on the CLI with
+// -faults file.json) and armed on a sched.Driver with Attach before Run.
+// Every phase draws from its own named RNG stream (StreamName), so a
+// same-seed run with the same scenario is byte-identical, and a run with
+// an empty scenario is byte-identical to a run with no campaign at all.
+package faults
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+)
+
+// Kind identifies one injector type.
+type Kind string
+
+const (
+	// KindOutage takes down every sampled machine satisfying the phase's
+	// constraint scope at once, and recovers exactly those machines when
+	// the phase ends.
+	KindOutage Kind = "outage"
+	// KindSlowdown multiplies the service time of tasks started on the
+	// sampled workers by the phase factor for the duration of the phase.
+	KindSlowdown Kind = "slowdown"
+	// KindProbeLoss drops each probe placement with the phase's fraction
+	// as probability while the phase is active.
+	KindProbeLoss Kind = "probe-loss"
+)
+
+// valid reports whether k names a known injector.
+func (k Kind) valid() bool {
+	switch k {
+	case KindOutage, KindSlowdown, KindProbeLoss:
+		return true
+	}
+	return false
+}
+
+// Phase is one timed fault-injection window within a Scenario. Which
+// fields matter depends on Kind; Validate enforces the rules below.
+type Phase struct {
+	// Kind selects the injector: "outage", "slowdown", or "probe-loss".
+	Kind Kind `json:"kind"`
+	// StartSeconds is the phase start in virtual seconds from run start.
+	StartSeconds float64 `json:"start_s"`
+	// DurationSeconds is the phase length in virtual seconds (> 0).
+	DurationSeconds float64 `json:"duration_s"`
+	// Dim names the constraint dimension scoping the phase (trace slugs,
+	// e.g. "platform"; see constraint.DimFromName). Required for outages;
+	// optional for slowdowns (empty scopes the whole cluster); unused for
+	// probe loss.
+	Dim string `json:"dim,omitempty"`
+	// Value is the attribute value on Dim the scope matches (machines
+	// with attribute == Value).
+	Value int64 `json:"value,omitempty"`
+	// Fraction is kind-dependent: for outages and slowdowns, the fraction
+	// of the scoped machines affected (0 means all of them); for probe
+	// loss, the drop probability per placement, required in (0, 1].
+	Fraction float64 `json:"fraction,omitempty"`
+	// Factor is the slowdown's multiplicative service-time factor,
+	// required > 1 (3 means tasks run three times as long).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// endSeconds is the phase end in virtual seconds.
+func (p *Phase) endSeconds() float64 { return p.StartSeconds + p.DurationSeconds }
+
+// overlaps reports whether the two phases' [start, end) windows intersect.
+func (p *Phase) overlaps(q *Phase) bool {
+	return p.StartSeconds < q.endSeconds() && q.StartSeconds < p.endSeconds()
+}
+
+// validate checks one phase's field combination.
+func (p *Phase) validate() error {
+	if !p.Kind.valid() {
+		return fmt.Errorf("unknown kind %q (want %q, %q, or %q)",
+			p.Kind, KindOutage, KindSlowdown, KindProbeLoss)
+	}
+	if p.StartSeconds < 0 {
+		return fmt.Errorf("start_s %v is negative", p.StartSeconds)
+	}
+	if p.DurationSeconds <= 0 {
+		return fmt.Errorf("duration_s %v, want > 0", p.DurationSeconds)
+	}
+	if p.Fraction < 0 || p.Fraction > 1 {
+		return fmt.Errorf("fraction %v outside [0, 1]", p.Fraction)
+	}
+	switch p.Kind {
+	case KindOutage:
+		if p.Dim == "" {
+			return fmt.Errorf("outage requires a dim scope")
+		}
+	case KindSlowdown:
+		if p.Factor <= 1 {
+			return fmt.Errorf("slowdown factor %v, want > 1", p.Factor)
+		}
+	case KindProbeLoss:
+		if p.Fraction == 0 {
+			return fmt.Errorf("probe-loss requires fraction in (0, 1]")
+		}
+		if p.Dim != "" {
+			return fmt.Errorf("probe-loss takes no dim scope")
+		}
+	}
+	if p.Dim != "" {
+		if _, err := constraint.DimFromName(p.Dim); err != nil {
+			return err
+		}
+	}
+	if p.Kind != KindSlowdown && p.Factor != 0 {
+		return fmt.Errorf("factor is only valid for slowdowns")
+	}
+	return nil
+}
+
+// Scenario is a named fault campaign: a set of phases replayed against a
+// run. The zero scenario (no phases) is valid and injects nothing.
+type Scenario struct {
+	// Name identifies the scenario in reports and filenames.
+	Name string `json:"name"`
+	// Phases are the injection windows, in any order.
+	Phases []Phase `json:"phases"`
+}
+
+// Validate checks the scenario's internal consistency: every phase's field
+// combination, plus the cross-phase rule that slowdown and probe-loss
+// phases of the same kind must not overlap in time (a worker's service
+// factor and the driver's probe filter are single slots, so overlapping
+// windows of those kinds would silently clobber each other; outages
+// compose and may overlap). Errors are anchored to the phase index.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	for i := range s.Phases {
+		if err := s.Phases[i].validate(); err != nil {
+			return fmt.Errorf("scenario %s: phase %d: %w", s.Name, i, err)
+		}
+	}
+	for i := range s.Phases {
+		for j := i + 1; j < len(s.Phases); j++ {
+			p, q := &s.Phases[i], &s.Phases[j]
+			if p.Kind != q.Kind || p.Kind == KindOutage {
+				continue
+			}
+			if p.overlaps(q) {
+				return fmt.Errorf("scenario %s: phase %d and phase %d: overlapping %s windows",
+					s.Name, i, j, p.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// StreamName is the named RNG stream phase i of a scenario draws from.
+// Each phase gets its own stream so that reordering or removing one phase
+// never shifts the randomness another phase sees.
+func StreamName(i int, k Kind) string {
+	return fmt.Sprintf("faults/%d/%s", i, k)
+}

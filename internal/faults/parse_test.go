@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+const validScenario = `{
+  "name": "mixed",
+  "phases": [
+    {"kind": "outage", "start_s": 120, "duration_s": 120, "dim": "platform", "value": 5},
+    {"kind": "slowdown", "start_s": 300, "duration_s": 60, "factor": 3, "fraction": 0.25},
+    {"kind": "probe-loss", "start_s": 420, "duration_s": 60, "fraction": 0.2}
+  ]
+}`
+
+func TestParseScenarioValid(t *testing.T) {
+	sc, err := ParseScenario([]byte(validScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "mixed" || len(sc.Phases) != 3 {
+		t.Fatalf("parsed %q with %d phases", sc.Name, len(sc.Phases))
+	}
+	p := sc.Phases[0]
+	if p.Kind != KindOutage || p.StartSeconds != 120 || p.DurationSeconds != 120 ||
+		p.Dim != "platform" || p.Value != 5 {
+		t.Errorf("outage phase mangled: %+v", p)
+	}
+	if sc.Phases[1].Factor != 3 || sc.Phases[2].Fraction != 0.2 {
+		t.Errorf("phase fields mangled: %+v", sc.Phases[1:])
+	}
+}
+
+func TestParseScenarioErrorsAreLineAnchored(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{
+			name: "syntax error",
+			in:   "{\n  \"name\": \"x\",\n  \"phases\": [\n    {\"kind\": }\n  ]\n}",
+			want: "line 4",
+		},
+		{
+			name: "unknown field",
+			in:   "{\n  \"name\": \"x\",\n  \"phases\": [\n    {\"kind\": \"outage\", \"start\": 1}\n  ]\n}",
+			want: "line 4",
+		},
+		{
+			name: "type error",
+			in:   "{\n  \"name\": \"x\",\n  \"phases\": [\n    {\"kind\": \"outage\", \"start_s\": \"soon\"}\n  ]\n}",
+			want: "line 4",
+		},
+		{
+			name: "trailing data",
+			in:   `{"name": "x", "phases": []}` + "\ngarbage",
+			want: "trailing data",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(tc.in))
+			if err == nil {
+				t.Fatal("malformed scenario accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	outage := func() Phase {
+		return Phase{Kind: KindOutage, StartSeconds: 10, DurationSeconds: 20, Dim: "platform", Value: 5}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"missing name", func(s *Scenario) { s.Name = "" }, "missing name"},
+		{"unknown kind", func(s *Scenario) { s.Phases[0].Kind = "meteor" }, "unknown kind"},
+		{"negative start", func(s *Scenario) { s.Phases[0].StartSeconds = -1 }, "negative"},
+		{"zero duration", func(s *Scenario) { s.Phases[0].DurationSeconds = 0 }, "duration_s"},
+		{"outage without dim", func(s *Scenario) { s.Phases[0].Dim = "" }, "dim scope"},
+		{"bad dim name", func(s *Scenario) { s.Phases[0].Dim = "warp-core" }, "warp-core"},
+		{"fraction above one", func(s *Scenario) { s.Phases[0].Fraction = 1.5 }, "fraction"},
+		{"factor on outage", func(s *Scenario) { s.Phases[0].Factor = 2 }, "factor"},
+		{
+			"slowdown factor too small",
+			func(s *Scenario) { s.Phases[0] = Phase{Kind: KindSlowdown, StartSeconds: 1, DurationSeconds: 1, Factor: 1} },
+			"factor",
+		},
+		{
+			"probe-loss without fraction",
+			func(s *Scenario) { s.Phases[0] = Phase{Kind: KindProbeLoss, StartSeconds: 1, DurationSeconds: 1} },
+			"fraction",
+		},
+		{
+			"probe-loss with dim",
+			func(s *Scenario) {
+				s.Phases[0] = Phase{Kind: KindProbeLoss, StartSeconds: 1, DurationSeconds: 1, Fraction: 0.5, Dim: "platform"}
+			},
+			"no dim",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := &Scenario{Name: "t", Phases: []Phase{outage()}}
+			tc.mutate(sc)
+			err := sc.Validate()
+			if err == nil {
+				t.Fatal("invalid scenario accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestScenarioOverlapRules(t *testing.T) {
+	probeLoss := func(start, dur float64) Phase {
+		return Phase{Kind: KindProbeLoss, StartSeconds: start, DurationSeconds: dur, Fraction: 0.5}
+	}
+	sc := &Scenario{Name: "t", Phases: []Phase{probeLoss(0, 10), probeLoss(5, 10)}}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Errorf("overlapping probe-loss phases accepted (err %v)", err)
+	}
+	// Back-to-back windows do not overlap ([start, end) intervals).
+	sc = &Scenario{Name: "t", Phases: []Phase{probeLoss(0, 10), probeLoss(10, 10)}}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("adjacent probe-loss phases rejected: %v", err)
+	}
+	// Outages may overlap: they compose (each recovers only its own).
+	o := Phase{Kind: KindOutage, StartSeconds: 0, DurationSeconds: 10, Dim: "platform", Value: 5}
+	o2 := o
+	o2.StartSeconds = 5
+	sc = &Scenario{Name: "t", Phases: []Phase{o, o2}}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("overlapping outages rejected: %v", err)
+	}
+}
+
+func TestStreamNameIsPerPhase(t *testing.T) {
+	if StreamName(0, KindOutage) == StreamName(1, KindOutage) {
+		t.Error("phase index not part of the stream name")
+	}
+	if StreamName(0, KindOutage) == StreamName(0, KindSlowdown) {
+		t.Error("kind not part of the stream name")
+	}
+}

@@ -99,5 +99,9 @@ func (c *Collector) Digest() uint64 {
 	d.Int64(c.WorkerFailures)
 	d.Int64(int64(c.WastedWork))
 	d.Int64(int64(c.BusyTime))
+	// ProbesLost is intentionally NOT hashed: appending a field here would
+	// change every digest, and ProbesLost is zero outside fault campaigns —
+	// lost probes already perturb the hashed outcomes (waits, completions)
+	// whenever they matter.
 	return d.Sum64()
 }

@@ -72,6 +72,11 @@ type Collector struct {
 	PlacementRelaxed int64
 	// WorkerFailures counts injected fail-stop worker failures.
 	WorkerFailures int64
+	// ProbesLost counts probe placements dropped in flight by injected
+	// probe loss (each is retried; Probes counts only deliveries).
+	// Deliberately excluded from Digest: it is nonzero only under a fault
+	// campaign, and no-fault digests must stay comparable across versions.
+	ProbesLost int64
 	// WastedWork accumulates execution time lost to failures (the partial
 	// runs of tasks that had to restart).
 	WastedWork simulation.Time
@@ -119,6 +124,7 @@ type CounterSnapshot struct {
 	RelaxedJobs       int64
 	PlacementRelaxed  int64
 	WorkerFailures    int64
+	ProbesLost        int64
 	// WastedWork and BusyTime mirror the Collector's accumulated times.
 	WastedWork simulation.Time
 	BusyTime   simulation.Time
@@ -135,6 +141,7 @@ func (c *Collector) Counters() CounterSnapshot {
 		RelaxedJobs:       c.RelaxedJobs,
 		PlacementRelaxed:  c.PlacementRelaxed,
 		WorkerFailures:    c.WorkerFailures,
+		ProbesLost:        c.ProbesLost,
 		WastedWork:        c.WastedWork,
 		BusyTime:          c.BusyTime,
 	}
@@ -152,6 +159,7 @@ func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
 		RelaxedJobs:       s.RelaxedJobs - prev.RelaxedJobs,
 		PlacementRelaxed:  s.PlacementRelaxed - prev.PlacementRelaxed,
 		WorkerFailures:    s.WorkerFailures - prev.WorkerFailures,
+		ProbesLost:        s.ProbesLost - prev.ProbesLost,
 		WastedWork:        s.WastedWork - prev.WastedWork,
 		BusyTime:          s.BusyTime - prev.BusyTime,
 	}

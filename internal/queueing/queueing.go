@@ -187,6 +187,11 @@ func (e *Estimator) ObserveService(s float64) { e.service.Observe(s) }
 // ObserveArrival records a task arrival at time t.
 func (e *Estimator) ObserveArrival(t float64) { e.arrivals.Observe(t) }
 
+// MeanService reports the windowed E[S] in seconds — the realized service
+// times the estimator has observed, which under an injected slowdown
+// reflect the degraded rate rather than the nominal trace durations.
+func (e *Estimator) MeanService() float64 { return e.service.Mean() }
+
 // Utilization reports the estimated rho = lambda * E[S].
 func (e *Estimator) Utilization() float64 {
 	return e.arrivals.Rate() * e.service.Mean()

@@ -5,6 +5,7 @@ import (
 
 	"github.com/phoenix-sched/phoenix/internal/bitset"
 	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 	"github.com/phoenix-sched/phoenix/internal/queueing"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
@@ -44,6 +45,22 @@ type Driver struct {
 	// failStream drives failure injection when enabled.
 	failStream *simulation.Stream
 
+	// downSet mirrors the failed flag of every worker as a bitset so live
+	// constraint supply (static supply minus failed machines) is one
+	// word-wise popcount instead of a cluster scan; downCount caches its
+	// popcount for the nothing-is-down fast path.
+	downSet   *bitset.Set
+	downCount int
+
+	// probeFilter, when non-nil, intercepts every probe placement; a true
+	// return drops the probe in flight (fault-injected probe loss). See
+	// SetProbeFilter.
+	probeFilter func(w *Worker, js *JobState) bool
+
+	// faultObservers holds the subset of observers that also implement
+	// FaultObserver, resolved once at attach time.
+	faultObservers []FaultObserver
+
 	pendingJobs int
 	span        simulation.Time
 }
@@ -82,6 +99,7 @@ func NewDriver(cfg Config, cl *cluster.Cluster, tr *trace.Trace, s Scheduler, se
 		d.policies[i] = FIFO{}
 	}
 	d.longOccupied = bitset.New(cl.Size())
+	d.downSet = bitset.New(cl.Size())
 	d.heartbeatH, _ = s.(HeartbeatHandler)
 	d.idleH, _ = s.(IdleHandler)
 	d.completeH, _ = s.(CompletionHandler)
@@ -277,7 +295,17 @@ func (d *Driver) failWorker(w *Worker, now simulation.Time) {
 	if w.failed {
 		return // already down; the repair in flight covers this event
 	}
+	d.takeDown(w, now)
+	d.engine.ScheduleAfter(d.cfg.RepairDelay, func(rec simulation.Time) { d.recoverWorker(w) })
+}
+
+// takeDown performs the fail-stop state transition shared by i.i.d. churn
+// (failWorker) and injected correlated outages (InjectFailure): the caller
+// decides when — or whether — repair is scheduled.
+func (d *Driver) takeDown(w *Worker, now simulation.Time) {
 	w.failed = true
+	d.downSet.Set(w.ID)
+	d.downCount++
 	d.collector.WorkerFailures++
 	if w.running != nil {
 		if w.completion != nil {
@@ -291,18 +319,19 @@ func (d *Driver) failWorker(w *Worker, now simulation.Time) {
 		}
 	}
 	d.notifyWorkerFailure(w)
-	d.engine.ScheduleAfter(d.cfg.RepairDelay, func(rec simulation.Time) { d.recoverWorker(w) })
 }
 
 // recoverWorker brings w back: an interrupted task restarts from scratch,
 // otherwise the queue resumes dispatch.
 func (d *Driver) recoverWorker(w *Worker) {
 	w.failed = false
+	d.downSet.Clear(w.ID)
+	d.downCount--
 	d.notifyWorkerRecovery(w)
 	now := d.engine.Now()
 	if w.running != nil {
 		w.runningStarted = now
-		w.runningEnds = now + w.runningTask.Duration
+		w.runningEnds = now + d.serviceTime(w, w.runningTask)
 		w.completion = d.engine.Schedule(w.runningEnds, func(simulation.Time) { d.completeTask(w) })
 		return
 	}
@@ -311,6 +340,100 @@ func (d *Driver) recoverWorker(w *Worker) {
 		d.idleH.OnWorkerIdle(d, w)
 	}
 }
+
+// Fault-injection surface (internal/faults). These mutate the same state
+// the i.i.d. churn path uses, so the two fault sources compose: an outage
+// only recovers workers it successfully took down, and churn's scheduled
+// repair of an already-recovered worker is absorbed by the failed-flag
+// guards. All methods must be called from within engine events (or before
+// Run); the single-threaded event loop is the synchronization.
+
+// InjectFailure takes w down without scheduling automatic repair — the
+// injector owns recovery (see InjectRecovery). It reports false, changing
+// nothing, when w is already down.
+func (d *Driver) InjectFailure(w *Worker) bool {
+	if w.failed {
+		return false
+	}
+	d.takeDown(w, d.engine.Now())
+	return true
+}
+
+// InjectRecovery brings a worker downed by InjectFailure back up. It
+// reports false, changing nothing, when w is already up (e.g. churn's
+// repair raced the outage and won).
+func (d *Driver) InjectRecovery(w *Worker) bool {
+	if !w.failed {
+		return false
+	}
+	d.recoverWorker(w)
+	return true
+}
+
+// SetServiceFactor sets w's multiplicative service-time factor: every task
+// *started* (or restarted after repair) while the factor is f runs for
+// f x its trace duration, so a factor above 1 models a transient slowdown
+// (degraded service rate) and 1 restores nominal speed. The realized
+// service time flows into BusyTime and the worker's P-K estimator, so
+// E[S]/E[S²] — and every waiting-time estimate built on them — feel the
+// degradation. A task already in flight keeps its scheduled completion.
+// Factors <= 0 are ignored. Observers implementing FaultObserver are
+// notified when the factor actually changes.
+func (d *Driver) SetServiceFactor(w *Worker, factor float64) {
+	if factor <= 0 || factor == w.ServiceFactor() {
+		return
+	}
+	w.slowFactor = factor
+	d.notifyWorkerSlowdown(w, factor)
+}
+
+// serviceTime returns task t's wall-clock execution time on w under the
+// worker's current service factor. Factor 1 (or unset) returns the trace
+// duration unchanged, bit for bit, so runs without slowdowns are
+// byte-identical to runs built before the fault layer existed.
+func (d *Driver) serviceTime(w *Worker, t *trace.Task) simulation.Time {
+	f := w.slowFactor
+	if f == 0 || f == 1 {
+		return t.Duration
+	}
+	return simulation.Time(float64(t.Duration) * f)
+}
+
+// SetProbeFilter installs (or, with nil, removes) the probe-loss filter: a
+// non-nil filter sees every probe placement and returns true to drop it in
+// flight. A dropped probe never reserves backlog or enqueues; the driver
+// counts it in ProbesLost, notifies FaultObservers, and — modeling the
+// placement RPC timeout — re-sends it after ProbeRetryDelay as long as the
+// job still has unclaimed tasks. Retries pass through the filter again, so
+// delivery is guaranteed only once the filter lifts (fault phases end).
+func (d *Driver) SetProbeFilter(f func(w *Worker, js *JobState) bool) {
+	d.probeFilter = f
+}
+
+// ProbeRetryDelay is how long after a lost probe placement the driver
+// re-sends it: the scheduler's probe RPC timeout.
+const ProbeRetryDelay = 2 * simulation.Second
+
+// LiveSupplyOne reports how many machines satisfying the single constraint
+// cn are currently up: the cluster's static supply minus the failed
+// machines that satisfy cn. With nothing down it is exactly
+// Cluster.SatisfyingOne. CRV computations use it so that a correlated
+// outage erasing a dimension's supply is visible as supply loss, not
+// masked by the static machine count.
+func (d *Driver) LiveSupplyOne(cn constraint.Constraint) int {
+	n := d.cl.SatisfyingOne(cn)
+	if n == 0 || d.downCount == 0 {
+		return n
+	}
+	return n - d.cl.SatisfyingOneAmong(cn, d.downSet)
+}
+
+// DownCount reports how many workers are currently failed.
+func (d *Driver) DownCount() int { return d.downCount }
+
+// DownWorkers returns the bitset of currently failed workers. Callers must
+// treat it as read-only; it is the live set, not a copy.
+func (d *Driver) DownWorkers() *bitset.Set { return d.downSet }
 
 // EnqueueTask places a bound task (early binding) into w's queue after one
 // network delay. The backlog is reserved immediately.
@@ -324,8 +447,22 @@ func (d *Driver) EnqueueTask(w *Worker, js *JobState, t *trace.Task) {
 }
 
 // EnqueueProbe places a late-binding probe for js into w's queue after one
-// network delay. The backlog is reserved immediately.
+// network delay. The backlog is reserved immediately. When a probe filter
+// (SetProbeFilter) drops the placement, nothing is reserved or enqueued:
+// the loss is counted, FaultObservers are notified, and the probe is
+// re-sent after ProbeRetryDelay while js still has unclaimed tasks.
 func (d *Driver) EnqueueProbe(w *Worker, js *JobState) {
+	if d.probeFilter != nil && d.probeFilter(w, js) {
+		d.collector.ProbesLost++
+		d.notifyProbeLost(w, js)
+		d.engine.ScheduleAfter(ProbeRetryDelay, func(simulation.Time) {
+			if js.Unclaimed() == 0 {
+				return
+			}
+			d.EnqueueProbe(w, js)
+		})
+		return
+	}
 	d.collector.Probes++
 	e := &Entry{Job: js}
 	d.reserve(w, e)
@@ -416,7 +553,7 @@ func (d *Driver) startTask(w *Worker, e *Entry, task *trace.Task) {
 	w.running = e
 	w.runningTask = task
 	w.runningStarted = start
-	w.runningEnds = start + task.Duration
+	w.runningEnds = start + d.serviceTime(w, task)
 	w.completion = d.engine.Schedule(w.runningEnds, func(simulation.Time) { d.completeTask(w) })
 	d.notifyStart(w, e, task)
 }
@@ -455,8 +592,13 @@ func (d *Driver) completeTask(w *Worker) {
 	w.runningTask = nil
 	w.completion = nil
 
-	d.collector.BusyTime += task.Duration
-	w.Estimator.ObserveService(task.Duration.Seconds())
+	// Account the realized service time of this successful attempt — equal
+	// to task.Duration except under an injected slowdown — so both cluster
+	// busy-time and the P-K estimator's E[S]/E[S²] reflect the degraded
+	// rate rather than the nominal trace duration.
+	served := w.runningEnds - w.runningStarted
+	d.collector.BusyTime += served
+	w.Estimator.ObserveService(served.Seconds())
 
 	js := e.Job
 	d.releaseLong(w, e)

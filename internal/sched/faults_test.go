@@ -1,0 +1,192 @@
+package sched
+
+// Driver-level tests of the fault-injection surface internal/faults builds
+// on: InjectFailure/InjectRecovery bookkeeping, service-factor scaling
+// through the estimator, probe-loss retry, and live-supply accounting.
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+func TestInjectFailureRecoveryBookkeeping(t *testing.T) {
+	cl, tr := testbed(t, 20, 30)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Worker(3)
+	if !d.InjectFailure(w) {
+		t.Fatal("InjectFailure on an up worker returned false")
+	}
+	if !w.Failed() || d.DownCount() != 1 || !d.DownWorkers().Test(3) {
+		t.Fatalf("down state inconsistent: failed=%v count=%d set=%v",
+			w.Failed(), d.DownCount(), d.DownWorkers().Test(3))
+	}
+	if d.InjectFailure(w) {
+		t.Error("InjectFailure on a down worker returned true")
+	}
+	if d.DownCount() != 1 {
+		t.Errorf("double failure changed DownCount to %d", d.DownCount())
+	}
+	if !d.InjectRecovery(w) {
+		t.Fatal("InjectRecovery on a down worker returned false")
+	}
+	if w.Failed() || d.DownCount() != 0 || d.DownWorkers().Any() {
+		t.Fatalf("recovery left down state: failed=%v count=%d", w.Failed(), d.DownCount())
+	}
+	if d.InjectRecovery(w) {
+		t.Error("InjectRecovery on an up worker returned true")
+	}
+}
+
+func TestLiveSupplyTracksInjectedOutage(t *testing.T) {
+	cl, tr := testbed(t, 40, 30)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scope to the platform value of machine 0, guaranteed present.
+	cn := constraint.Constraint{
+		Dim:   constraint.DimPlatform,
+		Op:    constraint.OpEQ,
+		Value: cl.Machine(0).Attrs.Get(constraint.DimPlatform),
+	}
+	static := cl.SatisfyingOne(cn)
+	if static == 0 {
+		t.Fatal("machine 0's own platform has no supply")
+	}
+	if got := d.LiveSupplyOne(cn); got != static {
+		t.Fatalf("live supply %d != static %d with nothing down", got, static)
+	}
+	// Take down every satisfying machine: live supply must hit zero.
+	downed := 0
+	for _, w := range d.Workers() {
+		if cn.SatisfiedBy(&w.Machine.Attrs) {
+			if !d.InjectFailure(w) {
+				t.Fatalf("worker %d already down", w.ID)
+			}
+			downed++
+		}
+	}
+	if downed != static {
+		t.Fatalf("downed %d machines, satisfying count says %d", downed, static)
+	}
+	if got := d.LiveSupplyOne(cn); got != 0 {
+		t.Errorf("live supply %d after full outage, want 0", got)
+	}
+	// An unrelated dimension only loses the machines in the intersection.
+	other := constraint.Constraint{Dim: constraint.DimISA, Op: constraint.OpGT, Value: -1}
+	wantOther := cl.SatisfyingOne(other) - downed
+	if got := d.LiveSupplyOne(other); got != wantOther {
+		t.Errorf("unrelated live supply %d, want %d", got, wantOther)
+	}
+	// Recovery restores the exact static count.
+	for _, w := range d.Workers() {
+		if w.Failed() {
+			d.InjectRecovery(w)
+		}
+	}
+	if got := d.LiveSupplyOne(cn); got != static {
+		t.Errorf("live supply %d after recovery, want %d", got, static)
+	}
+}
+
+func TestServiceFactorScalesBusyTimeAndEstimator(t *testing.T) {
+	cl, tr := testbed(t, 30, 60)
+	run := func(factor float64) *Driver {
+		d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if factor != 1 {
+			for _, w := range d.Workers() {
+				d.SetServiceFactor(w, factor)
+			}
+		}
+		if _, err := d.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	nominal := run(1)
+	if nominal.Collector().BusyTime != tr.TotalWork() {
+		t.Fatalf("nominal busy %v != trace work %v", nominal.Collector().BusyTime, tr.TotalWork())
+	}
+	slowed := run(2)
+	// Factor 2 doubles every realized service time exactly (integer ticks).
+	if got, want := slowed.Collector().BusyTime, 2*tr.TotalWork(); got != want {
+		t.Errorf("slowed busy %v, want %v", got, want)
+	}
+	// The P-K estimator must have observed the degraded rate: its service
+	// moments come from realized times, so E[S] roughly doubles.
+	var nomES, slowES float64
+	for i := range nominal.Workers() {
+		nomES += nominal.Workers()[i].Estimator.MeanService()
+		slowES += slowed.Workers()[i].Estimator.MeanService()
+	}
+	if slowES < 1.5*nomES {
+		t.Errorf("estimator mean service %v under slowdown vs %v nominal: degradation not observed", slowES, nomES)
+	}
+}
+
+func TestProbeFilterDropsAndRetries(t *testing.T) {
+	cl, tr := testbed(t, 30, 60)
+	d, err := NewDriver(DefaultConfig(), cl, tr, &probeScheduler{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop every probe for the first 30 virtual seconds, then lift the
+	// filter; retries must deliver everything and all jobs complete.
+	d.SetProbeFilter(func(*Worker, *JobState) bool { return true })
+	d.After(30*simulation.Second, func() { d.SetProbeFilter(nil) })
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Fatalf("completed %d/%d jobs under probe loss", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+	if res.Collector.ProbesLost == 0 {
+		t.Error("no probes counted lost under an always-drop filter")
+	}
+	// Probes counts deliveries only; every queued probe was eventually
+	// delivered or its job finished first.
+	if res.Collector.Probes == 0 {
+		t.Error("no probes delivered after the filter lifted")
+	}
+}
+
+func TestSlowdownOnlyAffectsTasksStartedDuringWindow(t *testing.T) {
+	cl, tr := testbed(t, 30, 60)
+	baseline, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := baseline.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(DefaultConfig(), cl, tr, &fifoScheduler{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A slowdown window that opens and closes before any job arrives must
+	// leave the run byte-identical: the factor only applies at start time.
+	first := tr.Jobs[0].Arrival
+	for _, w := range d.Workers() {
+		d.SetServiceFactor(w, 4)
+	}
+	d.After(first/2, func() {
+		for _, w := range d.Workers() {
+			d.SetServiceFactor(w, 1)
+		}
+	})
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Collector().Digest(), baseline.Collector().Digest(); got != want {
+		t.Errorf("pre-arrival slowdown window changed the digest: %x != %x", got, want)
+	}
+}

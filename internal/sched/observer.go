@@ -64,6 +64,21 @@ type Observer interface {
 	OnWorkerRecovery(d *Driver, w *Worker)
 }
 
+// FaultObserver is an optional extension of Observer for fault-injection
+// events beyond fail-stop failure/recovery (which Observer itself carries).
+// It is a separate interface — not new Observer methods — so existing
+// Observer implementations that do not embed NopObserver keep compiling;
+// AttachObserver discovers it by type assertion.
+type FaultObserver interface {
+	// OnWorkerSlowdown fires when w's service factor changes (factor 1
+	// means the slowdown ended).
+	OnWorkerSlowdown(d *Driver, w *Worker, factor float64)
+	// OnProbeLost fires when a probe placement for js on w is dropped in
+	// flight by the probe filter. The probe never enqueued; a retry is
+	// scheduled after ProbeRetryDelay.
+	OnProbeLost(d *Driver, w *Worker, js *JobState)
+}
+
 // NopObserver implements Observer with no-ops; embed it to observe only
 // selected events.
 type NopObserver struct{}
@@ -99,6 +114,9 @@ func (NopObserver) OnWorkerRecovery(*Driver, *Worker) {}
 // the events already processed.
 func (d *Driver) AttachObserver(obs Observer) {
 	d.observers = append(d.observers, obs)
+	if fo, ok := obs.(FaultObserver); ok {
+		d.faultObservers = append(d.faultObservers, fo)
+	}
 }
 
 // Notification helpers. Each is a single nil-length check on the hot path
@@ -149,5 +167,17 @@ func (d *Driver) notifyWorkerFailure(w *Worker) {
 func (d *Driver) notifyWorkerRecovery(w *Worker) {
 	for _, o := range d.observers {
 		o.OnWorkerRecovery(d, w)
+	}
+}
+
+func (d *Driver) notifyWorkerSlowdown(w *Worker, factor float64) {
+	for _, o := range d.faultObservers {
+		o.OnWorkerSlowdown(d, w, factor)
+	}
+}
+
+func (d *Driver) notifyProbeLost(w *Worker, js *JobState) {
+	for _, o := range d.faultObservers {
+		o.OnProbeLost(d, w, js)
 	}
 }

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs a fresh Scheduler instance with its package defaults.
+// Every call must return a new value: schedulers carry per-run state and
+// are never shared across drivers.
+type Factory func() (Scheduler, error)
+
+// registry maps scheduler names to factories. Guarded by a mutex because
+// registration happens in package init (single-goroutine in practice) but
+// lookups run from concurrently executing experiment seeds.
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: make(map[string]Factory)}
+
+// Register makes a scheduler constructible by name through NewByName: the
+// plug-in point that lets examples and downstream packages add schedulers
+// to the CLIs and experiments without editing the harness. The bundled
+// schedulers self-register from their packages' init functions under their
+// canonical names (phoenix, eagle-c, hawk-c, sparrow-c, yacc-d,
+// centralized). Register panics on a duplicate name or nil factory —
+// both are wiring bugs caught at init time, not runtime conditions.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("sched: Register with empty name or nil factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("sched: scheduler %q registered twice", name))
+	}
+	registry.m[name] = f
+}
+
+// NewByName constructs a registered scheduler with its default options.
+// Unknown names list the registered alternatives in the error.
+func NewByName(name string) (Scheduler, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (registered: %v)", name, Registered())
+	}
+	return f()
+}
+
+// Registered returns the registered scheduler names in sorted order.
+func Registered() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,68 @@
+package sched_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/sched"
+
+	// Bring in the bundled schedulers' init registrations.
+	_ "github.com/phoenix-sched/phoenix/internal/core"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/centralized"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/eagle"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/hawk"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/sparrow"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
+)
+
+func TestBundledSchedulersRegistered(t *testing.T) {
+	for _, name := range []string{"phoenix", "eagle-c", "hawk-c", "sparrow-c", "yacc-d", "centralized"} {
+		s, err := sched.NewByName(name)
+		if err != nil {
+			t.Errorf("NewByName(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("NewByName(%q) built scheduler named %q", name, s.Name())
+		}
+		// Factories must return fresh instances: schedulers carry per-run state.
+		s2, err := sched.NewByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == s2 {
+			t.Errorf("NewByName(%q) returned a shared instance", name)
+		}
+	}
+}
+
+func TestNewByNameUnknownListsRegistered(t *testing.T) {
+	_, err := sched.NewByName("no-such-scheduler")
+	if err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if !strings.Contains(err.Error(), "phoenix") {
+		t.Errorf("error %q does not list registered schedulers", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	sched.Register("phoenix", func() (sched.Scheduler, error) { return nil, nil })
+}
+
+func TestRegisteredSorted(t *testing.T) {
+	names := sched.Registered()
+	if len(names) < 6 {
+		t.Fatalf("only %d schedulers registered: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Registered() not sorted: %v", names)
+		}
+	}
+}

@@ -56,6 +56,11 @@ type Worker struct {
 	// failed marks a worker that is down: it keeps its queue but
 	// dispatches nothing until repair.
 	failed bool
+	// slowFactor is the fault-injected multiplicative service-time factor
+	// (Driver.SetServiceFactor); the zero value means nominal speed. Kept
+	// private so every change flows through the driver and notifies
+	// FaultObservers.
+	slowFactor float64
 
 	// backlog is the summed estimated duration of queued and in-flight
 	// entries — reserved at placement time so that a burst of placements
@@ -93,6 +98,18 @@ func (w *Worker) HasLongJob() bool { return w.longCount > 0 }
 
 // Failed reports whether the worker is currently down.
 func (w *Worker) Failed() bool { return w.failed }
+
+// ServiceFactor reports the worker's current service-time factor; 1 means
+// nominal speed, above 1 an injected slowdown.
+func (w *Worker) ServiceFactor() float64 {
+	if w.slowFactor == 0 {
+		return 1
+	}
+	return w.slowFactor
+}
+
+// Slowed reports whether an injected slowdown is active on this worker.
+func (w *Worker) Slowed() bool { return w.slowFactor != 0 && w.slowFactor != 1 }
 
 // Backlog reports the estimated queued/in-flight work plus the running
 // entry's remaining time — the load signal used for least-loaded placement.

@@ -70,6 +70,10 @@ func New(opts Options) (*Scheduler, error) {
 	return &Scheduler{opts: opts}, nil
 }
 
+func init() {
+	sched.Register("centralized", func() (sched.Scheduler, error) { return New(DefaultOptions()) })
+}
+
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string { return "centralized" }
 

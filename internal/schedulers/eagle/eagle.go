@@ -41,6 +41,10 @@ var (
 // New returns an Eagle-C scheduler.
 func New() *Scheduler { return &Scheduler{} }
 
+func init() {
+	sched.Register("eagle-c", func() (sched.Scheduler, error) { return New(), nil })
+}
+
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string { return "eagle-c" }
 

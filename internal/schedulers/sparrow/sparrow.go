@@ -27,6 +27,10 @@ var _ sched.Scheduler = (*Scheduler)(nil)
 // New returns a Sparrow-C scheduler.
 func New() *Scheduler { return &Scheduler{} }
 
+func init() {
+	sched.Register("sparrow-c", func() (sched.Scheduler, error) { return New(), nil })
+}
+
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string { return "sparrow-c" }
 

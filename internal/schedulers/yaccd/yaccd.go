@@ -64,6 +64,10 @@ func New(opts Options) (*Scheduler, error) {
 	return &Scheduler{opts: opts}, nil
 }
 
+func init() {
+	sched.Register("yacc-d", func() (sched.Scheduler, error) { return New(DefaultOptions()) })
+}
+
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string { return "yacc-d" }
 

@@ -22,10 +22,11 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	}
 	cols = append(cols,
 		"queued", "queued_probes", "busy_workers", "failed_workers",
-		"saturated_workers", "mean_est_wait_s", "max_est_wait_s",
-		"started_tasks", "mean_wait_s", "max_wait_s", "mean_abs_est_err_s",
-		"finished_jobs", "reordered", "crv_reordered", "probes", "stolen",
-		"rescheduled", "relaxed_jobs", "placement_relaxed", "worker_failures",
+		"slowed_workers", "saturated_workers", "mean_est_wait_s",
+		"max_est_wait_s", "started_tasks", "mean_wait_s", "max_wait_s",
+		"mean_abs_est_err_s", "finished_jobs", "reordered", "crv_reordered",
+		"probes", "probes_lost", "stolen", "rescheduled", "relaxed_jobs",
+		"placement_relaxed", "worker_failures",
 	)
 	if _, err := io.WriteString(w, strings.Join(cols, ",")+"\n"); err != nil {
 		return err
@@ -56,17 +57,17 @@ func (r *Recorder) csvRow(s *Sample) string {
 		b.WriteByte(',')
 		b.WriteString(csvFloat(s.CRV.Get(d)))
 	}
-	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%s,%s,%d,%s,%s,%s,%d",
+	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%d,%s,%s,%d,%s,%s,%s,%d",
 		s.QueuedEntries, s.QueuedProbes, s.BusyWorkers, s.FailedWorkers,
-		s.SaturatedWorkers, csvFloat(s.MeanEstWaitSeconds),
+		s.SlowedWorkers, s.SaturatedWorkers, csvFloat(s.MeanEstWaitSeconds),
 		csvFloat(s.MaxEstWaitSeconds), s.StartedTasks,
 		csvFloat(s.MeanWaitSeconds), csvFloat(s.MaxWaitSeconds),
 		csvFloat(s.MeanAbsEstErrSeconds), s.FinishedJobs)
 	c := &s.Counters
-	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%d,%d,%d\n",
-		c.ReorderedTasks, c.CRVReorderedTasks, c.Probes, c.StolenTasks,
-		c.RescheduledProbes, c.RelaxedJobs, c.PlacementRelaxed,
-		c.WorkerFailures)
+	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		c.ReorderedTasks, c.CRVReorderedTasks, c.Probes, c.ProbesLost,
+		c.StolenTasks, c.RescheduledProbes, c.RelaxedJobs,
+		c.PlacementRelaxed, c.WorkerFailures)
 	return b.String()
 }
 

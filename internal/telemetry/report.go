@@ -29,6 +29,27 @@ type Meta struct {
 	Span simulation.Time
 	// Utilization is the mean busy fraction over the span.
 	Utilization float64
+	// Faults lists the injected fault phases of the run, in time order,
+	// supplied by the caller from the fault campaign (internal/faults). An
+	// empty slice omits the fault-timeline section entirely, keeping
+	// no-fault reports byte-identical to reports built before the fault
+	// layer existed.
+	Faults []FaultWindow
+}
+
+// FaultWindow is one injected fault phase, rendered in the report's fault
+// timeline.
+type FaultWindow struct {
+	// Kind is the injector kind ("outage", "slowdown", or "probe-loss").
+	Kind string
+	// From and To bound the phase in virtual time.
+	From, To simulation.Time
+	// Workers is how many workers the phase touched (0 for probe loss,
+	// which intercepts placements rather than machines).
+	Workers int
+	// Detail describes the phase scope, e.g. the constraint value an
+	// outage erased or a slowdown's factor.
+	Detail string
 }
 
 // Report renders a self-contained Markdown run report: run metadata,
@@ -41,6 +62,7 @@ func (r *Recorder) Report(m Meta, c *metrics.Collector) string {
 	var b strings.Builder
 	b.WriteString("# Run report\n\n")
 	r.writeMeta(&b, m)
+	r.writeFaultTimeline(&b, m)
 	r.writeHeadline(&b, c)
 	r.writeWaitDistribution(&b)
 	r.writeTriggerTimeline(&b)
@@ -60,6 +82,26 @@ func (r *Recorder) writeMeta(b *strings.Builder, m Meta) {
 	fmt.Fprintf(b, "| span | %s (utilization %.2f) |\n", m.Span, m.Utilization)
 	fmt.Fprintf(b, "| sampling interval | %s (%d samples) |\n\n",
 		r.opts.Interval, len(r.samples))
+}
+
+// writeFaultTimeline renders the injected fault phases, omitted entirely
+// for runs without a fault campaign.
+func (r *Recorder) writeFaultTimeline(b *strings.Builder, m Meta) {
+	if len(m.Faults) == 0 {
+		return
+	}
+	b.WriteString("## Fault timeline\n\n")
+	b.WriteString("| injector | window | workers | scope |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, f := range m.Faults {
+		workers := fmt.Sprintf("%d", f.Workers)
+		if f.Workers == 0 {
+			workers = "–"
+		}
+		fmt.Fprintf(b, "| %s | %s – %s | %s | %s |\n",
+			f.Kind, f.From, f.To, workers, f.Detail)
+	}
+	b.WriteString("\n")
 }
 
 // writeHeadline renders the exact per-class percentile table the paper
@@ -215,6 +257,7 @@ func (r *Recorder) writeCounters(b *strings.Builder, c *metrics.Collector) {
 		{"relaxed jobs", cs.RelaxedJobs},
 		{"placement relaxations", cs.PlacementRelaxed},
 		{"worker failures", cs.WorkerFailures},
+		{"probes lost (injected)", cs.ProbesLost},
 	}
 	for _, row := range rows {
 		fmt.Fprintf(b, "| %s | %d |\n", row.label, row.v)

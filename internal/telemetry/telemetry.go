@@ -103,6 +103,9 @@ type Sample struct {
 	BusyWorkers int
 	// FailedWorkers counts workers currently down.
 	FailedWorkers int
+	// SlowedWorkers counts workers running under an injected service-rate
+	// slowdown (sched.Worker.Slowed).
+	SlowedWorkers int
 	// SaturatedWorkers counts workers whose waiting-time estimator
 	// reports an unstable queue (rho >= 1, expected wait unbounded).
 	SaturatedWorkers int
@@ -215,18 +218,24 @@ func (r *Recorder) tick(now simulation.Time) bool {
 func (r *Recorder) sample(now simulation.Time) {
 	s := Sample{Time: now}
 
-	cl := r.d.Cluster()
 	var estSum float64
 	var estN int
+	var lost constraint.DimMask
 	for _, w := range r.d.Workers() {
 		for _, e := range w.Queue() {
 			if e.IsProbe() {
 				s.QueuedProbes++
 			}
 			for _, c := range e.Job.Constraints {
-				n := cl.SatisfyingOne(c)
+				// Live supply: static satisfying count minus failed
+				// machines, so correlated outages show up in the series.
+				n := r.d.LiveSupplyOne(c)
 				if n == 0 {
-					continue // relaxed away at admission; guard the division
+					// Queued demand with zero live supply — clamp to the
+					// documented sentinel after the scan rather than
+					// dividing by zero (see constraint.SupplyLostRatio).
+					lost = lost.With(c.Dim)
+					continue
 				}
 				s.CRV.Set(c.Dim, s.CRV.Get(c.Dim)+1/float64(n))
 			}
@@ -238,6 +247,9 @@ func (r *Recorder) sample(now simulation.Time) {
 		if w.Failed() {
 			s.FailedWorkers++
 		}
+		if w.Slowed() {
+			s.SlowedWorkers++
+		}
 		wait, saturated := w.Estimator.EstimateWait()
 		if saturated {
 			s.SaturatedWorkers++
@@ -247,6 +259,13 @@ func (r *Recorder) sample(now simulation.Time) {
 		estN++
 		if wait > s.MaxEstWaitSeconds {
 			s.MaxEstWaitSeconds = wait
+		}
+	}
+	if lost != 0 {
+		for _, dim := range constraint.Dims {
+			if lost.Has(dim) {
+				s.CRV.Set(dim, constraint.SupplyLostRatio)
+			}
 		}
 	}
 	s.MaxCRVDim, s.MaxCRV = s.CRV.Max()

@@ -70,11 +70,19 @@ type Checker struct {
 	arrived   map[int]int
 	finished  map[int]int
 
+	// probesLost counts OnProbeLost callbacks, cross-checked in Finalize
+	// against the collector's ProbesLost counter (every drop the driver
+	// accounts must have been announced, and vice versa).
+	probesLost int64
+
 	violations []Violation
 	total      int
 }
 
-var _ sched.Observer = (*Checker)(nil)
+var (
+	_ sched.Observer      = (*Checker)(nil)
+	_ sched.FaultObserver = (*Checker)(nil)
+)
 
 // Attach registers a new Checker on d and returns it. The driver's
 // SlackThreshold is the bypass bound enforced by the slack invariant.
@@ -247,6 +255,30 @@ func (c *Checker) OnWorkerRecovery(_ *sched.Driver, w *sched.Worker) {
 	}
 }
 
+// OnWorkerSlowdown implements sched.FaultObserver: the driver only accepts
+// positive factors, and the worker must already report the new factor.
+func (c *Checker) OnWorkerSlowdown(_ *sched.Driver, w *sched.Worker, factor float64) {
+	c.observe()
+	if factor <= 0 {
+		c.violate("fault-injection", "worker %d slowdown factor %v, want > 0", w.ID, factor)
+	}
+	if w.ServiceFactor() != factor {
+		c.violate("fault-injection", "worker %d reports factor %v after slowdown to %v",
+			w.ID, w.ServiceFactor(), factor)
+	}
+}
+
+// OnProbeLost implements sched.FaultObserver: a dropped probe must belong
+// to a job that could still have used it (otherwise the filter fired on a
+// placement the scheduler should never have sent).
+func (c *Checker) OnProbeLost(_ *sched.Driver, _ *sched.Worker, js *sched.JobState) {
+	c.observe()
+	c.probesLost++
+	if js.Finished() {
+		c.violate("fault-injection", "probe for finished job %d dropped", js.Job.ID)
+	}
+}
+
 // Finalize runs the end-of-run conservation checks — every job arrived and
 // finished exactly once, every task completed exactly once, all queues and
 // slots drained — and returns an error summarizing all violations, or nil
@@ -270,6 +302,9 @@ func (c *Checker) Finalize() error {
 	}
 	if c.enqueues != c.dequeues {
 		c.violate("conservation", "%d enqueues vs %d dequeues at end of run", c.enqueues, c.dequeues)
+	}
+	if got := c.d.Collector().ProbesLost; got != c.probesLost {
+		c.violate("fault-injection", "collector counted %d lost probes, observer saw %d", got, c.probesLost)
 	}
 	for _, w := range c.d.Workers() {
 		if c.occupancy[w.ID] != 0 {
