@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-hotpath docs-check faults experiments figures clean
+.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner experiments figures clean
 
 all: build test
 
@@ -14,6 +14,7 @@ ci:
 	$(GO) test -race ./internal/...
 	$(MAKE) bench-hotpath
 	$(MAKE) faults
+	$(MAKE) runner
 	$(MAKE) docs-check
 
 build:
@@ -49,9 +50,19 @@ faults:
 docs-check:
 	$(GO) run ./cmd/docs-check internal/telemetry internal/metrics internal/constraint internal/faults
 
-# Regenerate every paper table/figure (tables to stdout, CSVs + SVGs to results/).
+# Parallel-runner smoke: diff the golden digest corpus, then exercise the
+# -jobs worker pool end to end through the CLI. The jobs=1 vs jobs=8
+# byte-identity battery itself (TestJobsDeterminism*) runs under the race
+# detector as part of the `go test -race ./internal/...` step above.
+runner:
+	$(GO) test -count=1 -run 'TestGoldenDigestCorpus' ./internal/experiments/
+	$(GO) run ./cmd/experiments -run ext-designspace -scale 0.05 -seeds 2 -jobs 8 -digest
+
+# Regenerate every paper table/figure (tables to stdout, CSVs + SVGs to
+# results/). JOBS bounds concurrent work units; 0 means GOMAXPROCS.
+JOBS ?= 0
 experiments:
-	$(GO) run ./cmd/experiments -run all -csv results -svg results/figures
+	$(GO) run ./cmd/experiments -run all -jobs $(JOBS) -csv results -svg results/figures
 
 figures: experiments
 

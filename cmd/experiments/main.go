@@ -4,14 +4,20 @@
 //
 //	experiments -list
 //	experiments -run fig7c
-//	experiments -run all -scale 0.2 -seeds 5 -csv out/
+//	experiments -run all -scale 0.2 -seeds 5 -jobs 8 -csv out/
 //	experiments -report run.md -timeseries run.csv
 //
 // Each experiment prints an aligned text table whose rows mirror the
-// paper's plot; -csv additionally writes one CSV per experiment. -report
-// and -timeseries instead perform a single telemetry-instrumented
-// reference run (scheduler and profile selectable with -scheduler and
-// -profile) and write its Markdown run report and per-interval CSV.
+// paper's plot, followed by a summary line with its work-unit count,
+// wall-clock, and realized speedup over a sequential run; -csv additionally
+// writes one CSV per experiment. Every experiment decomposes into
+// independent (cluster, trace, scheduler, seed) work units executed on
+// -jobs workers (default: GOMAXPROCS); results are reassembled in
+// deterministic order, so tables, CSVs, figures, and digests are
+// byte-identical at any worker count. -report and -timeseries instead
+// perform a single telemetry-instrumented reference run (scheduler and
+// profile selectable with -scheduler and -profile) and write its Markdown
+// run report and per-interval CSV.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +48,7 @@ func run(args []string) (err error) {
 		runID = fs.String("run", "all", "experiment ID, comma-separated list, or 'all'")
 		scale = fs.Float64("scale", 0, "workload scale override (0 = default)")
 		seeds = fs.Int("seeds", 0, "repetitions per data point override (0 = default)")
+		jobs  = fs.Int("jobs", 0, "concurrent simulation work units (0 = GOMAXPROCS); results are identical at any setting")
 		csv   = fs.String("csv", "", "directory to also write per-experiment CSV files into")
 		svg   = fs.String("svg", "", "directory to also render per-experiment SVG figures into")
 		check = fs.Bool("validate", false, "attach the invariant checker to every run; fail on any violation")
@@ -82,6 +90,9 @@ func run(args []string) (err error) {
 	if *seeds > 0 {
 		opts.Seeds = *seeds
 	}
+	if *jobs > 0 {
+		opts.Parallelism = *jobs
+	}
 	opts.ValidateRuns = *check
 
 	if *timeseriesPath != "" || *reportPath != "" {
@@ -101,20 +112,31 @@ func run(args []string) (err error) {
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
+		// A fresh PoolStats per experiment feeds the summary line: busy is
+		// the wall-clock a sequential run of the same units would need, so
+		// busy/wall is the realized speedup at this -jobs setting.
+		stats := &experiments.PoolStats{}
+		opts.Stats = stats
 		start := time.Now()
 		rep, err := experiments.Run(id, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Printf("%s[%v]\n", rep, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		speedup := 1.0
+		if wall > 0 {
+			speedup = float64(stats.Busy()) / float64(wall)
+		}
+		fmt.Printf("%s[%d units on %d workers: wall %v, work %v, speedup %.1fx]\n",
+			rep, stats.Units(), parallelism(opts, int(stats.Units())),
+			wall.Round(time.Millisecond), stats.Busy().Round(time.Millisecond), speedup)
 		if *dig {
 			d := metrics.NewDigest()
 			d.Text(rep.CSV())
 			fmt.Printf("digest %s %016x\n", id, d.Sum64())
 		}
 		if *csv != "" {
-			path := filepath.Join(*csv, id+".csv")
-			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+			if err := writeFileAtomic(filepath.Join(*csv, id+".csv"), []byte(rep.CSV())); err != nil {
 				return err
 			}
 		}
@@ -127,11 +149,54 @@ func run(args []string) (err error) {
 			if err != nil {
 				return err
 			}
-			path := filepath.Join(*svg, id+".svg")
-			if err := os.WriteFile(path, []byte(img), 0o644); err != nil {
+			if err := writeFileAtomic(filepath.Join(*svg, id+".svg"), []byte(img)); err != nil {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// parallelism mirrors the pool's effective worker count for the summary
+// line: the -jobs setting (or GOMAXPROCS) capped at the unit count.
+func parallelism(opts experiments.Options, units int) int {
+	w := opts.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > units {
+		w = units
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// writeFileAtomic writes via a temp file + rename so a failure (disk full,
+// interrupt) never leaves a truncated CSV or SVG behind.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
 	}
 	return nil
 }

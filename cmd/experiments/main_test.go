@@ -75,6 +75,57 @@ func TestReportRun(t *testing.T) {
 	}
 }
 
+// The -jobs flag must not change a single output byte.
+func TestJobsFlagDeterminism(t *testing.T) {
+	seq := filepath.Join(t.TempDir(), "seq")
+	par := filepath.Join(t.TempDir(), "par")
+	args := []string{"-run", "fig4c", "-scale", "0.03", "-seeds", "2", "-csv"}
+	if err := run(append(args, seq, "-jobs", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, par, "-jobs", "8")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(seq, "fig4c.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(par, "fig4c.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("-jobs 8 CSV differs from -jobs 1:\n%s\nvs\n%s", b, a)
+	}
+}
+
+// An experiment failing mid-list must leave completed outputs intact and
+// nothing else: no file for the failed experiment, no temp residue from the
+// atomic writes.
+func TestErrorLeavesNoPartialFiles(t *testing.T) {
+	csvDir := filepath.Join(t.TempDir(), "csv")
+	svgDir := filepath.Join(t.TempDir(), "svg")
+	err := run([]string{"-run", "fig6,fig99", "-scale", "0.02", "-seeds", "1",
+		"-csv", csvDir, "-svg", svgDir})
+	if err == nil {
+		t.Fatal("run with unknown trailing experiment succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "fig6.csv")); err != nil {
+		t.Errorf("completed experiment's CSV missing: %v", err)
+	}
+	for _, dir := range []string{csvDir, svgDir} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.Contains(e.Name(), "fig99") || strings.Contains(e.Name(), ".tmp") {
+				t.Errorf("stray file %s left in %s", e.Name(), dir)
+			}
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	if err := run([]string{"-run", "fig99", "-scale", "0.02"}); err == nil {
 		t.Error("unknown experiment accepted")

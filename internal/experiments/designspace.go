@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"sync"
+	"context"
 
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 )
@@ -24,12 +24,14 @@ func DesignSpace(opts Options) (*Report, error) {
 	scheds := []string{
 		SchedCentralized, SchedSparrow, SchedYacc, SchedHawk, SchedEagle, SchedPhoenix,
 	}
+	// One work unit per (scheduler, repetition); per-scheduler pools are
+	// reassembled in unit order after the drain.
 	type cell struct {
 		short, long []float64
 	}
-	cells := make([]cell, len(scheds))
-	var mu sync.Mutex
-	err = parallel(len(scheds)*opts.Seeds, opts.parallelism(), func(i int) error {
+	n := len(scheds) * opts.Seeds
+	units := make([]cell, n)
+	err = opts.runUnits(n, func(ctx context.Context, i int) error {
 		si, rep := i%len(scheds), i/len(scheds)
 		tr, err := e.trace(rep)
 		if err != nil {
@@ -39,20 +41,24 @@ func DesignSpace(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
+		res, err := runOne(ctx, &opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}
-		short := res.Collector.ResponseTimes(metrics.Short)
-		long := res.Collector.ResponseTimes(metrics.Long)
-		mu.Lock()
-		cells[si].short = append(cells[si].short, short...)
-		cells[si].long = append(cells[si].long, long...)
-		mu.Unlock()
+		units[i] = cell{
+			short: res.Collector.ResponseTimes(metrics.Short),
+			long:  res.Collector.ResponseTimes(metrics.Long),
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	cells := make([]cell, len(scheds))
+	for i, u := range units {
+		si := i % len(scheds)
+		cells[si].short = append(cells[si].short, u.short...)
+		cells[si].long = append(cells[si].long, u.long...)
 	}
 
 	rep := &Report{

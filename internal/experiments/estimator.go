@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,18 +23,22 @@ func EstimatorAccuracy(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := e.trace(0)
-	if err != nil {
-		return nil, err
-	}
-
+	// A single work unit: one instrumented Phoenix run.
 	pOpts := opts.Phoenix
 	pOpts.ValidateEstimates = true
 	p, err := core.New(pOpts)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := runOne(&opts, cl, tr, p, driverSeed(0)); err != nil {
+	err = opts.runUnits(1, func(ctx context.Context, _ int) error {
+		tr, err := e.trace(0)
+		if err != nil {
+			return err
+		}
+		_, err = runOne(ctx, &opts, cl, tr, p, driverSeed(0))
+		return err
+	})
+	if err != nil {
 		return nil, err
 	}
 	samples := p.Monitor().EstimateSamples()

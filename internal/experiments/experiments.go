@@ -12,11 +12,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"strings"
-	"sync"
 
 	"github.com/phoenix-sched/phoenix/internal/cluster"
 	"github.com/phoenix-sched/phoenix/internal/core"
@@ -56,6 +57,10 @@ type Options struct {
 	// ValidateRuns attaches the invariant checker to every simulation and
 	// fails the experiment on any violation (the -validate CLI flag).
 	ValidateRuns bool
+	// Stats, when non-nil, accumulates work-unit counts and busy time
+	// across every pool run issued under these options; the CLI attaches
+	// one per experiment to print its wall-clock/speedup summary line.
+	Stats *PoolStats
 	// Phoenix carries the Phoenix parameters used wherever Phoenix runs.
 	Phoenix core.Options
 }
@@ -180,10 +185,11 @@ func (e *env) trace(rep int) (*trace.Trace, error) {
 // driverSeed is the per-repetition scheduler randomness seed.
 func driverSeed(rep int) uint64 { return uint64(7 + rep) }
 
-// runOne executes a single (cluster, trace, scheduler) simulation. When the
-// options request validation, the invariant checker rides along and any
-// violation fails the run.
-func runOne(o *Options, cl *cluster.Cluster, tr *trace.Trace, s sched.Scheduler, seed uint64) (*sched.Result, error) {
+// runOne executes a single (cluster, trace, scheduler, seed) work unit.
+// When the options request validation, the invariant checker rides along
+// and any violation fails the run. A cancelled ctx halts the simulation
+// between events and surfaces as ctx's error.
+func runOne(ctx context.Context, o *Options, cl *cluster.Cluster, tr *trace.Trace, s sched.Scheduler, seed uint64) (*sched.Result, error) {
 	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, seed)
 	if err != nil {
 		return nil, err
@@ -192,7 +198,7 @@ func runOne(o *Options, cl *cluster.Cluster, tr *trace.Trace, s sched.Scheduler,
 	if o.ValidateRuns {
 		chk = validate.Attach(d)
 	}
-	res, err := d.Run()
+	res, err := runDriver(ctx, d)
 	if err != nil {
 		return nil, err
 	}
@@ -204,42 +210,26 @@ func runOne(o *Options, cl *cluster.Cluster, tr *trace.Trace, s sched.Scheduler,
 	return res, nil
 }
 
-// parallel runs fn(0..n-1) over a bounded worker pool, returning the first
-// error.
-func parallel(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
+// runDriver executes an already-constructed driver under ctx: when ctx is
+// cancelled (a sibling work unit failed) the in-flight simulation is halted
+// between events via Driver.Halt and the cancellation — not ErrHalted — is
+// returned, so the pool can tell a cancellation casualty from a genuine
+// failure. Experiments that build their own drivers (custom configs, fault
+// scenarios) run them through here to stay cancellable.
+func runDriver(ctx context.Context, d *sched.Driver) (*sched.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	if workers < 1 {
-		workers = 1
+	stop := context.AfterFunc(ctx, d.Halt)
+	defer stop()
+	res, err := d.Run()
+	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, simulation.ErrHalted) {
+			return nil, ctx.Err()
+		}
+		return nil, err
 	}
-	var (
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		outErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if outErr == nil {
-						outErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return outErr
+	return res, nil
 }
 
 // Report is a printable experiment result.

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 	"github.com/phoenix-sched/phoenix/internal/sched"
@@ -27,11 +27,16 @@ func FailureImpact(opts Options) (*Report, error) {
 	rates := []float64{0, 2, 10}
 	scheds := []string{SchedPhoenix, SchedEagle, SchedHawk}
 
+	// One work unit per (rate, scheduler, repetition); per-cell pools are
+	// reassembled in unit order after the drain.
 	type key struct{ ri, si int }
-	samples := make(map[key][]float64)
-	wasted := make(map[key]simulation.Time)
-	var mu sync.Mutex
-	err = parallel(len(rates)*len(scheds)*opts.Seeds, opts.parallelism(), func(i int) error {
+	type unit struct {
+		samples []float64
+		wasted  simulation.Time
+	}
+	n := len(rates) * len(scheds) * opts.Seeds
+	units := make([]unit, n)
+	err = opts.runUnits(n, func(ctx context.Context, i int) error {
 		ri := i % len(rates)
 		si := (i / len(rates)) % len(scheds)
 		rep := i / (len(rates) * len(scheds))
@@ -50,19 +55,22 @@ func FailureImpact(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := d.Run()
+		res, err := runDriver(ctx, d)
 		if err != nil {
 			return err
 		}
-		v := res.Collector.ResponseTimes(metrics.Short)
-		mu.Lock()
-		samples[key{ri, si}] = append(samples[key{ri, si}], v...)
-		wasted[key{ri, si}] += res.Collector.WastedWork
-		mu.Unlock()
+		units[i] = unit{samples: res.Collector.ResponseTimes(metrics.Short), wasted: res.Collector.WastedWork}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	samples := make(map[key][]float64)
+	wasted := make(map[key]simulation.Time)
+	for i, u := range units {
+		k := key{i % len(rates), (i / len(rates)) % len(scheds)}
+		samples[k] = append(samples[k], u.samples...)
+		wasted[k] += u.wasted
 	}
 
 	rep := &Report{

@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"sync"
+	"context"
 
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
@@ -34,10 +34,12 @@ func Fairness(opts Options) (*Report, error) {
 	}
 	scheds := []string{SchedPhoenix, SchedEagle}
 
+	// One work unit per (scheduler, repetition), each owning its per-class
+	// slowdown vectors; pools are reassembled in unit order.
 	type key struct{ si, ci int }
-	slow := make(map[key][]float64)
-	var mu sync.Mutex
-	err = parallel(len(scheds)*opts.Seeds, opts.parallelism(), func(i int) error {
+	n := len(scheds) * opts.Seeds
+	units := make([][][]float64, n)
+	err = opts.runUnits(n, func(ctx context.Context, i int) error {
 		si, rep := i%len(scheds), i/len(scheds)
 		tr, err := e.trace(rep)
 		if err != nil {
@@ -47,21 +49,27 @@ func Fairness(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
+		res, err := runOne(ctx, &opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}
 		ideal := criticalPaths(tr)
-		mu.Lock()
+		perClass := make([][]float64, len(classes))
 		for ci, c := range classes {
-			v := res.Collector.Slowdowns(c.filter, func(jobID int) simulation.Time { return ideal[jobID] })
-			slow[key{si, ci}] = append(slow[key{si, ci}], v...)
+			perClass[ci] = res.Collector.Slowdowns(c.filter, func(jobID int) simulation.Time { return ideal[jobID] })
 		}
-		mu.Unlock()
+		units[i] = perClass
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	slow := make(map[key][]float64)
+	for i, perClass := range units {
+		si := i % len(scheds)
+		for ci, v := range perClass {
+			slow[key{si, ci}] = append(slow[key{si, ci}], v...)
+		}
 	}
 
 	rep := &Report{

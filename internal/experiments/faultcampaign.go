@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"github.com/phoenix-sched/phoenix/internal/constraint"
 	"github.com/phoenix-sched/phoenix/internal/faults"
@@ -34,11 +34,17 @@ func FaultCampaign(opts Options) (*Report, error) {
 	scheds := []string{SchedPhoenix, SchedEagle, SchedHawk, SchedSparrow, SchedYacc, SchedCentralized}
 	scenarios := []string{"none", "rack-outage"}
 
+	// One work unit per (scenario, scheduler, repetition). All units share
+	// the prefix cluster — and therefore its MatchCache — across concurrent
+	// seeds; per-cell pools are reassembled in unit order after the drain.
 	type key struct{ ci, si int }
-	samples := make(map[key][]float64)
-	wasted := make(map[key]simulation.Time)
-	var mu sync.Mutex
-	err = parallel(len(scenarios)*len(scheds)*opts.Seeds, opts.parallelism(), func(i int) error {
+	type unit struct {
+		samples []float64
+		wasted  simulation.Time
+	}
+	n := len(scenarios) * len(scheds) * opts.Seeds
+	units := make([]unit, n)
+	err = opts.runUnits(n, func(ctx context.Context, i int) error {
 		ci := i % len(scenarios)
 		si := (i / len(scenarios)) % len(scheds)
 		rep := i / (len(scenarios) * len(scheds))
@@ -64,19 +70,22 @@ func FaultCampaign(opts Options) (*Report, error) {
 				return err
 			}
 		}
-		res, err := d.Run()
+		res, err := runDriver(ctx, d)
 		if err != nil {
 			return err
 		}
-		v := res.Collector.ResponseTimes(metrics.Short)
-		mu.Lock()
-		samples[key{ci, si}] = append(samples[key{ci, si}], v...)
-		wasted[key{ci, si}] += res.Collector.WastedWork
-		mu.Unlock()
+		units[i] = unit{samples: res.Collector.ResponseTimes(metrics.Short), wasted: res.Collector.WastedWork}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	samples := make(map[key][]float64)
+	wasted := make(map[key]simulation.Time)
+	for i, u := range units {
+		k := key{i % len(scenarios), (i / len(scenarios)) % len(scheds)}
+		samples[k] = append(samples[k], u.samples...)
+		wasted[k] += u.wasted
 	}
 
 	rep := &Report{

@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"github.com/phoenix-sched/phoenix/internal/metrics"
+	"github.com/phoenix-sched/phoenix/internal/sched"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
 )
@@ -42,9 +43,12 @@ func Fig2(opts Options, profile string) (*Report, error) {
 		{"baseline", SchedEagle, false},
 	}
 
-	delays := make([][]float64, len(series))
-	var mu sync.Mutex
-	err = parallel(len(series)*opts.Seeds, opts.parallelism(), func(i int) error {
+	// One work unit per (series, repetition); unit i owns unitDelays[i] and
+	// the per-series pools are reassembled in unit order after the pool
+	// drains, so the rendered CDF is identical at any worker count.
+	n := len(series) * opts.Seeds
+	unitDelays := make([][]float64, n)
+	err = opts.runUnits(n, func(ctx context.Context, i int) error {
 		si, rep := i%len(series), i/len(series)
 		tr, err := e.trace(rep)
 		if err != nil {
@@ -57,18 +61,20 @@ func Fig2(opts Options, profile string) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
+		res, err := runOne(ctx, &opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}
-		d := res.Collector.QueueDelays(metrics.All)
-		mu.Lock()
-		delays[si] = append(delays[si], d...)
-		mu.Unlock()
+		unitDelays[i] = res.Collector.QueueDelays(metrics.All)
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	delays := make([][]float64, len(series))
+	for i, d := range unitDelays {
+		si := i % len(series)
+		delays[si] = append(delays[si], d...)
 	}
 
 	rep := &Report{
@@ -100,15 +106,19 @@ func Fig3(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := e.trace(0)
-	if err != nil {
-		return nil, err
-	}
-	s, err := opts.NewScheduler(SchedEagle)
-	if err != nil {
-		return nil, err
-	}
-	res, err := runOne(&opts, cl, tr, s, driverSeed(0))
+	var res *sched.Result
+	err = opts.runUnits(1, func(ctx context.Context, _ int) error {
+		tr, err := e.trace(0)
+		if err != nil {
+			return err
+		}
+		s, err := opts.NewScheduler(SchedEagle)
+		if err != nil {
+			return err
+		}
+		res, err = runOne(ctx, &opts, cl, tr, s, driverSeed(0))
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -153,11 +163,10 @@ func Fig4(opts Options, profile string) (*Report, error) {
 		return nil, err
 	}
 
-	var (
-		mu         sync.Mutex
-		con, uncon []float64
-	)
-	err = parallel(opts.Seeds, opts.parallelism(), func(rep int) error {
+	// One work unit per repetition, pooled in rep order after the drain.
+	type unit struct{ con, uncon []float64 }
+	units := make([]unit, opts.Seeds)
+	err = opts.runUnits(opts.Seeds, func(ctx context.Context, rep int) error {
 		tr, err := e.trace(rep)
 		if err != nil {
 			return err
@@ -166,20 +175,23 @@ func Fig4(opts Options, profile string) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
+		res, err := runOne(ctx, &opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}
-		c := res.Collector.ResponseTimes(metrics.AndFilter(metrics.Short, metrics.Constrained))
-		u := res.Collector.ResponseTimes(metrics.AndFilter(metrics.Short, metrics.Unconstrained))
-		mu.Lock()
-		con = append(con, c...)
-		uncon = append(uncon, u...)
-		mu.Unlock()
+		units[rep] = unit{
+			con:   res.Collector.ResponseTimes(metrics.AndFilter(metrics.Short, metrics.Constrained)),
+			uncon: res.Collector.ResponseTimes(metrics.AndFilter(metrics.Short, metrics.Unconstrained)),
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var con, uncon []float64
+	for _, u := range units {
+		con = append(con, u.con...)
+		uncon = append(uncon, u.uncon...)
 	}
 
 	cp := metrics.Percentiles(con, 50, 90, 99)
@@ -209,12 +221,23 @@ func Fig6(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := e.trace(0)
+	// No simulation here — the single work unit is the trace synthesis and
+	// its supply/demand analysis; it still runs through the pool so unit
+	// accounting is uniform across experiments.
+	var sum trace.Summary
+	var supply [trace.MaxConstraints]float64
+	err = opts.runUnits(1, func(context.Context, int) error {
+		tr, err := e.trace(0)
+		if err != nil {
+			return err
+		}
+		sum = trace.Summarize(tr)
+		supply = trace.SupplyByCount(tr, cl)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	sum := trace.Summarize(tr)
-	supply := trace.SupplyByCount(tr, cl)
 
 	rep := &Report{
 		ID:      "fig6",
@@ -247,11 +270,13 @@ func Fig9(opts Options) (*Report, error) {
 		return nil, err
 	}
 
-	// Pool queuing delays across repetitions per (scheduler, class).
-	pooled := map[string][]float64{}
-	var mu sync.Mutex
+	// One work unit per (scheduler, repetition); queuing delays are pooled
+	// per (scheduler, class) in unit order after the drain.
 	scheds := []string{SchedPhoenix, SchedEagle}
-	err = parallel(len(scheds)*opts.Seeds, opts.parallelism(), func(i int) error {
+	type unit struct{ con, uncon []float64 }
+	n := len(scheds) * opts.Seeds
+	units := make([]unit, n)
+	err = opts.runUnits(n, func(ctx context.Context, i int) error {
 		name, rep := scheds[i%2], i/2
 		tr, err := e.trace(rep)
 		if err != nil {
@@ -261,20 +286,24 @@ func Fig9(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
+		res, err := runOne(ctx, &opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}
-		con := res.Collector.QueueDelays(metrics.AndFilter(metrics.Short, metrics.Constrained))
-		uncon := res.Collector.QueueDelays(metrics.AndFilter(metrics.Short, metrics.Unconstrained))
-		mu.Lock()
-		pooled[name+"/con"] = append(pooled[name+"/con"], con...)
-		pooled[name+"/uncon"] = append(pooled[name+"/uncon"], uncon...)
-		mu.Unlock()
+		units[i] = unit{
+			con:   res.Collector.QueueDelays(metrics.AndFilter(metrics.Short, metrics.Constrained)),
+			uncon: res.Collector.QueueDelays(metrics.AndFilter(metrics.Short, metrics.Unconstrained)),
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	pooled := map[string][]float64{}
+	for i, u := range units {
+		name := scheds[i%2]
+		pooled[name+"/con"] = append(pooled[name+"/con"], u.con...)
+		pooled[name+"/uncon"] = append(pooled[name+"/uncon"], u.uncon...)
 	}
 
 	pct := func(name, class string, p float64) string {

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
-	"sync"
 
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 	"github.com/phoenix-sched/phoenix/internal/trace"
@@ -34,12 +34,14 @@ func PlacementImpact(opts Options) (*Report, error) {
 		{"short_pack", metrics.AndFilter(metrics.Short, metrics.Placed(trace.PlacementPack))},
 	}
 
-	samples := make([][]float64, len(classes))
-	var (
-		relaxed int64
-		mu      sync.Mutex
-	)
-	err = parallel(opts.Seeds, opts.parallelism(), func(rep int) error {
+	// One work unit per repetition; per-class pools are reassembled in rep
+	// order after the drain.
+	type unit struct {
+		perClass [][]float64
+		relaxed  int64
+	}
+	units := make([]unit, opts.Seeds)
+	err = opts.runUnits(opts.Seeds, func(ctx context.Context, rep int) error {
 		tr, err := e.trace(rep)
 		if err != nil {
 			return err
@@ -48,20 +50,27 @@ func PlacementImpact(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
+		res, err := runOne(ctx, &opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}
-		mu.Lock()
+		u := unit{perClass: make([][]float64, len(classes)), relaxed: res.Collector.PlacementRelaxed}
 		for ci, c := range classes {
-			samples[ci] = append(samples[ci], res.Collector.ResponseTimes(c.filter)...)
+			u.perClass[ci] = res.Collector.ResponseTimes(c.filter)
 		}
-		relaxed += res.Collector.PlacementRelaxed
-		mu.Unlock()
+		units[rep] = u
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	samples := make([][]float64, len(classes))
+	var relaxed int64
+	for _, u := range units {
+		for ci, v := range u.perClass {
+			samples[ci] = append(samples[ci], v...)
+		}
+		relaxed += u.relaxed
 	}
 
 	rep := &Report{

@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the build
+// tag pair race_on_test.go/race_off_test.go stands in for the unexported
+// runtime knowledge. Digest-corpus tests skip under -race: they are
+// determinism-sensitive, not race-sensitive, and the determinism battery
+// already runs every experiment under the detector.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package experiments
+
+// raceEnabled mirrors race_off_test.go with the detector compiled in.
+const raceEnabled = true

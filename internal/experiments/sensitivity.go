@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 	"github.com/phoenix-sched/phoenix/internal/sched"
@@ -78,17 +78,29 @@ func sensitivity(opts Options, settings int, apply func(*sched.Config, int) stri
 		return nil, err
 	}
 
+	// Labels are a pure function of the setting index; resolve them up
+	// front so the pool units never share a writable slot.
 	labels := make([]string, settings)
-	samples := make([][]float64, settings)
-	probes := make([]int64, settings)
-	var mu sync.Mutex
-	err = parallel(settings*opts.Seeds, opts.parallelism(), func(i int) error {
+	for si := 0; si < settings; si++ {
+		cfg := sched.DefaultConfig()
+		labels[si] = apply(&cfg, si)
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	// One work unit per (setting, repetition); samples and probe counts are
+	// pooled per setting in unit order after the drain.
+	type unit struct {
+		samples []float64
+		probes  int64
+	}
+	n := settings * opts.Seeds
+	units := make([]unit, n)
+	err = opts.runUnits(n, func(ctx context.Context, i int) error {
 		si, rep := i%settings, i/settings
 		cfg := sched.DefaultConfig()
-		label := apply(&cfg, si)
-		if err := cfg.Validate(); err != nil {
-			return err
-		}
+		apply(&cfg, si)
 		tr, err := e.trace(rep)
 		if err != nil {
 			return err
@@ -101,20 +113,23 @@ func sensitivity(opts Options, settings int, apply func(*sched.Config, int) stri
 		if err != nil {
 			return err
 		}
-		res, err := d.Run()
+		res, err := runDriver(ctx, d)
 		if err != nil {
 			return err
 		}
-		v := res.Collector.ResponseTimes(metrics.Short)
-		mu.Lock()
-		labels[si] = label
-		samples[si] = append(samples[si], v...)
-		probes[si] += res.Collector.Probes
-		mu.Unlock()
+		units[i] = unit{samples: res.Collector.ResponseTimes(metrics.Short), probes: res.Collector.Probes}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	samples := make([][]float64, settings)
+	probes := make([]int64, settings)
+	for i, u := range units {
+		si := i % settings
+		samples[si] = append(samples[si], u.samples...)
+		probes[si] += u.probes
 	}
 
 	rows := make([][]string, 0, settings)

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 )
@@ -33,6 +33,9 @@ func sweepNormalized(opts Options, profile, subject, baseline string, filter met
 		return nil, err
 	}
 
+	// Work-unit decomposition: one unit per (sweep point, repetition,
+	// scheduler), enumerated subject-then-baseline inside the rep loop, so
+	// unit index i maps back as below and every unit owns results[i].
 	type spec struct {
 		point, rep int
 		name       string
@@ -43,14 +46,15 @@ func sweepNormalized(opts Options, profile, subject, baseline string, filter met
 			specs = append(specs, spec{p, r, subject}, spec{p, r, baseline})
 		}
 	}
+	// unitIdx inverts the enumeration: k = 0 for subject, 1 for baseline.
+	unitIdx := func(p, rep, k int) int { return (p*opts.Seeds+rep)*2 + k }
 
 	type cell struct {
 		pcts metrics.P50P90P99
 		load float64
 	}
-	results := make(map[spec]cell, len(specs))
-	var mu sync.Mutex
-	err = parallel(len(specs), opts.parallelism(), func(i int) error {
+	results := make([]cell, len(specs))
+	err = opts.runUnits(len(specs), func(ctx context.Context, i int) error {
 		sp := specs[i]
 		cl, err := e.clusterAt(opts.SweepMults[sp.point])
 		if err != nil {
@@ -64,7 +68,7 @@ func sweepNormalized(opts Options, profile, subject, baseline string, filter met
 		if err != nil {
 			return err
 		}
-		res, err := runOne(&opts, cl, tr, s, driverSeed(sp.rep))
+		res, err := runOne(ctx, &opts, cl, tr, s, driverSeed(sp.rep))
 		if err != nil {
 			return fmt.Errorf("%s on %s x%.2f: %w", sp.name, profile, opts.SweepMults[sp.point], err)
 		}
@@ -72,10 +76,7 @@ func sweepNormalized(opts Options, profile, subject, baseline string, filter met
 		// paper's x-axis quantity. (Result.Utilization measures over the
 		// full span including the drain tail, which understates it on
 		// short synthetic traces.)
-		load := tr.OfferedLoad(cl.Size())
-		mu.Lock()
-		results[sp] = cell{pcts: res.Collector.ResponsePercentiles(filter), load: load}
-		mu.Unlock()
+		results[i] = cell{pcts: res.Collector.ResponsePercentiles(filter), load: tr.OfferedLoad(cl.Size())}
 		return nil
 	})
 	if err != nil {
@@ -86,8 +87,8 @@ func sweepNormalized(opts Options, profile, subject, baseline string, filter met
 	for p, mult := range opts.SweepMults {
 		var r50, r90, r99, loads []float64
 		for rep := 0; rep < opts.Seeds; rep++ {
-			subj := results[spec{p, rep, subject}]
-			base := results[spec{p, rep, baseline}]
+			subj := results[unitIdx(p, rep, 0)]
+			base := results[unitIdx(p, rep, 1)]
 			ratio := subj.pcts.DivideBy(base.pcts)
 			r50 = append(r50, ratio.P50)
 			r90 = append(r90, ratio.P90)

@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
-	"sync"
 
 	"github.com/phoenix-sched/phoenix/internal/constraint"
 	"github.com/phoenix-sched/phoenix/internal/metrics"
@@ -25,13 +26,16 @@ func TableII(opts Options) (*Report, error) {
 		return nil, err
 	}
 
-	var (
-		mu        sync.Mutex
-		slowdowns [constraint.NumDims][]float64
-		occ       [constraint.NumDims]int
-		conTasks  int
-	)
-	err = parallel(opts.Seeds, opts.parallelism(), func(rep int) error {
+	// One work unit per repetition, each owning its per-dimension slowdown
+	// vector (NaN when the unconstrained baseline is empty — meanOf skips
+	// NaNs) and occurrence counts; totals are reassembled in rep order.
+	type unit struct {
+		slowdown [constraint.NumDims]float64
+		occ      [constraint.NumDims]int
+		conTasks int
+	}
+	units := make([]unit, opts.Seeds)
+	err = opts.runUnits(opts.Seeds, func(ctx context.Context, rep int) error {
 		tr, err := e.trace(rep)
 		if err != nil {
 			return err
@@ -40,7 +44,7 @@ func TableII(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(&opts, cl, tr, s, driverSeed(rep))
+		res, err := runOne(ctx, &opts, cl, tr, s, driverSeed(rep))
 		if err != nil {
 			return err
 		}
@@ -50,21 +54,33 @@ func TableII(opts Options) (*Report, error) {
 		// while the paper's ~2x slowdowns describe typical constrained
 		// jobs.
 		base := metrics.Percentile(res.Collector.ResponseTimes(metrics.AndFilter(metrics.Short, metrics.Unconstrained)), 90)
-		mu.Lock()
-		defer mu.Unlock()
-		conTasks += sum.ConstrainedTasks
+		u := unit{conTasks: sum.ConstrainedTasks}
 		for _, d := range constraint.Dims {
-			occ[d.Index()] += sum.DimOccurrences[d.Index()]
+			u.occ[d.Index()] = sum.DimOccurrences[d.Index()]
 			p90 := metrics.Percentile(res.Collector.ResponseTimes(
 				metrics.AndFilter(metrics.Short, metrics.ConstrainedOn(d))), 90)
+			u.slowdown[d.Index()] = math.NaN()
 			if base > 0 {
-				slowdowns[d.Index()] = append(slowdowns[d.Index()], p90/base)
+				u.slowdown[d.Index()] = p90 / base
 			}
 		}
+		units[rep] = u
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var (
+		slowdowns [constraint.NumDims][]float64
+		occ       [constraint.NumDims]int
+		conTasks  int
+	)
+	for _, u := range units {
+		conTasks += u.conTasks
+		for _, d := range constraint.Dims {
+			occ[d.Index()] += u.occ[d.Index()]
+			slowdowns[d.Index()] = append(slowdowns[d.Index()], u.slowdown[d.Index()])
+		}
 	}
 
 	type row struct {
@@ -115,8 +131,9 @@ func TableIII(opts Options) (*Report, error) {
 		reordered           int64
 		shortPct            float64
 	}
+	// One work unit per profile; rows[i] is each unit's own slot.
 	rows := make([]rowData, len(profiles))
-	err := parallel(len(profiles), opts.parallelism(), func(i int) error {
+	err := opts.runUnits(len(profiles), func(ctx context.Context, i int) error {
 		e, err := newEnv(opts, profiles[i])
 		if err != nil {
 			return err
@@ -133,7 +150,7 @@ func TableIII(opts Options) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runOne(&opts, cl, tr, s, driverSeed(0))
+		res, err := runOne(ctx, &opts, cl, tr, s, driverSeed(0))
 		if err != nil {
 			return err
 		}

@@ -186,6 +186,13 @@ func (d *Driver) Every(interval simulation.Time, fn func(now simulation.Time) bo
 	}
 }
 
+// Halt stops an in-flight Run after the current event returns; Run then
+// reports simulation.ErrHalted. It is the only Driver method safe to call
+// from another goroutine (it delegates to the engine's atomic halt flag),
+// which is how the experiment runner cancels sibling runs when one unit of
+// a sweep fails.
+func (d *Driver) Halt() { d.engine.Halt() }
+
 // ShortCutoff returns the trace's short-job classification threshold.
 func (d *Driver) ShortCutoff() simulation.Time { return d.tr.ShortCutoff }
 

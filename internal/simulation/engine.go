@@ -3,6 +3,7 @@ package simulation
 import (
 	"container/heap"
 	"errors"
+	"sync/atomic"
 )
 
 // ErrHalted is returned by Run variants when the engine was stopped with
@@ -34,12 +35,14 @@ func (e *ScheduledEvent) Canceled() bool { return e.canceled }
 // Engine is deliberately not safe for concurrent use: a simulation run is a
 // sequential causal chain. Parallelism in the benchmark harness happens
 // across independent Engine instances (one per run/seed), never within one.
+// The sole cross-goroutine entry point is Halt, which the experiment
+// runner's cancel-on-first-error path uses to stop in-flight sibling runs.
 type Engine struct {
 	queue     eventHeap
 	now       Time
 	seq       uint64
 	processed uint64
-	halted    bool
+	halted    atomic.Bool
 }
 
 // NewEngine returns an empty engine at virtual time zero.
@@ -109,8 +112,12 @@ func (e *Engine) Cancel(ev *ScheduledEvent) bool {
 	return true
 }
 
-// Halt stops the current Run after the in-flight event returns.
-func (e *Engine) Halt() { e.halted = true }
+// Halt stops the current Run after the in-flight event returns. Unlike
+// every other Engine method, Halt is safe to call from another goroutine:
+// it only raises an atomic flag that the run loop polls between events, so
+// an external canceller (a context watcher, the experiment runner) can stop
+// a simulation without touching its state.
+func (e *Engine) Halt() { e.halted.Store(true) }
 
 // Step executes the single earliest pending event. It reports false when
 // the queue is empty.
@@ -135,9 +142,9 @@ func (e *Engine) Run() error {
 // is at the last executed event (or at deadline if the next event lies
 // beyond it). Returns ErrHalted if Halt was called.
 func (e *Engine) RunUntil(deadline Time) error {
-	e.halted = false
+	e.halted.Store(false)
 	for len(e.queue) > 0 {
-		if e.halted {
+		if e.halted.Load() {
 			return ErrHalted
 		}
 		if e.queue[0].at > deadline {
@@ -146,7 +153,7 @@ func (e *Engine) RunUntil(deadline Time) error {
 		}
 		e.Step()
 	}
-	if e.halted {
+	if e.halted.Load() {
 		return ErrHalted
 	}
 	return nil
