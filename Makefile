@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner experiments figures clean
+.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner service experiments figures clean
 
 all: build test
 
@@ -15,6 +15,7 @@ ci:
 	$(MAKE) bench-hotpath
 	$(MAKE) faults
 	$(MAKE) runner
+	$(MAKE) service
 	$(MAKE) docs-check
 
 build:
@@ -44,6 +45,13 @@ bench-hotpath:
 # the race detector.
 faults:
 	$(GO) test -race -count=1 -run 'TestFaultCampaignSmoke' ./internal/faults/
+
+# Live-service smoke: the service-mode determinism/cancel-drain and
+# bounded-memory soak batteries under the race detector, then a short
+# open-loop CLI run with the invariant checker attached.
+service:
+	$(GO) test -race -count=1 -run 'TestService|TestSoak' ./internal/sched/ ./internal/telemetry/
+	$(GO) run ./cmd/phoenix-sim -service -scale 0.05 -duration 60 -window 10 -validate -digest
 
 # Godoc coverage gate: fail on any exported identifier without a doc
 # comment in the documentation-critical packages.

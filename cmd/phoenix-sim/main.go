@@ -16,12 +16,30 @@
 // per-interval CSV and a Markdown run report respectively. -faults runs a
 // deterministic fault campaign (internal/faults) from a scenario JSON file;
 // it overrides -failure-rate, and the report gains a fault timeline.
+//
+// -service switches to the open-loop live-service mode:
+//
+//	phoenix-sim -service -arrivals poisson -duration 600 -windows win.csv
+//	phoenix-sim -service -arrivals bursty -duration 0 -scheduler eagle-c
+//
+// Jobs stream from a never-ending arrival process (poisson, diurnal, or
+// bursty) instead of a pre-materialized trace; admission closes at
+// -duration simulated seconds (0 = run until interrupted), queues drain
+// gracefully, and the summary reports steady-state tumbling-window wait
+// percentiles past the MSER warm-up cut. Ctrl-C (SIGINT/SIGTERM) triggers
+// the same graceful drain from any point in the run. Memory stays bounded
+// regardless of horizon: per-job records are folded into a streaming
+// digest instead of retained, and telemetry rings are capped on unbounded
+// runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/phoenix-sched/phoenix/internal/cluster"
 	"github.com/phoenix-sched/phoenix/internal/experiments"
@@ -61,6 +79,15 @@ func run(args []string) (err error) {
 		timeseriesPath = fs.String("timeseries", "", "write a per-interval telemetry CSV (CRV, waits, queue depths) to this file")
 		reportPath     = fs.String("report", "", "write a Markdown run report to this file")
 
+		service     = fs.Bool("service", false, "open-loop live-service mode: stream arrivals instead of replaying a trace")
+		arrivals    = fs.String("arrivals", "poisson", "service arrival process: poisson, diurnal, bursty")
+		duration    = fs.Float64("duration", 600, "service admission horizon in simulated seconds (0 = until interrupted)")
+		rate        = fs.Float64("rate", 1.0, "service arrival-rate multiplier (1.0 = the profile's calibrated load)")
+		window      = fs.Float64("window", 30, "service tumbling-window length in simulated seconds")
+		maxWindows  = fs.Int("max-windows", 0, "ring-buffer bound on retained windows (0 = retain all, or auto-bound when -duration 0)")
+		maxSamples  = fs.Int("max-samples", 0, "ring-buffer bound on retained telemetry samples (0 = retain all, or auto-bound when -duration 0)")
+		windowsPath = fs.String("windows", "", "write the per-window percentile CSV to this file")
+
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -90,8 +117,24 @@ func run(args []string) (err error) {
 	}
 
 	var tr *trace.Trace
+	var svcCfg trace.GeneratorConfig
 	clusterSize := *nodes
-	if *tracePath != "" {
+	if *service {
+		if *tracePath != "" {
+			return fmt.Errorf("-service streams synthetic arrivals; -trace is batch-only")
+		}
+		cfg, err := trace.ConfigByName(*profile, *scale)
+		if err != nil {
+			return err
+		}
+		if *load > 0 {
+			cfg.TargetLoad = *load
+		}
+		if clusterSize == 0 {
+			clusterSize = cfg.NumNodes
+		}
+		svcCfg = cfg
+	} else if *tracePath != "" {
 		tr, err = trace.ReadFile(*tracePath)
 		if err != nil {
 			return err
@@ -163,6 +206,29 @@ func run(args []string) (err error) {
 
 	simCfg := sched.DefaultConfig()
 	simCfg.FailureRatePerHour = *failRate
+	if *service {
+		return runService(serviceParams{
+			cfg:            svcCfg,
+			simCfg:         simCfg,
+			cl:             cl,
+			sched:          s,
+			scenario:       scenario,
+			arrivals:       trace.ArrivalKind(*arrivals),
+			rate:           *rate,
+			durationSec:    *duration,
+			windowSec:      *window,
+			maxWindows:     *maxWindows,
+			maxSamples:     *maxSamples,
+			seed:           *seed,
+			traceSeed:      *traceSeed,
+			crvThreshold:   opts.Phoenix.CRVThreshold,
+			validate:       *doCheck,
+			digest:         *doDigest,
+			windowsPath:    *windowsPath,
+			timeseriesPath: *timeseriesPath,
+			reportPath:     *reportPath,
+		})
+	}
 	d, err := sched.NewDriver(simCfg, cl, tr, s, *seed)
 	if err != nil {
 		return err
@@ -233,6 +299,193 @@ func run(args []string) (err error) {
 		fmt.Printf("validate       ok (%d events, 0 violations)\n", chk.Events())
 	}
 	return nil
+}
+
+// serviceParams carries everything the open-loop service path needs out of
+// the shared flag parsing.
+type serviceParams struct {
+	cfg      trace.GeneratorConfig
+	simCfg   sched.Config
+	cl       *cluster.Cluster
+	sched    sched.Scheduler
+	scenario *faults.Scenario
+
+	arrivals    trace.ArrivalKind
+	rate        float64
+	durationSec float64
+	windowSec   float64
+	maxWindows  int
+	maxSamples  int
+	seed        uint64
+	traceSeed   uint64
+
+	crvThreshold   float64
+	validate       bool
+	digest         bool
+	windowsPath    string
+	timeseriesPath string
+	reportPath     string
+}
+
+// Ring bounds applied to unbounded-horizon service runs when the caller did
+// not choose their own: a day of 30-second windows and a comparable sample
+// budget, enough context for live inspection at constant memory.
+const (
+	autoMaxWindows = 2880
+	autoMaxSamples = 4096
+)
+
+// runService executes one open-loop service run: continuous arrivals, a
+// fixed (or unbounded) admission horizon, graceful drain on SIGINT/SIGTERM,
+// windowed percentile telemetry, and bounded memory regardless of horizon
+// (job records fold into a streaming digest instead of being retained).
+func runService(p serviceParams) error {
+	if p.durationSec < 0 {
+		return fmt.Errorf("-duration %v must be >= 0", p.durationSec)
+	}
+	if p.windowSec <= 0 {
+		return fmt.Errorf("-window %v must be positive", p.windowSec)
+	}
+	unbounded := p.durationSec == 0
+	if unbounded && p.maxWindows == 0 {
+		p.maxWindows = autoMaxWindows
+	}
+	if unbounded && p.maxSamples == 0 {
+		p.maxSamples = autoMaxSamples
+	}
+
+	src, err := trace.NewArrivalSource(p.cfg, trace.ArrivalConfig{
+		Kind:           p.arrivals,
+		RateMultiplier: p.rate,
+	}, p.cl, p.traceSeed)
+	if err != nil {
+		return err
+	}
+	d, err := sched.NewServiceDriver(p.simCfg, p.cl, src, p.sched, p.seed)
+	if err != nil {
+		return err
+	}
+	// Bounded memory by default; a run report needs the per-job records
+	// for its class-percentile tables. The digest is identical either way.
+	if p.reportPath == "" {
+		d.Collector().DropJobRecords()
+	}
+
+	var chk *validate.Checker
+	if p.validate {
+		chk = validate.Attach(d)
+	}
+	var camp *faults.Campaign
+	if p.scenario != nil {
+		camp, err = faults.Attach(d, p.scenario)
+		if err != nil {
+			return err
+		}
+	}
+	wr := telemetry.AttachWindows(d, telemetry.WindowOptions{
+		Interval:   simulation.FromSeconds(p.windowSec),
+		MaxWindows: p.maxWindows,
+	})
+	var rec *telemetry.Recorder
+	if p.timeseriesPath != "" || p.reportPath != "" {
+		topts := telemetry.Options{CRVThreshold: p.crvThreshold, MaxSamples: p.maxSamples}
+		if src, ok := p.sched.(telemetry.CRVSource); ok {
+			topts.CRV = src
+		}
+		rec = telemetry.Attach(d, topts)
+	}
+
+	// Ctrl-C triggers the graceful drain: admission stops, queues run
+	// down, the final partial window flushes, and the summary still prints.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+	res, err := d.RunService(ctx, simulation.FromSeconds(p.durationSec))
+	if err != nil {
+		return err
+	}
+	printServiceResult(p, src, wr, res)
+
+	if p.windowsPath != "" {
+		if err := os.WriteFile(p.windowsPath, []byte(wr.WindowCSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	if p.timeseriesPath != "" {
+		if err := os.WriteFile(p.timeseriesPath, []byte(rec.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	if p.reportPath != "" {
+		tasks := 0
+		for i := range res.Collector.Jobs() {
+			tasks += res.Collector.Jobs()[i].NumTasks
+		}
+		meta := telemetry.Meta{
+			Scheduler:   res.Scheduler,
+			Workload:    fmt.Sprintf("service/%s/%s", p.cfg.Name, p.arrivals),
+			Jobs:        res.JobsAdmitted,
+			Tasks:       tasks,
+			Workers:     res.NumWorkers,
+			OfferedLoad: p.rate * p.cfg.TargetLoad,
+			Seed:        p.seed,
+			Span:        res.Span,
+			Utilization: res.Utilization,
+		}
+		if camp != nil {
+			for _, w := range camp.Timeline() {
+				meta.Faults = append(meta.Faults, telemetry.FaultWindow{
+					Kind:    string(w.Kind),
+					From:    w.From,
+					To:      w.To,
+					Workers: w.Workers,
+					Detail:  w.Detail,
+				})
+			}
+		}
+		if err := os.WriteFile(p.reportPath, []byte(rec.Report(meta, res.Collector)), 0o644); err != nil {
+			return err
+		}
+	}
+	if p.digest {
+		fmt.Printf("digest         %016x\n", res.Collector.ServiceDigest())
+	}
+	if chk != nil {
+		if err := chk.Finalize(); err != nil {
+			return err
+		}
+		fmt.Printf("validate       ok (%d events, 0 violations)\n", chk.Events())
+	}
+	return nil
+}
+
+func printServiceResult(p serviceParams, src *trace.ArrivalSource, wr *telemetry.WindowRecorder, res *sched.ServiceResult) {
+	c := res.Collector
+	fmt.Printf("scheduler      %s\n", res.Scheduler)
+	fmt.Printf("cluster        %d workers\n", res.NumWorkers)
+	horizon := "until interrupted"
+	if res.Horizon > 0 {
+		horizon = fmt.Sprintf("horizon %s", res.Horizon)
+	}
+	fmt.Printf("arrivals       %s x%.2f (base %.2f jobs/s), %s\n",
+		p.arrivals, p.rate, src.BaseRate(), horizon)
+	ending := "horizon reached"
+	if res.Cancelled {
+		ending = "interrupted, drained gracefully"
+	}
+	fmt.Printf("admitted       %d jobs (%s)\n", res.JobsAdmitted, ending)
+	fmt.Printf("span           %s, drained at %s (utilization over span %.2f)\n",
+		res.Span, res.DrainedAt, res.Utilization)
+	fmt.Println()
+
+	warm := wr.WarmupWindows()
+	fmt.Printf("windows        %d closed at %s each (%d warm-up by MSER)\n",
+		wr.TotalWindows(), wr.Interval(), warm)
+	p50, p95, p99 := wr.SteadyWaitPercentiles()
+	fmt.Printf("steady wait    p50=%8.2fs p95=%8.2fs p99=%8.2fs (median across post-warm-up windows)\n",
+		p50, p95, p99)
+	fmt.Println()
+	fmt.Printf("probes=%d reordered=%d crv_reordered=%d stolen=%d rescheduled=%d relaxed_jobs=%d\n",
+		c.Probes, c.ReorderedTasks, c.CRVReorderedTasks, c.StolenTasks, c.RescheduledProbes, c.RelaxedJobs)
 }
 
 func printResult(tr *trace.Trace, cl *cluster.Cluster, res *sched.Result) {

@@ -66,6 +66,8 @@ var registry = map[string]entry{
 	"ext-faultcampaign": {FaultCampaign, seedsTimes(12)},
 	"ext-fairness":      {Fairness, seedsTimes(2)},
 	"ext-estimator":     {EstimatorAccuracy, singleUnit},
+	// Steady state: 6 schedulers in open-loop service mode per seed.
+	"ext-steadystate": {SteadyState, seedsTimes(6)},
 }
 
 // IDs lists every experiment identifier in sorted order.

@@ -91,7 +91,9 @@ func TestScenarioValidation(t *testing.T) {
 		{"factor on outage", func(s *Scenario) { s.Phases[0].Factor = 2 }, "factor"},
 		{
 			"slowdown factor too small",
-			func(s *Scenario) { s.Phases[0] = Phase{Kind: KindSlowdown, StartSeconds: 1, DurationSeconds: 1, Factor: 1} },
+			func(s *Scenario) {
+				s.Phases[0] = Phase{Kind: KindSlowdown, StartSeconds: 1, DurationSeconds: 1, Factor: 1}
+			},
 			"factor",
 		},
 		{

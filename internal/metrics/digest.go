@@ -69,26 +69,23 @@ func (d *Digest) Text(s string) {
 // Sum64 reports the current hash value.
 func (d *Digest) Sum64() uint64 { return d.h }
 
-// Digest hashes the collector's full observable outcome: every JobRecord in
-// completion order (every field), followed by the scheduler counters. Equal
-// digests mean the two runs completed the same jobs at the same virtual
-// times with the same queueing behaviour and the same counter values.
-func (c *Collector) Digest() uint64 {
-	d := NewDigest()
-	d.Int(len(c.jobs))
-	for i := range c.jobs {
-		r := &c.jobs[i]
-		d.Int(r.JobID)
-		d.Int64(int64(r.Arrival))
-		d.Int64(int64(r.Completion))
-		d.Bool(r.Short)
-		d.Bool(r.Constrained)
-		d.Uint64(uint64(r.Dims))
-		d.Int(int(r.Placement))
-		d.Int(r.NumTasks)
-		d.Int64(int64(r.MaxQueueDelay))
-		d.Int64(int64(r.SumQueueDelay))
-	}
+// JobRecord folds every field of r, in declaration order.
+func (d *Digest) JobRecord(r *JobRecord) {
+	d.Int(r.JobID)
+	d.Int64(int64(r.Arrival))
+	d.Int64(int64(r.Completion))
+	d.Bool(r.Short)
+	d.Bool(r.Constrained)
+	d.Uint64(uint64(r.Dims))
+	d.Int(int(r.Placement))
+	d.Int(r.NumTasks)
+	d.Int64(int64(r.MaxQueueDelay))
+	d.Int64(int64(r.SumQueueDelay))
+}
+
+// counters folds the collector's scheduler counters in the fixed digest
+// order shared by Digest and ServiceDigest.
+func (d *Digest) counters(c *Collector) {
 	d.Int64(c.ReorderedTasks)
 	d.Int64(c.CRVReorderedTasks)
 	d.Int64(c.Probes)
@@ -103,5 +100,33 @@ func (c *Collector) Digest() uint64 {
 	// change every digest, and ProbesLost is zero outside fault campaigns —
 	// lost probes already perturb the hashed outcomes (waits, completions)
 	// whenever they matter.
+}
+
+// Digest hashes the collector's full observable outcome: every JobRecord in
+// completion order (every field), followed by the scheduler counters. Equal
+// digests mean the two runs completed the same jobs at the same virtual
+// times with the same queueing behaviour and the same counter values. It
+// requires retained records (the default); record-dropping collectors use
+// ServiceDigest.
+func (c *Collector) Digest() uint64 {
+	d := NewDigest()
+	d.Int(len(c.jobs))
+	for i := range c.jobs {
+		d.JobRecord(&c.jobs[i])
+	}
+	d.counters(c)
+	return d.Sum64()
+}
+
+// ServiceDigest hashes the same observable outcome as Digest but with the
+// job count folded after the records instead of before them. That ordering
+// lets the collector fold each record into a running digest as it arrives —
+// the count is unknown until the run ends — so a bounded-memory service run
+// (DropJobRecords) digests identically to one that retained every record.
+// ServiceDigest and Digest values are not comparable to each other.
+func (c *Collector) ServiceDigest() uint64 {
+	d := c.svc // copy of the running fold over records in completion order
+	d.Int(c.added)
+	d.counters(c)
 	return d.Sum64()
 }

@@ -50,6 +50,12 @@ func (r *JobRecord) MeanQueueDelay() simulation.Time {
 // Collector accumulates job records and scheduler counters for one run.
 type Collector struct {
 	jobs []JobRecord
+	// added counts every AddJob call, including records dropped by
+	// DropJobRecords mode; svc is the running FNV fold over those records
+	// in completion order (see ServiceDigest).
+	added int
+	svc   Digest
+	drop  bool
 
 	// ReorderedTasks counts queue entries promoted by reordering (SRPT or
 	// CRV), for Table III.
@@ -87,18 +93,36 @@ type Collector struct {
 
 // NewCollector returns an empty collector with capacity for n jobs.
 func NewCollector(n int) *Collector {
-	return &Collector{jobs: make([]JobRecord, 0, n)}
+	return &Collector{jobs: make([]JobRecord, 0, n), svc: *NewDigest()}
 }
 
 // AddJob records a completed job.
-func (c *Collector) AddJob(r JobRecord) { c.jobs = append(c.jobs, r) }
+func (c *Collector) AddJob(r JobRecord) {
+	c.added++
+	c.svc.JobRecord(&r)
+	if !c.drop {
+		c.jobs = append(c.jobs, r)
+	}
+}
+
+// DropJobRecords switches the collector to bounded-memory mode: subsequent
+// AddJob calls fold into the running ServiceDigest and the global counters
+// but retain no per-job record, so memory stays constant over an unbounded
+// service run. Per-job analyses (percentiles, CDFs, series) then see only
+// the records retained before the switch; windowed telemetry carries the
+// distributional signal instead. Call before the run starts.
+func (c *Collector) DropJobRecords() { c.drop = true }
 
 // Jobs returns the recorded jobs. The slice is shared; callers must not
 // mutate it.
 func (c *Collector) Jobs() []JobRecord { return c.jobs }
 
-// NumJobs reports the number of recorded jobs.
+// NumJobs reports the number of retained job records.
 func (c *Collector) NumJobs() int { return len(c.jobs) }
+
+// JobsAdded reports how many jobs were recorded in total, including records
+// dropped by DropJobRecords mode.
+func (c *Collector) JobsAdded() int { return c.added }
 
 // Utilization reports average busy fraction for a cluster of n workers
 // observed over the given span.

@@ -63,6 +63,17 @@ type Driver struct {
 
 	pendingJobs int
 	span        simulation.Time
+
+	// Service-mode state (NewServiceDriver / RunService). src feeds jobs
+	// one at a time; admissionOpen is true while new arrivals are still
+	// being scheduled; nextArrival is the armed arrival event, cancelled
+	// when admission closes mid-gap.
+	src            JobSource
+	serviceMode    bool
+	admissionOpen  bool
+	nextArrival    *simulation.ScheduledEvent
+	jobsAdmitted   int
+	drainObservers []DrainObserver
 }
 
 // NewDriver constructs a run. The cluster size must match the trace's
@@ -79,6 +90,12 @@ func NewDriver(cfg Config, cl *cluster.Cluster, tr *trace.Trace, s Scheduler, se
 	if len(tr.Jobs) == 0 {
 		return nil, fmt.Errorf("sched: empty trace")
 	}
+	return newDriver(cfg, cl, tr, s, seed)
+}
+
+// newDriver is the construction shared by batch (NewDriver) and service
+// (NewServiceDriver) drivers; callers have already validated the workload.
+func newDriver(cfg Config, cl *cluster.Cluster, tr *trace.Trace, s Scheduler, seed uint64) (*Driver, error) {
 	d := &Driver{
 		cfg:       cfg,
 		engine:    simulation.NewEngine(),
@@ -229,21 +246,16 @@ type Result struct {
 
 // Run executes the simulation to completion.
 func (d *Driver) Run() (*Result, error) {
+	if d.serviceMode {
+		return nil, fmt.Errorf("sched: Run on a service driver (use RunService)")
+	}
 	if err := d.scheduler.Init(d); err != nil {
 		return nil, fmt.Errorf("sched: init %s: %w", d.scheduler.Name(), err)
 	}
 	d.pendingJobs = len(d.tr.Jobs)
 	for i := range d.tr.Jobs {
 		job := &d.tr.Jobs[i]
-		js := &JobState{
-			Job:         job,
-			Short:       job.MeanTaskDuration() <= d.tr.ShortCutoff,
-			EstDur:      job.MeanTaskDuration(),
-			Constraints: job.Constraints(),
-			Constrained: job.Constrained(),
-			Placement:   job.Placement,
-		}
-		js.ConstraintDims = js.Constraints.Dims()
+		js := d.newJobState(job)
 		d.engine.Schedule(job.Arrival, func(simulation.Time) {
 			d.notifyJobArrival(js)
 			d.scheduler.SubmitJob(d, js)
@@ -271,9 +283,27 @@ func (d *Driver) Run() (*Result, error) {
 	}, nil
 }
 
+// newJobState derives the scheduler-facing view of a job: its classified
+// short/long status, duration estimate, and resolved constraint summary.
+func (d *Driver) newJobState(job *trace.Job) *JobState {
+	js := &JobState{
+		Job:         job,
+		Short:       job.MeanTaskDuration() <= d.tr.ShortCutoff,
+		EstDur:      job.MeanTaskDuration(),
+		Constraints: job.Constraints(),
+		Constrained: job.Constrained(),
+		Placement:   job.Placement,
+	}
+	js.ConstraintDims = js.Constraints.Dims()
+	return js
+}
+
 func (d *Driver) heartbeat(now simulation.Time) {
 	d.heartbeatH.OnHeartbeat(d, now)
-	if d.pendingJobs > 0 {
+	// In service mode the heartbeat must outlive momentary empty queues:
+	// admission being open means more jobs are coming. Batch runs never set
+	// admissionOpen, so their stopping condition is unchanged.
+	if d.pendingJobs > 0 || d.admissionOpen {
 		d.engine.Schedule(now+d.cfg.Heartbeat, d.heartbeat)
 	}
 }
@@ -287,7 +317,7 @@ func (d *Driver) scheduleNextFailure() {
 		gap = simulation.Millisecond
 	}
 	d.engine.ScheduleAfter(gap, func(now simulation.Time) {
-		if d.pendingJobs == 0 {
+		if d.pendingJobs == 0 && !d.admissionOpen {
 			return
 		}
 		d.failWorker(d.workers[d.failStream.Intn(len(d.workers))], now)

@@ -1,6 +1,9 @@
 package sched
 
-import "github.com/phoenix-sched/phoenix/internal/trace"
+import (
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
 
 // DequeueReason says why an entry left a worker's queue.
 type DequeueReason int
@@ -79,6 +82,18 @@ type FaultObserver interface {
 	OnProbeLost(d *Driver, w *Worker, js *JobState)
 }
 
+// DrainObserver is an optional extension of Observer for service-mode
+// runs: OnDrain fires exactly once per run, after admission has closed and
+// every admitted job has completed (whether the run ended at its horizon,
+// by source exhaustion, or by a context cancel). Windowed telemetry uses it
+// to flush the final partial window. Discovered by type assertion in
+// AttachObserver, like FaultObserver, so existing observers keep compiling.
+type DrainObserver interface {
+	// OnDrain fires once when a service run has fully drained; now is the
+	// virtual time the last work completed.
+	OnDrain(d *Driver, now simulation.Time)
+}
+
 // NopObserver implements Observer with no-ops; embed it to observe only
 // selected events.
 type NopObserver struct{}
@@ -116,6 +131,9 @@ func (d *Driver) AttachObserver(obs Observer) {
 	d.observers = append(d.observers, obs)
 	if fo, ok := obs.(FaultObserver); ok {
 		d.faultObservers = append(d.faultObservers, fo)
+	}
+	if do, ok := obs.(DrainObserver); ok {
+		d.drainObservers = append(d.drainObservers, do)
 	}
 }
 
@@ -179,5 +197,11 @@ func (d *Driver) notifyWorkerSlowdown(w *Worker, factor float64) {
 func (d *Driver) notifyProbeLost(w *Worker, js *JobState) {
 	for _, o := range d.faultObservers {
 		o.OnProbeLost(d, w, js)
+	}
+}
+
+func (d *Driver) notifyDrain(now simulation.Time) {
+	for _, o := range d.drainObservers {
+		o.OnDrain(d, now)
 	}
 }

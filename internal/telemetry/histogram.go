@@ -94,6 +94,18 @@ func (h *Histogram) bucketOf(v float64) int {
 	return i
 }
 
+// Reset clears all observations while keeping the bucket layout, so one
+// allocation serves an unbounded sequence of tumbling windows.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = 0
+}
+
 // Count reports the number of observed values.
 func (h *Histogram) Count() uint64 { return h.total }
 

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// soakFIFO is a minimal early-binding scheduler for in-package service
+// runs (the bundled schedulers live in packages that import telemetry's
+// sibling experiments, which an internal test cannot).
+type soakFIFO struct{ next int }
+
+func (s *soakFIFO) Name() string             { return "soak-fifo" }
+func (s *soakFIFO) Init(*sched.Driver) error { return nil }
+func (s *soakFIFO) SubmitJob(d *sched.Driver, js *sched.JobState) {
+	ids := d.CandidateWorkers(js).Indices()
+	for {
+		task := js.Claim()
+		if task == nil {
+			return
+		}
+		d.EnqueueTask(d.Worker(ids[s.next%len(ids)]), js, task)
+		s.next++
+	}
+}
+
+// soakRun executes one bounded-memory service run with both recorders
+// attached: per-second samples and 10-second windows over the horizon.
+func soakRun(t testing.TB, horizonSeconds int, maxSamples, maxWindows int) (*Recorder, *WindowRecorder, *sched.ServiceResult) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(50, simulation.NewRNG(1).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = cl.Size()
+	cfg.TargetLoad = 0.6
+	src, err := trace.NewArrivalSource(cfg, trace.ArrivalConfig{}, cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.NewServiceDriver(sched.DefaultConfig(), cl, src, &soakFIFO{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Collector().DropJobRecords()
+	rec := Attach(d, Options{Interval: simulation.Second, MaxSamples: maxSamples})
+	wr := AttachWindows(d, WindowOptions{Interval: 10 * simulation.Second, MaxWindows: maxWindows})
+	res, err := d.RunService(context.Background(), simulation.Time(horizonSeconds)*simulation.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, wr, res
+}
+
+// TestSoakRingBoundsMemory is the soak half of the bounded-memory
+// guarantee: over a long horizon, retained samples and windows stay capped
+// at their ring sizes while the totals keep counting, job records are not
+// retained at all, and the retained series stay contiguous and ordered.
+func TestSoakRingBoundsMemory(t *testing.T) {
+	const (
+		horizon    = 1800
+		maxSamples = 64
+		maxWindows = 16
+	)
+	rec, wr, res := soakRun(t, horizon, maxSamples, maxWindows)
+
+	if rec.TotalSamples() <= maxSamples {
+		t.Fatalf("soak too short: %d samples never filled the %d ring", rec.TotalSamples(), maxSamples)
+	}
+	samples := rec.Samples()
+	if len(samples) != maxSamples {
+		t.Errorf("retained %d samples, ring cap is %d", len(samples), maxSamples)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Time <= samples[i-1].Time {
+			t.Fatalf("ring reassembly out of order at %d: %v after %v", i, samples[i].Time, samples[i-1].Time)
+		}
+	}
+
+	if wr.TotalWindows() <= maxWindows {
+		t.Fatalf("only %d windows closed, ring cap %d never exercised", wr.TotalWindows(), maxWindows)
+	}
+	windows := wr.Windows()
+	if len(windows) != maxWindows {
+		t.Errorf("retained %d windows, ring cap is %d", len(windows), maxWindows)
+	}
+	for i := 1; i < len(windows); i++ {
+		if windows[i].Start != windows[i-1].End || windows[i].Index != windows[i-1].Index+1 {
+			t.Fatalf("windows not contiguous at %d: %+v after %+v", i, windows[i], windows[i-1])
+		}
+	}
+
+	if n := res.Collector.NumJobs(); n != 0 {
+		t.Errorf("bounded-memory run retained %d job records", n)
+	}
+	if res.Collector.JobsAdded() != res.JobsAdmitted {
+		t.Errorf("streamed accounting saw %d jobs, admitted %d", res.Collector.JobsAdded(), res.JobsAdmitted)
+	}
+}
+
+// TestSoakUnboundedRecorderGrows is the control: without a ring cap the
+// retained series grows with the horizon — the memory behaviour service
+// mode exists to avoid.
+func TestSoakUnboundedRecorderGrows(t *testing.T) {
+	recShort, wrShort, _ := soakRun(t, 300, 0, 0)
+	recLong, wrLong, _ := soakRun(t, 900, 0, 0)
+	if got, total := len(recShort.Samples()), recShort.TotalSamples(); got != total {
+		t.Errorf("unbounded recorder dropped samples: kept %d of %d", got, total)
+	}
+	if len(recLong.Samples()) <= len(recShort.Samples()) {
+		t.Errorf("unbounded recorder did not grow with horizon: %d then %d",
+			len(recShort.Samples()), len(recLong.Samples()))
+	}
+	if len(wrLong.Windows()) <= len(wrShort.Windows()) {
+		t.Errorf("unbounded window series did not grow with horizon: %d then %d",
+			len(wrShort.Windows()), len(wrLong.Windows()))
+	}
+}
+
+// TestSoakSteadyStateAllocations pins the allocation profile of the
+// steady-state hot paths once the rings are full: taking a sample,
+// closing a window, and observing a histogram value must all be
+// allocation-free, so an unbounded service run cannot grow the heap.
+func TestSoakSteadyStateAllocations(t *testing.T) {
+	rec, wr, res := soakRun(t, 600, 32, 8)
+	if rec.TotalSamples() <= 32 || wr.TotalWindows() <= 8 {
+		t.Fatal("rings never filled; allocation measurement would test the append path")
+	}
+	now := res.DrainedAt
+
+	if allocs := testing.AllocsPerRun(100, func() { rec.sample(now) }); allocs > 0 {
+		t.Errorf("Recorder.sample allocates %v objects/op with a full ring, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { wr.flush(now, false) }); allocs > 0 {
+		t.Errorf("WindowRecorder.flush allocates %v objects/op with a full ring, want 0", allocs)
+	}
+	h := NewLatencyHistogram()
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.042) }); allocs > 0 {
+		t.Errorf("Histogram.Observe allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkServiceWindow prices one full tumbling-window cycle in service
+// mode: a window's worth of wait/slowdown observations at the soak load,
+// then the boundary flush (percentile extraction, worker scan, ring
+// overwrite). This is the recurring telemetry cost of an unbounded run, so
+// it must stay allocation-free.
+func BenchmarkServiceWindow(b *testing.B) {
+	_, wr, res := soakRun(b, 600, 32, 8)
+	now := res.DrainedAt
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < 128; t++ {
+			wait := float64(t%37) * 0.25
+			wr.cur.StartedTasks++
+			wr.waitSum += wait
+			wr.waitHist.Observe(wait)
+		}
+		for j := 0; j < 24; j++ {
+			wr.slowHist.Observe(1.0 + float64(j)*0.4)
+		}
+		wr.flush(now, false)
+	}
+}

@@ -67,6 +67,12 @@ type Options struct {
 	// and per-dimension table classify against; zero means
 	// DefaultCRVThreshold.
 	CRVThreshold float64
+	// MaxSamples bounds the retained time series: once full, each new
+	// sample overwrites the oldest (a ring), so recorder memory stays
+	// constant over an unbounded service run. Zero retains every sample
+	// (the batch default). The streamed histograms are unaffected — they
+	// are bounded by construction.
+	MaxSamples int
 }
 
 // Sample is one per-interval snapshot. Instantaneous fields (queue depths,
@@ -142,6 +148,10 @@ type Recorder struct {
 	d       *sched.Driver
 	opts    Options
 	samples []Sample
+	// head is the ring write position once len(samples) == MaxSamples;
+	// totalSamples counts every sample ever taken, retained or not.
+	head         int
+	totalSamples int
 
 	totalJobs     int
 	finishedTotal int
@@ -149,12 +159,12 @@ type Recorder struct {
 	prev          metrics.CounterSnapshot
 
 	// Interval accumulators, reset at each sample.
-	started    int
-	waitSum    float64
-	waitMax    float64
-	estErrSum  float64
-	estErrN    int
-	finished   int
+	started   int
+	waitSum   float64
+	waitMax   float64
+	estErrSum float64
+	estErrN   int
+	finished  int
 
 	waitHist *Histogram
 	respHist *Histogram
@@ -190,9 +200,22 @@ func Attach(d *sched.Driver, opts Options) *Recorder {
 // Interval reports the sampling cadence in use.
 func (r *Recorder) Interval() simulation.Time { return r.opts.Interval }
 
-// Samples returns the recorded time series in time order. The slice is
-// shared; callers must not mutate it.
-func (r *Recorder) Samples() []Sample { return r.samples }
+// Samples returns the retained time series in time order. With unbounded
+// retention the slice is shared (callers must not mutate it); once a
+// MaxSamples ring has wrapped, a reassembled copy is returned.
+func (r *Recorder) Samples() []Sample {
+	if r.opts.MaxSamples <= 0 || r.totalSamples <= len(r.samples) || r.head == 0 {
+		return r.samples
+	}
+	out := make([]Sample, 0, len(r.samples))
+	out = append(out, r.samples[r.head:]...)
+	out = append(out, r.samples[:r.head]...)
+	return out
+}
+
+// TotalSamples reports how many samples were taken over the run, including
+// those a full ring has already overwritten.
+func (r *Recorder) TotalSamples() int { return r.totalSamples }
 
 // WaitHistogram returns the streamed histogram of realized task queue
 // waits, in seconds.
@@ -203,10 +226,13 @@ func (r *Recorder) WaitHistogram() *Histogram { return r.waitHist }
 func (r *Recorder) ResponseHistogram() *Histogram { return r.respHist }
 
 // tick is the periodic sampling event; it keeps rescheduling itself until
-// the final job has finished (the flush sample in OnJobFinish covers the
-// last partial interval).
+// the workload drains — in batch mode until the final job has finished
+// (the flush sample in OnJobFinish covers the last partial interval), in
+// service mode until admission has closed and the queues have run down
+// (OnDrain covers the final partial interval). Stopping is what lets the
+// engine's event queue empty.
 func (r *Recorder) tick(now simulation.Time) bool {
-	if r.done {
+	if r.done || r.d.ServiceDone() {
 		return false
 	}
 	r.sample(now)
@@ -297,7 +323,13 @@ func (r *Recorder) sample(now simulation.Time) {
 	s.Counters = cur.Sub(r.prev)
 	r.prev = cur
 
-	r.samples = append(r.samples, s)
+	if r.opts.MaxSamples > 0 && len(r.samples) == r.opts.MaxSamples {
+		r.samples[r.head] = s
+		r.head = (r.head + 1) % r.opts.MaxSamples
+	} else {
+		r.samples = append(r.samples, s)
+	}
+	r.totalSamples++
 	r.started = 0
 	r.waitSum = 0
 	r.waitMax = 0
@@ -333,4 +365,15 @@ func (r *Recorder) OnJobFinish(d *sched.Driver, js *sched.JobState) {
 		r.sample(d.Now())
 		r.done = true
 	}
+}
+
+// OnDrain implements sched.DrainObserver: in service mode the run's end is
+// signalled by the drain, not a known job count, so the final partial
+// interval is flushed here — exactly once.
+func (r *Recorder) OnDrain(d *sched.Driver, now simulation.Time) {
+	if r.done {
+		return
+	}
+	r.sample(now)
+	r.done = true
 }

@@ -1,0 +1,378 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// WindowOptions configure a WindowRecorder.
+type WindowOptions struct {
+	// Interval is the tumbling-window length in virtual time; zero or
+	// negative means the driver's heartbeat interval.
+	Interval simulation.Time
+	// MaxWindows bounds the retained window series: once full, each closed
+	// window overwrites the oldest (a ring), keeping memory constant over
+	// an unbounded run. Zero retains every window.
+	MaxWindows int
+}
+
+// Window is one closed tumbling window: event counts accumulated over
+// [Start, End) plus wait/slowdown percentiles estimated from per-window
+// streaming histograms (reset at each boundary, so every window's
+// percentiles describe that window alone). Percentile fields are NaN when
+// the window saw no corresponding events.
+type Window struct {
+	// Index is the window's ordinal from the start of the run (0-based);
+	// with a full ring the retained windows are the trailing indices.
+	Index int
+	// Start and End bound the window in virtual time. End is exclusive;
+	// the final flushed window of a run may end early (Partial).
+	Start simulation.Time
+	End   simulation.Time
+	// Partial marks the run's final window when it was flushed before a
+	// full interval elapsed (drain or batch completion).
+	Partial bool
+
+	// ArrivedJobs, FinishedJobs, and StartedTasks count events inside the
+	// window.
+	ArrivedJobs  int
+	FinishedJobs int
+	StartedTasks int
+	// QueuedEntries and BusyWorkers are instantaneous snapshots at the
+	// window's close — the backlog the next window inherits.
+	QueuedEntries int
+	BusyWorkers   int
+
+	// WaitMean/WaitMax are exact over the window's task dispatches;
+	// WaitP50/P95/P99 are streaming-histogram estimates (<=2.5% relative
+	// error in range), all in seconds.
+	WaitMean float64
+	WaitP50  float64
+	WaitP95  float64
+	WaitP99  float64
+	WaitMax  float64
+	// SlowP50/P95/P99 are job slowdown percentiles over the window's
+	// completions: response time divided by the job's longest task (its
+	// critical path), so 1.0 is ideal.
+	SlowP50 float64
+	SlowP95 float64
+	SlowP99 float64
+}
+
+// WindowRecorder emits tumbling-window percentile series: the steady-state
+// view of a service run that whole-run aggregates cannot express. It
+// attaches like a Recorder (passive observer + periodic tick) and obeys the
+// same invisibility contract: attaching one never changes scheduling
+// decisions, stream draws, or run digests. Windows close on interval
+// boundaries; the final partial window is flushed exactly once, by the
+// drain notification in service mode or by the last job's completion in
+// batch mode.
+type WindowRecorder struct {
+	sched.NopObserver
+
+	d    *sched.Driver
+	opts WindowOptions
+
+	windows []Window
+	head    int
+	total   int
+
+	totalJobs     int
+	finishedTotal int
+	done          bool
+
+	cur       Window
+	waitHist  *Histogram
+	slowHist  *Histogram
+	waitSum   float64
+	waitMax   float64
+	anyEvents bool
+}
+
+var _ sched.Observer = (*WindowRecorder)(nil)
+var _ sched.DrainObserver = (*WindowRecorder)(nil)
+
+// AttachWindows instruments d with a new WindowRecorder. Attach before the
+// run starts; read the windows after it returns.
+func AttachWindows(d *sched.Driver, opts WindowOptions) *WindowRecorder {
+	if opts.Interval <= 0 {
+		opts.Interval = d.Config().Heartbeat
+	}
+	r := &WindowRecorder{
+		d:         d,
+		opts:      opts,
+		totalJobs: len(d.Trace().Jobs),
+		waitHist:  NewLatencyHistogram(),
+		slowHist:  NewLatencyHistogram(),
+	}
+	d.AttachObserver(r)
+	d.Every(opts.Interval, r.tick)
+	return r
+}
+
+// Interval reports the window length in use.
+func (r *WindowRecorder) Interval() simulation.Time { return r.opts.Interval }
+
+// Windows returns the retained windows in time order. With unbounded
+// retention the slice is shared (callers must not mutate it); once a
+// MaxWindows ring has wrapped, a reassembled copy is returned.
+func (r *WindowRecorder) Windows() []Window {
+	if r.opts.MaxWindows <= 0 || r.total <= len(r.windows) || r.head == 0 {
+		return r.windows
+	}
+	out := make([]Window, 0, len(r.windows))
+	out = append(out, r.windows[r.head:]...)
+	out = append(out, r.windows[:r.head]...)
+	return out
+}
+
+// TotalWindows reports how many windows closed over the run, including
+// those a full ring has already overwritten.
+func (r *WindowRecorder) TotalWindows() int { return r.total }
+
+// tick closes the window ending at now and opens the next; it stops
+// rescheduling once the run is over so the event queue can drain.
+func (r *WindowRecorder) tick(now simulation.Time) bool {
+	if r.done || r.d.ServiceDone() {
+		return false
+	}
+	r.flush(now, false)
+	return true
+}
+
+// flush closes the current window at end and resets the accumulators.
+// Empty trailing flushes (a partial window in which nothing happened at
+// all) are suppressed so the drain notification cannot append a
+// zero-length window after a tick already closed one at the same time.
+func (r *WindowRecorder) flush(end simulation.Time, partial bool) {
+	if partial && !r.anyEvents && end <= r.cur.Start {
+		return
+	}
+	w := r.cur
+	w.End = end
+	w.Partial = partial
+
+	for _, wk := range r.d.Workers() {
+		w.QueuedEntries += wk.QueueLen()
+		if !wk.Idle() {
+			w.BusyWorkers++
+		}
+	}
+
+	if w.StartedTasks > 0 {
+		w.WaitMean = r.waitSum / float64(w.StartedTasks)
+	} else {
+		w.WaitMean = math.NaN()
+	}
+	w.WaitMax = r.waitMax
+	if r.waitHist.Count() == 0 {
+		w.WaitMax = math.NaN()
+	}
+	w.WaitP50 = r.waitHist.Quantile(50)
+	w.WaitP95 = r.waitHist.Quantile(95)
+	w.WaitP99 = r.waitHist.Quantile(99)
+	w.SlowP50 = r.slowHist.Quantile(50)
+	w.SlowP95 = r.slowHist.Quantile(95)
+	w.SlowP99 = r.slowHist.Quantile(99)
+
+	if r.opts.MaxWindows > 0 && len(r.windows) == r.opts.MaxWindows {
+		r.windows[r.head] = w
+		r.head = (r.head + 1) % r.opts.MaxWindows
+	} else {
+		r.windows = append(r.windows, w)
+	}
+	r.total++
+
+	r.cur = Window{Index: w.Index + 1, Start: end}
+	r.waitHist.Reset()
+	r.slowHist.Reset()
+	r.waitSum = 0
+	r.waitMax = 0
+	r.anyEvents = false
+}
+
+// OnJobArrival implements sched.Observer.
+func (r *WindowRecorder) OnJobArrival(*sched.Driver, *sched.JobState) {
+	r.cur.ArrivedJobs++
+	r.anyEvents = true
+}
+
+// OnStart implements sched.Observer: stream the realized queue wait into
+// the window's histogram.
+func (r *WindowRecorder) OnStart(d *sched.Driver, w *sched.Worker, e *sched.Entry, _ *trace.Task) {
+	wait := (d.Now() - e.Enqueued).Seconds()
+	r.cur.StartedTasks++
+	r.waitSum += wait
+	if wait > r.waitMax {
+		r.waitMax = wait
+	}
+	r.waitHist.Observe(wait)
+	r.anyEvents = true
+}
+
+// OnJobFinish implements sched.Observer: stream the job's slowdown and, in
+// batch mode, flush the final partial window when the last job completes.
+func (r *WindowRecorder) OnJobFinish(d *sched.Driver, js *sched.JobState) {
+	r.cur.FinishedJobs++
+	r.finishedTotal++
+	r.anyEvents = true
+	var ideal simulation.Time
+	for i := range js.Job.Tasks {
+		if dur := js.Job.Tasks[i].Duration; dur > ideal {
+			ideal = dur
+		}
+	}
+	if ideal > 0 {
+		r.slowHist.Observe(float64(d.Now()-js.Job.Arrival) / float64(ideal))
+	}
+	if r.totalJobs > 0 && r.finishedTotal == r.totalJobs {
+		r.flush(d.Now(), true)
+		r.done = true
+	}
+}
+
+// OnDrain implements sched.DrainObserver: flush the service run's final
+// partial window exactly once.
+func (r *WindowRecorder) OnDrain(d *sched.Driver, now simulation.Time) {
+	if r.done {
+		return
+	}
+	r.flush(now, true)
+	r.done = true
+}
+
+// windowMeans extracts per-window mean waits for warm-up detection,
+// substituting zero for windows with no dispatches (an empty window is
+// evidence of an idle — warmed-up — system, not of startup transient).
+func (r *WindowRecorder) windowMeans() []float64 {
+	ws := r.Windows()
+	out := make([]float64, len(ws))
+	for i := range ws {
+		if m := ws[i].WaitMean; !math.IsNaN(m) {
+			out[i] = m
+		}
+	}
+	return out
+}
+
+// WarmupWindows estimates how many leading windows belong to the run's
+// warm-up transient, using MSER truncation over the per-window mean waits.
+// Steady-state statistics should skip that many windows.
+func (r *WindowRecorder) WarmupWindows() int {
+	return MSERTruncation(r.windowMeans())
+}
+
+// MSERTruncation returns the MSER (Marginal Standard Error Rule)
+// truncation point for the series: the prefix length d minimizing the
+// standard error of the truncated mean, SE(d)^2 = Var(x[d:]) / (n-d). The
+// candidate range is capped at n/2 (the usual MSER guard: truncating more
+// than half the series means there is no steady state to measure). Series
+// shorter than 4 points return 0.
+func MSERTruncation(series []float64) int {
+	n := len(series)
+	if n < 4 {
+		return 0
+	}
+	// Suffix sums let every candidate evaluate in O(1).
+	sum := make([]float64, n+1)
+	sumSq := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		sum[i] = sum[i+1] + series[i]
+		sumSq[i] = sumSq[i+1] + series[i]*series[i]
+	}
+	best, bestSE := 0, math.Inf(1)
+	for d := 0; d <= n/2; d++ {
+		m := float64(n - d)
+		mean := sum[d] / m
+		variance := sumSq[d]/m - mean*mean
+		if variance < 0 {
+			variance = 0 // floating-point jitter on constant suffixes
+		}
+		se := variance / m
+		if se < bestSE {
+			best, bestSE = d, se
+		}
+	}
+	return best
+}
+
+// SteadyWaitPercentiles aggregates the wait percentile estimates over the
+// windows past the warm-up truncation: the median across windows of each
+// per-window percentile (a robust steady-state summary that a slow tail
+// window cannot dominate). NaN windows are skipped; all-NaN input yields
+// NaNs.
+func (r *WindowRecorder) SteadyWaitPercentiles() (p50, p95, p99 float64) {
+	ws := r.Windows()
+	skip := r.WarmupWindows()
+	var a50, a95, a99 []float64
+	for i := skip; i < len(ws); i++ {
+		if !math.IsNaN(ws[i].WaitP50) {
+			a50 = append(a50, ws[i].WaitP50)
+		}
+		if !math.IsNaN(ws[i].WaitP95) {
+			a95 = append(a95, ws[i].WaitP95)
+		}
+		if !math.IsNaN(ws[i].WaitP99) {
+			a99 = append(a99, ws[i].WaitP99)
+		}
+	}
+	return medianOf(a50), medianOf(a95), medianOf(a99)
+}
+
+// medianOf is the nearest-rank median, NaN when empty.
+func medianOf(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), v...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: inputs are small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[(len(sorted)-1)/2]
+}
+
+// WriteWindowCSV emits the retained windows as CSV, one row per window.
+// Missing values (a window with no dispatches or completions) are emitted
+// as empty cells. The encoding is deterministic: same-seed runs produce
+// byte-identical files.
+func (r *WindowRecorder) WriteWindowCSV(w io.Writer) error {
+	cols := []string{
+		"window", "start_s", "end_s", "partial", "arrived_jobs",
+		"finished_jobs", "started_tasks", "queued", "busy_workers",
+		"wait_mean_s", "wait_p50_s", "wait_p95_s", "wait_p99_s",
+		"wait_max_s", "slowdown_p50", "slowdown_p95", "slowdown_p99",
+	}
+	if _, err := io.WriteString(w, strings.Join(cols, ",")+"\n"); err != nil {
+		return err
+	}
+	for _, win := range r.Windows() {
+		row := fmt.Sprintf("%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			win.Index, win.Start.Seconds(), win.End.Seconds(),
+			csvBool(win.Partial), win.ArrivedJobs, win.FinishedJobs,
+			win.StartedTasks, win.QueuedEntries, win.BusyWorkers,
+			csvFloat(win.WaitMean), csvFloat(win.WaitP50),
+			csvFloat(win.WaitP95), csvFloat(win.WaitP99),
+			csvFloat(win.WaitMax), csvFloat(win.SlowP50),
+			csvFloat(win.SlowP95), csvFloat(win.SlowP99))
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WindowCSV renders the window series to a string (see WriteWindowCSV).
+func (r *WindowRecorder) WindowCSV() string {
+	var b strings.Builder
+	// strings.Builder writes cannot fail.
+	_ = r.WriteWindowCSV(&b)
+	return b.String()
+}

@@ -1,0 +1,340 @@
+package telemetry_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/experiments"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/telemetry"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+	"github.com/phoenix-sched/phoenix/internal/validate"
+)
+
+// Latency-histogram geometry, mirrored from NewLatencyHistogram: first
+// bucket at 1ms, 5% growth, 400 buckets. The documented quantile error
+// bound sqrt(growth)-1 only applies to values the histogram buckets
+// in-range; values past the last bucket edge answer the exact max instead.
+const (
+	histLo      = 0.001
+	histGrowth  = 1.05
+	histBuckets = 400
+	histRelErr  = 0.0247 // sqrt(1.05) - 1, rounded up
+)
+
+// inOverflow mirrors the histogram's own bucket-index computation, so the
+// test classifies boundary values exactly as the implementation does.
+func inOverflow(v float64) bool {
+	return v >= histLo && 1+int(math.Log(v/histLo)/math.Log(histGrowth)) > histBuckets
+}
+
+// exactQuantile is the nearest-rank percentile over a copy of the samples,
+// the same rank rule Histogram.Quantile applies to its bucket counts.
+func exactQuantile(values []float64, p float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// quantileMismatch checks one (samples, percentile) pair against the
+// histogram contract and describes the violation, or returns "" when the
+// estimate is within bounds.
+func quantileMismatch(samples []float64, p float64) string {
+	h := telemetry.NewLatencyHistogram()
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	est := h.Quantile(p)
+	exact := exactQuantile(samples, p)
+	switch {
+	case inOverflow(exact):
+		// Overflow bucket: the histogram answers the exact maximum.
+		if est != h.Max() {
+			return "overflow rank did not answer the exact max"
+		}
+	case exact < histLo:
+		// Underflow bucket: the histogram answers the exact minimum, which
+		// can only under-shoot the ranked sample.
+		if est > exact+1e-12 {
+			return "underflow estimate exceeds the exact quantile"
+		}
+	default:
+		if rel := math.Abs(est-exact) / exact; rel > histRelErr+1e-9 {
+			return "relative error above the documented bound"
+		}
+	}
+	return ""
+}
+
+// shrinkFailure reduces a failing sample set to a minimal one that still
+// violates the quantile contract: standard greedy delta-debugging, dropping
+// any single sample whose removal keeps the failure alive.
+func shrinkFailure(samples []float64, p float64) []float64 {
+	cur := append([]float64(nil), samples...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append([]float64(nil), cur[:i]...), cur[i+1:]...)
+			if len(cand) > 0 && quantileMismatch(cand, p) != "" {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// TestHistogramQuantilePropertyRandomized is the quick-style half of the
+// percentile property: randomized sample sets spanning the underflow,
+// in-range, and overflow regimes, checked against exact sorted-sample
+// quantiles at every reported percentile, shrinking failures to a minimal
+// counterexample.
+func TestHistogramQuantilePropertyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	percentiles := []float64{50, 95, 99}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(400)
+		samples := make([]float64, n)
+		for i := range samples {
+			switch rng.Intn(10) {
+			case 0: // underflow regime, including exact zeros
+				samples[i] = rng.Float64() * histLo
+			case 1: // heavy tail, occasionally past the overflow edge
+				samples[i] = math.Pow(10, 2+rng.Float64()*5)
+			default: // exponential-ish in-range waits
+				samples[i] = rng.ExpFloat64() * 10
+			}
+		}
+		for _, p := range percentiles {
+			if msg := quantileMismatch(samples, p); msg != "" {
+				minimal := shrinkFailure(samples, p)
+				t.Fatalf("trial %d p%.0f: %s; minimal failing samples (%d): %v",
+					trial, p, msg, len(minimal), minimal)
+			}
+		}
+	}
+}
+
+// shadowBinner is a second, independent accounting of the same run: it
+// keeps every realized wait, binned by tumbling-window index, so the
+// streaming per-window histograms can be checked against exact quantiles.
+type shadowBinner struct {
+	sched.NopObserver
+	interval simulation.Time
+	bins     map[int][]float64
+}
+
+func (s *shadowBinner) OnStart(d *sched.Driver, w *sched.Worker, e *sched.Entry, _ *trace.Task) {
+	bin := int(d.Now() / s.interval)
+	s.bins[bin] = append(s.bins[bin], (d.Now() - e.Enqueued).Seconds())
+}
+
+// TestWindowPercentilesMatchExactQuantiles is the integration half of the
+// property: across randomized arrival processes and window lengths, every
+// full window's streamed P50/P95/P99 must match the exact quantiles of the
+// window's own dispatches within the documented bound.
+func TestWindowPercentilesMatchExactQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(31415))
+	kinds := []trace.ArrivalKind{trace.ArrivalPoisson, trace.ArrivalDiurnal, trace.ArrivalBursty}
+	windowChoices := []simulation.Time{5 * simulation.Second, 10 * simulation.Second, 20 * simulation.Second}
+
+	cl, err := cluster.GoogleProfile().GenerateCluster(80, simulation.NewRNG(1).Stream("telemetry/machines"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = cl.Size()
+
+	for trial := 0; trial < 6; trial++ {
+		kind := kinds[trial%len(kinds)]
+		interval := windowChoices[rng.Intn(len(windowChoices))]
+		mult := 0.6 + 0.5*rng.Float64()
+		seed := uint64(100 + trial)
+
+		src, err := trace.NewArrivalSource(cfg, trace.ArrivalConfig{Kind: kind, RateMultiplier: mult}, cl, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := experiments.DefaultOptions()
+		s, err := opts.NewScheduler(experiments.SchedPhoenix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sched.NewServiceDriver(sched.DefaultConfig(), cl, src, s, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr := telemetry.AttachWindows(d, telemetry.WindowOptions{Interval: interval})
+		shadow := &shadowBinner{interval: interval, bins: map[int][]float64{}}
+		d.AttachObserver(shadow)
+		if _, err := d.RunService(context.Background(), 200*simulation.Second); err != nil {
+			t.Fatal(err)
+		}
+
+		checked := 0
+		for _, w := range wr.Windows() {
+			if w.Partial || w.StartedTasks == 0 {
+				continue
+			}
+			waits := shadow.bins[w.Index]
+			if len(waits) != w.StartedTasks {
+				t.Fatalf("trial %d (%s, %v windows) window %d: shadow saw %d dispatches, window counted %d",
+					trial, kind, interval, w.Index, len(waits), w.StartedTasks)
+			}
+			for _, pc := range []struct {
+				p   float64
+				got float64
+			}{{50, w.WaitP50}, {95, w.WaitP95}, {99, w.WaitP99}} {
+				exact := exactQuantile(waits, pc.p)
+				switch {
+				case exact < histLo:
+					if pc.got > exact+1e-12 {
+						t.Errorf("trial %d window %d p%.0f: estimate %.6g above exact %.6g in underflow regime",
+							trial, w.Index, pc.p, pc.got, exact)
+					}
+				case !inOverflow(exact):
+					if rel := math.Abs(pc.got-exact) / exact; rel > histRelErr+1e-9 {
+						minimal := shrinkFailure(waits, pc.p)
+						t.Errorf("trial %d (%s, %v windows) window %d p%.0f: estimate %.6g vs exact %.6g (rel %.2f%%); minimal failing set (%d): %v",
+							trial, kind, interval, w.Index, pc.p, pc.got, exact, 100*rel, len(minimal), minimal)
+					}
+				}
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Errorf("trial %d (%s): no full windows with dispatches to check", trial, kind)
+		}
+	}
+}
+
+// serviceWindowRun executes one fixed-horizon service run and returns the
+// window recorder, the service digest, and the validate-checked result.
+func serviceWindowRun(t *testing.T, schedName string, seed uint64) (*telemetry.WindowRecorder, uint64, *sched.ServiceResult) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(100, simulation.NewRNG(1).Stream("telemetry/machines"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = cl.Size()
+	src, err := trace.NewArrivalSource(cfg, trace.ArrivalConfig{}, cl, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := experiments.DefaultOptions()
+	s, err := opts.NewScheduler(schedName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.NewServiceDriver(sched.DefaultConfig(), cl, src, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Collector().DropJobRecords()
+	wr := telemetry.AttachWindows(d, telemetry.WindowOptions{Interval: 15 * simulation.Second})
+	res, err := d.RunService(context.Background(), 120*simulation.Second)
+	if err != nil {
+		t.Fatalf("%s: %v", schedName, err)
+	}
+	return wr, res.Collector.ServiceDigest(), res
+}
+
+// TestServiceSameSeedByteIdentical is the fixed-horizon determinism
+// battery: for every bundled scheduler, two same-seed service runs must
+// agree on the streamed digest and emit byte-identical window CSVs, and a
+// different seed must not.
+func TestServiceSameSeedByteIdentical(t *testing.T) {
+	for _, name := range allSchedulers {
+		wrA, digA, resA := serviceWindowRun(t, name, 5)
+		wrB, digB, resB := serviceWindowRun(t, name, 5)
+		if digA != digB {
+			t.Errorf("%s: same-seed service digests differ: %016x vs %016x", name, digA, digB)
+		}
+		if resA.JobsAdmitted != resB.JobsAdmitted || resA.DrainedAt != resB.DrainedAt {
+			t.Errorf("%s: same-seed results differ: %d@%v vs %d@%v", name,
+				resA.JobsAdmitted, resA.DrainedAt, resB.JobsAdmitted, resB.DrainedAt)
+		}
+		csvA, csvB := wrA.WindowCSV(), wrB.WindowCSV()
+		if csvA != csvB {
+			t.Errorf("%s: same-seed window CSVs differ", name)
+		}
+		if strings.Count(csvA, "\n") < 3 {
+			t.Errorf("%s: window series too short:\n%s", name, csvA)
+		}
+		_, digC, _ := serviceWindowRun(t, name, 6)
+		if digC == digA {
+			t.Errorf("%s: different seeds produced identical service digests", name)
+		}
+	}
+}
+
+// TestServiceCancelFlushesFinalWindowOnce cancels a service run mid-flight
+// and asserts the telemetry side of the drain contract: the final partial
+// window is flushed exactly once, at the drain timestamp, with the
+// invariant checker clean. The sched-level drain accounting has its own
+// tests; this pins the observer plumbing.
+func TestServiceCancelFlushesFinalWindowOnce(t *testing.T) {
+	cl, err := cluster.GoogleProfile().GenerateCluster(100, simulation.NewRNG(1).Stream("telemetry/machines"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = cl.Size()
+	src, err := trace.NewArrivalSource(cfg, trace.ArrivalConfig{}, cl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := experiments.DefaultOptions()
+	s, err := opts.NewScheduler(experiments.SchedPhoenix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.NewServiceDriver(sched.DefaultConfig(), cl, src, s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := telemetry.AttachWindows(d, telemetry.WindowOptions{Interval: 15 * simulation.Second})
+	chk := validate.Attach(d)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d.Every(40*simulation.Second, func(simulation.Time) bool {
+		cancel()
+		d.Halt()
+		return false
+	})
+	res, err := d.RunService(ctx, 3600*simulation.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled {
+		t.Fatal("run not cancelled")
+	}
+	if err := chk.Finalize(); err != nil {
+		t.Errorf("invariant checker after cancel-drain: %v", err)
+	}
+	partials := 0
+	windows := wr.Windows()
+	for _, w := range windows {
+		if w.Partial {
+			partials++
+		}
+	}
+	if partials > 1 {
+		t.Errorf("%d partial windows flushed, want at most 1", partials)
+	}
+	if n := len(windows); n > 0 && windows[n-1].End != res.DrainedAt {
+		t.Errorf("final window ends at %v, drain was at %v", windows[n-1].End, res.DrainedAt)
+	}
+}

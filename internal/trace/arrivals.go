@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// ArrivalKind names the shape of an open-loop arrival process.
+type ArrivalKind string
+
+const (
+	// ArrivalPoisson is a homogeneous Poisson process at the calibrated
+	// base rate.
+	ArrivalPoisson ArrivalKind = "poisson"
+	// ArrivalDiurnal modulates the rate sinusoidally around the base rate
+	// (day/night traffic), sampled by thinning a Poisson process at the
+	// peak rate.
+	ArrivalDiurnal ArrivalKind = "diurnal"
+	// ArrivalBursty is the generator's two-state modulated Poisson process
+	// (CloudCoaster-style transient bursts): a square wave between the
+	// normal and burst rates with deterministic dwell times.
+	ArrivalBursty ArrivalKind = "bursty"
+)
+
+// Valid reports whether k names a defined arrival process.
+func (k ArrivalKind) Valid() bool {
+	switch k {
+	case ArrivalPoisson, ArrivalDiurnal, ArrivalBursty:
+		return true
+	}
+	return false
+}
+
+// ArrivalConfig parameterizes an open-loop arrival process. The base rate
+// is not set directly: it is calibrated from the workload profile so a
+// RateMultiplier of 1.0 offers the profile's TargetLoad on the profile's
+// cluster, matching the batch generator's calibration.
+type ArrivalConfig struct {
+	// Kind selects the process shape.
+	Kind ArrivalKind
+	// RateMultiplier scales the calibrated base rate (1.0 = the profile's
+	// TargetLoad; 0 defaults to 1.0). Values above ~1/TargetLoad overload
+	// the cluster and queues grow without bound.
+	RateMultiplier float64
+
+	// DiurnalAmplitude is the relative rate swing A in
+	// rate(t) = base * (1 + A*sin(2*pi*t/P)), in [0, 1). Only for
+	// ArrivalDiurnal; 0 defaults to 0.5.
+	DiurnalAmplitude float64
+	// DiurnalPeriodSeconds is the modulation period P in simulated
+	// seconds. Only for ArrivalDiurnal; 0 defaults to 3600.
+	DiurnalPeriodSeconds float64
+
+	// BurstPeakRate, BurstFraction, and BurstDwellSeconds override the
+	// workload profile's burst parameters (PeakRate, BurstFraction,
+	// BurstDwellSeconds) for ArrivalBursty. Zero values inherit from the
+	// profile.
+	BurstPeakRate     float64
+	BurstFraction     float64
+	BurstDwellSeconds float64
+}
+
+// withDefaults returns the config with zero fields resolved against the
+// workload profile.
+func (c ArrivalConfig) withDefaults(g *GeneratorConfig) ArrivalConfig {
+	if c.Kind == "" {
+		c.Kind = ArrivalPoisson
+	}
+	if c.RateMultiplier == 0 {
+		c.RateMultiplier = 1
+	}
+	if c.DiurnalAmplitude == 0 {
+		c.DiurnalAmplitude = 0.5
+	}
+	if c.DiurnalPeriodSeconds == 0 {
+		c.DiurnalPeriodSeconds = 3600
+	}
+	if c.BurstPeakRate == 0 {
+		c.BurstPeakRate = g.PeakRate
+	}
+	if c.BurstFraction == 0 {
+		c.BurstFraction = g.BurstFraction
+	}
+	if c.BurstDwellSeconds == 0 {
+		c.BurstDwellSeconds = g.BurstDwellSeconds
+	}
+	return c
+}
+
+// validate reports configuration errors after defaults are resolved.
+func (c *ArrivalConfig) validate() error {
+	switch {
+	case !c.Kind.Valid():
+		return fmt.Errorf("trace: unknown arrival kind %q", c.Kind)
+	case c.RateMultiplier <= 0:
+		return fmt.Errorf("trace: arrival RateMultiplier = %v must be positive", c.RateMultiplier)
+	case c.DiurnalAmplitude < 0 || c.DiurnalAmplitude >= 1:
+		return fmt.Errorf("trace: DiurnalAmplitude = %v out of [0, 1)", c.DiurnalAmplitude)
+	case c.DiurnalPeriodSeconds <= 0:
+		return fmt.Errorf("trace: DiurnalPeriodSeconds = %v must be positive", c.DiurnalPeriodSeconds)
+	case c.BurstPeakRate < 1:
+		return fmt.Errorf("trace: BurstPeakRate = %v must be >= 1", c.BurstPeakRate)
+	case c.BurstFraction <= 0 || c.BurstFraction >= 1:
+		return fmt.Errorf("trace: BurstFraction = %v out of (0, 1)", c.BurstFraction)
+	case c.BurstDwellSeconds <= 0:
+		return fmt.Errorf("trace: BurstDwellSeconds = %v must be positive", c.BurstDwellSeconds)
+	}
+	return nil
+}
+
+// ArrivalSource streams an unbounded synthetic workload one job at a time:
+// the open-loop counterpart of Generate for service-mode runs. Job bodies
+// come from the same synthesis code as the batch generator (identical
+// distributions), but all randomness is drawn from "service/..." named
+// streams, so constructing or consuming a source never changes the byte
+// output of any batch trace at the same seed. Successive NextJob calls
+// return jobs with dense IDs and non-decreasing arrival times, forever —
+// the caller decides when to stop admitting.
+type ArrivalSource struct {
+	cfg  GeneratorConfig
+	ac   ArrivalConfig
+	arr  *simulation.Stream
+	body jobSynth
+
+	// base is the calibrated baseline rate in jobs per simulated second;
+	// peak is the thinning envelope for the diurnal process.
+	base float64
+	peak float64
+
+	now     float64 // seconds
+	emitted int
+
+	// Two-state bursty walk (same square wave as the batch generator).
+	inBurst     bool
+	stateEnds   float64
+	normalDwell float64
+}
+
+// NewArrivalSource builds a source for the given workload profile and
+// arrival process. The cluster anchors constraint synthesis and must be the
+// one the simulation runs on. Zero-value ArrivalConfig fields default to a
+// plain Poisson process at the profile's TargetLoad.
+func NewArrivalSource(cfg GeneratorConfig, ac ArrivalConfig, cl *cluster.Cluster, seed uint64) (*ArrivalSource, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ac = ac.withDefaults(&cfg)
+	if err := ac.validate(); err != nil {
+		return nil, err
+	}
+
+	rng := simulation.NewRNG(seed)
+	arr := rng.Stream("service/arrivals")
+	sizes := rng.Stream("service/sizes")
+	durs := rng.Stream("service/durations")
+	synthStream := rng.Stream("service/constraints")
+
+	synth, err := NewSynthesizer(cfg.Synth, cl, synthStream)
+	if err != nil {
+		return nil, err
+	}
+
+	// Same calibration as the batch generator: base rate such that the
+	// time-average offered load hits TargetLoad * RateMultiplier. The
+	// diurnal sinusoid time-averages to the base rate; the bursty square
+	// wave averages to base * (1 - f + f*m), so its base divides that out.
+	lambda := ac.RateMultiplier * cfg.TargetLoad * float64(cfg.NumNodes) / cfg.MeanJobWorkSeconds()
+	s := &ArrivalSource{
+		cfg:  cfg,
+		ac:   ac,
+		arr:  arr,
+		body: jobSynth{cfg: nil, sizes: sizes, durs: durs, synth: synth},
+		base: lambda,
+	}
+	s.body.cfg = &s.cfg
+	switch ac.Kind {
+	case ArrivalDiurnal:
+		s.peak = lambda * (1 + ac.DiurnalAmplitude)
+	case ArrivalBursty:
+		s.base = lambda / (1 - ac.BurstFraction + ac.BurstFraction*ac.BurstPeakRate)
+		s.normalDwell = ac.BurstDwellSeconds * (1 - ac.BurstFraction) / ac.BurstFraction
+		s.stateEnds = s.normalDwell
+	}
+	return s, nil
+}
+
+// NextJob synthesizes and returns the next arriving job. The boolean is
+// always true (the process never ends); it exists so the driver-side
+// JobSource interface can also be satisfied by finite replay sources.
+func (s *ArrivalSource) NextJob() (*Job, bool) {
+	switch s.ac.Kind {
+	case ArrivalDiurnal:
+		s.advanceDiurnal()
+	case ArrivalBursty:
+		s.advanceBursty()
+	default:
+		s.now += s.arr.Exp(1 / s.base)
+	}
+	job := s.body.nextJob(s.emitted, s.now)
+	s.emitted++
+	return &job, true
+}
+
+// advanceDiurnal steps the clock to the next arrival of the
+// non-homogeneous Poisson process rate(t) = base*(1 + A*sin(2*pi*t/P)) by
+// thinning candidate arrivals drawn at the peak rate.
+func (s *ArrivalSource) advanceDiurnal() {
+	for {
+		s.now += s.arr.Exp(1 / s.peak)
+		rate := s.base * (1 + s.ac.DiurnalAmplitude*math.Sin(2*math.Pi*s.now/s.ac.DiurnalPeriodSeconds))
+		if s.arr.Float64()*s.peak <= rate {
+			return
+		}
+	}
+}
+
+// advanceBursty steps the clock through the two-state square wave exactly
+// as the batch generator does: when a gap crosses a state boundary, the
+// draw restarts at the boundary under the new state's rate.
+func (s *ArrivalSource) advanceBursty() {
+	rate := s.stateRate(s.inBurst)
+	s.now += s.arr.Exp(1 / rate)
+	for s.now >= s.stateEnds {
+		s.now = s.stateEnds
+		s.inBurst = !s.inBurst
+		dwell := s.normalDwell
+		if s.inBurst {
+			dwell = s.ac.BurstDwellSeconds
+		}
+		s.stateEnds += dwell
+		s.now += s.arr.Exp(1 / s.stateRate(s.inBurst))
+	}
+}
+
+func (s *ArrivalSource) stateRate(inBurst bool) float64 {
+	if inBurst {
+		return s.base * s.ac.BurstPeakRate
+	}
+	return s.base
+}
+
+// ShortCutoff returns the profile's short-job classification threshold, the
+// value a service driver needs in place of a materialized trace's field.
+func (s *ArrivalSource) ShortCutoff() simulation.Time {
+	return simulation.FromSeconds(s.cfg.ShortCutoffSeconds)
+}
+
+// NumNodes returns the cluster size the rate was calibrated against.
+func (s *ArrivalSource) NumNodes() int { return s.cfg.NumNodes }
+
+// Emitted reports how many jobs the source has produced so far.
+func (s *ArrivalSource) Emitted() int { return s.emitted }
+
+// BaseRate reports the baseline arrival rate in jobs per simulated second
+// (for bursty processes, the normal-state rate; the time-average rate is
+// base * (1 - f + f*m)).
+func (s *ArrivalSource) BaseRate() float64 { return s.base }
+
+// InBurstAt reports whether the bursty square wave is in its burst state at
+// the given simulated time. Dwells are deterministic, so the schedule is a
+// fixed function of time; tests use it to bin arrivals by state. Always
+// false for non-bursty processes.
+func (s *ArrivalSource) InBurstAt(t simulation.Time) bool {
+	if s.ac.Kind != ArrivalBursty {
+		return false
+	}
+	period := s.normalDwell + s.ac.BurstDwellSeconds
+	pos := math.Mod(t.Seconds(), period)
+	return pos >= s.normalDwell
+}

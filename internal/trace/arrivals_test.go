@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// drawJobs pulls n jobs from a fresh source with the given arrival config.
+func drawJobs(t testing.TB, ac ArrivalConfig, seed uint64, n int) (*ArrivalSource, []Job) {
+	t.Helper()
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	src, err := NewArrivalSource(cfg, ac, cl, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, ok := src.NextJob()
+		if !ok {
+			t.Fatalf("source ended after %d jobs", i)
+		}
+		jobs = append(jobs, *j)
+	}
+	return src, jobs
+}
+
+func TestArrivalConfigValidation(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	bad := []ArrivalConfig{
+		{Kind: "weibull"},
+		{Kind: ArrivalPoisson, RateMultiplier: -1},
+		{Kind: ArrivalDiurnal, DiurnalAmplitude: 1.5},
+		{Kind: ArrivalDiurnal, DiurnalPeriodSeconds: -10},
+		{Kind: ArrivalBursty, BurstPeakRate: 0.5},
+		{Kind: ArrivalBursty, BurstFraction: 2},
+	}
+	for _, ac := range bad {
+		if _, err := NewArrivalSource(cfg, ac, cl, 1); err == nil {
+			t.Errorf("config %+v accepted", ac)
+		}
+	}
+	if _, err := NewArrivalSource(cfg, ArrivalConfig{}, cl, 1); err != nil {
+		t.Errorf("zero-value config rejected: %v", err)
+	}
+}
+
+// TestArrivalJobsWellFormed asserts the streaming source produces the same
+// structural invariants the batch generator guarantees: dense job IDs,
+// non-decreasing arrival times, non-empty task lists with dense task
+// indices, and durations of at least a millisecond.
+func TestArrivalJobsWellFormed(t *testing.T) {
+	_, jobs := drawJobs(t, ArrivalConfig{}, 3, 2000)
+	var prev simulation.Time
+	for i := range jobs {
+		j := &jobs[i]
+		if j.ID != i {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+		if j.Arrival < prev {
+			t.Fatalf("job %d arrives at %v, before predecessor at %v", i, j.Arrival, prev)
+		}
+		prev = j.Arrival
+		if len(j.Tasks) == 0 {
+			t.Fatalf("job %d has no tasks", i)
+		}
+		for k := range j.Tasks {
+			task := &j.Tasks[k]
+			if task.JobID != j.ID || task.Index != k {
+				t.Fatalf("job %d task %d mislabelled: %+v", i, k, task)
+			}
+			if task.Duration < simulation.Millisecond {
+				t.Fatalf("job %d task %d duration %v below 1ms floor", i, k, task.Duration)
+			}
+		}
+	}
+}
+
+// TestPoissonInterarrivalStatistics checks the homogeneous process against
+// its two defining moments: interarrival mean 1/lambda and coefficient of
+// variation 1 (exponential gaps). The seed is fixed, so the tolerances can
+// be tight without flaking.
+func TestPoissonInterarrivalStatistics(t *testing.T) {
+	const n = 20000
+	src, jobs := drawJobs(t, ArrivalConfig{Kind: ArrivalPoisson}, 7, n)
+
+	gaps := make([]float64, 0, n-1)
+	var sum float64
+	for i := 1; i < len(jobs); i++ {
+		g := (jobs[i].Arrival - jobs[i-1].Arrival).Seconds()
+		gaps = append(gaps, g)
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	want := 1 / src.BaseRate()
+	if rel := math.Abs(mean-want) / want; rel > 0.03 {
+		t.Errorf("interarrival mean %.4fs, want %.4fs (rel err %.1f%%)", mean, want, 100*rel)
+	}
+	var varSum float64
+	for _, g := range gaps {
+		varSum += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(varSum/float64(len(gaps))) / mean
+	if math.Abs(cv-1) > 0.03 {
+		t.Errorf("interarrival CV %.3f, want 1.0 +- 0.03", cv)
+	}
+}
+
+// TestDiurnalModulationTracksProfile bins arrivals by sinusoid phase over
+// many periods and compares each bin's empirical share against the
+// integral of rate(t) = base*(1 + A*sin(2*pi*t/P)) over the bin.
+func TestDiurnalModulationTracksProfile(t *testing.T) {
+	const (
+		n         = 30000
+		amplitude = 0.6
+		period    = 300.0
+		bins      = 8
+	)
+	_, jobs := drawJobs(t, ArrivalConfig{
+		Kind:                 ArrivalDiurnal,
+		DiurnalAmplitude:     amplitude,
+		DiurnalPeriodSeconds: period,
+	}, 11, n)
+
+	// Count whole periods only, so partial coverage cannot skew the bins.
+	last := jobs[len(jobs)-1].Arrival.Seconds()
+	periods := math.Floor(last / period)
+	if periods < 3 {
+		t.Fatalf("only %.0f whole periods covered; need more arrivals", periods)
+	}
+	counts := make([]float64, bins)
+	total := 0.0
+	for i := range jobs {
+		at := jobs[i].Arrival.Seconds()
+		if at >= periods*period {
+			break
+		}
+		phase := math.Mod(at, period) / period
+		counts[int(phase*bins)]++
+		total++
+	}
+	for b := 0; b < bins; b++ {
+		lo := 2 * math.Pi * float64(b) / bins
+		hi := 2 * math.Pi * float64(b+1) / bins
+		// Integral of (1 + A*sin(x)) over [lo, hi), normalized by 2*pi.
+		want := ((hi - lo) + amplitude*(math.Cos(lo)-math.Cos(hi))) / (2 * math.Pi)
+		got := counts[b] / total
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("phase bin %d: share %.4f, want %.4f (rel err %.1f%%)", b, got, want, 100*rel)
+		}
+	}
+}
+
+// TestBurstyDutyCycle checks the two-state modulated process: the share of
+// arrivals landing inside burst dwells must match f*m/(1-f+f*m), and the
+// per-state empirical rates must differ by the configured peak multiplier.
+func TestBurstyDutyCycle(t *testing.T) {
+	const (
+		n     = 30000
+		peak  = 6.0
+		frac  = 0.25
+		dwell = 20.0
+	)
+	src, jobs := drawJobs(t, ArrivalConfig{
+		Kind:              ArrivalBursty,
+		BurstPeakRate:     peak,
+		BurstFraction:     frac,
+		BurstDwellSeconds: dwell,
+	}, 13, n)
+
+	var inBurst, total float64
+	for i := range jobs {
+		if src.InBurstAt(jobs[i].Arrival) {
+			inBurst++
+		}
+		total++
+	}
+	wantShare := frac * peak / (1 - frac + frac*peak)
+	if got := inBurst / total; math.Abs(got-wantShare) > 0.05*wantShare {
+		t.Errorf("burst arrival share %.4f, want %.4f", got, wantShare)
+	}
+
+	// Per-state rates: dwells are deterministic, so elapsed time splits
+	// exactly f : (1-f) once whole burst/normal cycles are covered.
+	elapsed := jobs[len(jobs)-1].Arrival.Seconds()
+	burstTime := frac * elapsed
+	normalTime := elapsed - burstTime
+	ratio := (inBurst / burstTime) / ((total - inBurst) / normalTime)
+	if math.Abs(ratio-peak)/peak > 0.08 {
+		t.Errorf("burst/normal rate ratio %.2f, want %.2f", ratio, peak)
+	}
+}
+
+// TestArrivalSourceLeavesBatchGeneratorUntouched is the named-stream
+// isolation guarantee behind the golden digest corpus: service-mode
+// randomness comes from "service/..." streams, so creating and consuming an
+// ArrivalSource can never perturb a batch trace generated at the same seed.
+func TestArrivalSourceLeavesBatchGeneratorUntouched(t *testing.T) {
+	cl := smallCluster(t)
+	cfg := smallConfig()
+	before, err := Generate(cfg, cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewArrivalSource(cfg, ArrivalConfig{}, cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		src.NextJob()
+	}
+	after, err := Generate(cfg, cl, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("batch trace changed after an ArrivalSource run at the same seed")
+	}
+}
+
+// TestArrivalSourceDeterministic asserts two same-seed sources emit
+// identical job streams, and different seeds do not.
+func TestArrivalSourceDeterministic(t *testing.T) {
+	_, a := drawJobs(t, ArrivalConfig{Kind: ArrivalBursty}, 5, 300)
+	_, b := drawJobs(t, ArrivalConfig{Kind: ArrivalBursty}, 5, 300)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed sources diverged")
+	}
+	_, c := drawJobs(t, ArrivalConfig{Kind: ArrivalBursty}, 6, 300)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}

@@ -125,6 +125,80 @@ func (c *GeneratorConfig) MeanJobWorkSeconds() float64 {
 	return c.ShortJobFraction*shortWork + (1-c.ShortJobFraction)*longWork
 }
 
+// jobSynth draws the body of one job — short/long class, task count, task
+// durations, rack placement, constraints — from a fixed set of streams. It
+// is shared by the batch generator and the open-loop ArrivalSource so the
+// two synthesize identically distributed workloads; each owns its own
+// instance (and so its own long-job stratification state), and each feeds
+// it differently named streams ("trace/..." vs "service/..."), so adding a
+// streaming consumer never perturbs the batch generator's byte output.
+type jobSynth struct {
+	cfg   *GeneratorConfig
+	sizes *simulation.Stream
+	durs  *simulation.Stream
+	synth *Synthesizer
+
+	// Long jobs carry ~98% of the work, so sampling their count i.i.d.
+	// would let the offered load swing tens of percent across seeds at
+	// laptop scale. Stratified assignment pins the long-job count to the
+	// configured fraction; which positions are long still follows the
+	// arrival randomness.
+	longDebt float64
+	longIdx  int
+	taskID   int
+}
+
+// nextJob synthesizes the job arriving at nowSeconds with the given dense ID.
+func (g *jobSynth) nextJob(jobID int, nowSeconds float64) Job {
+	cfg := g.cfg
+	g.longDebt += 1 - cfg.ShortJobFraction
+	short := true
+	if g.longDebt >= 1 {
+		g.longDebt--
+		short = false
+	}
+	nTasks := geometric(g.sizes, meanTasks(*cfg, short))
+	var baseDur float64
+	if short {
+		baseDur = g.durs.BoundedPareto(cfg.ShortDurScale, cfg.ShortDurAlpha, cfg.ShortDurMax)
+	} else {
+		// Long jobs carry most of the work; stratified sampling of
+		// their base durations keeps the trace's total work stable
+		// across seeds (each stratum of the bounded-Pareto CDF is
+		// hit once per cycle of longStrata draws).
+		u := (float64(g.longIdx%longStrata) + g.durs.Float64()) / longStrata
+		g.longIdx++
+		baseDur = simulation.BoundedParetoQuantile(u, cfg.LongDurScale, cfg.LongDurAlpha, cfg.LongDurMax)
+	}
+
+	job := Job{
+		ID:        jobID,
+		Arrival:   simulation.FromSeconds(nowSeconds),
+		Short:     short,
+		Placement: pickPlacement(g.sizes, *cfg, short, nTasks),
+		Tasks:     make([]Task, nTasks),
+	}
+	cs := g.synth.JobConstraints()
+	for k := 0; k < nTasks; k++ {
+		d := baseDur
+		if cfg.TaskDurJitter > 0 {
+			d *= 1 + cfg.TaskDurJitter*(2*g.durs.Float64()-1)
+		}
+		if d <= 0 {
+			d = baseDur
+		}
+		job.Tasks[k] = Task{
+			ID:          g.taskID,
+			JobID:       jobID,
+			Index:       k,
+			Duration:    maxTime(simulation.FromSeconds(d), simulation.Millisecond),
+			Constraints: cs,
+		}
+		g.taskID++
+	}
+	return job
+}
+
 // Generate produces a deterministic synthetic trace. The cluster supplies
 // the machine configurations constraints are anchored to; pass the same
 // cluster the simulation will run on.
@@ -179,14 +253,7 @@ func Generate(cfg GeneratorConfig, cl *cluster.Cluster, seed uint64) (*Trace, er
 		stateEnds = math.Inf(1)
 	}
 
-	taskID := 0
-	// Long jobs carry ~98% of the work, so sampling their count i.i.d.
-	// would let the offered load swing tens of percent across seeds at
-	// laptop scale. Stratified assignment pins the long-job count to the
-	// configured fraction; which positions are long still follows the
-	// arrival randomness.
-	longDebt := 0.0
-	longIdx := 0
+	body := &jobSynth{cfg: &cfg, sizes: sizes, durs: durs, synth: synth}
 	for jobID := 0; jobID < cfg.NumJobs; jobID++ {
 		rate := base
 		if inBurst {
@@ -208,52 +275,7 @@ func Generate(cfg GeneratorConfig, cl *cluster.Cluster, seed uint64) (*Trace, er
 			now += arrivals.Exp(1 / rate)
 		}
 
-		longDebt += 1 - cfg.ShortJobFraction
-		short := true
-		if longDebt >= 1 {
-			longDebt--
-			short = false
-		}
-		nTasks := geometric(sizes, meanTasks(cfg, short))
-		var baseDur float64
-		if short {
-			baseDur = durs.BoundedPareto(cfg.ShortDurScale, cfg.ShortDurAlpha, cfg.ShortDurMax)
-		} else {
-			// Long jobs carry most of the work; stratified sampling of
-			// their base durations keeps the trace's total work stable
-			// across seeds (each stratum of the bounded-Pareto CDF is
-			// hit once per cycle of longStrata draws).
-			u := (float64(longIdx%longStrata) + durs.Float64()) / longStrata
-			longIdx++
-			baseDur = simulation.BoundedParetoQuantile(u, cfg.LongDurScale, cfg.LongDurAlpha, cfg.LongDurMax)
-		}
-
-		job := Job{
-			ID:        jobID,
-			Arrival:   simulation.FromSeconds(now),
-			Short:     short,
-			Placement: pickPlacement(sizes, cfg, short, nTasks),
-			Tasks:     make([]Task, nTasks),
-		}
-		cs := synth.JobConstraints()
-		for k := 0; k < nTasks; k++ {
-			d := baseDur
-			if cfg.TaskDurJitter > 0 {
-				d *= 1 + cfg.TaskDurJitter*(2*durs.Float64()-1)
-			}
-			if d <= 0 {
-				d = baseDur
-			}
-			job.Tasks[k] = Task{
-				ID:          taskID,
-				JobID:       jobID,
-				Index:       k,
-				Duration:    maxTime(simulation.FromSeconds(d), simulation.Millisecond),
-				Constraints: cs,
-			}
-			taskID++
-		}
-		tr.Jobs = append(tr.Jobs, job)
+		tr.Jobs = append(tr.Jobs, body.nextJob(jobID, now))
 	}
 	return tr, nil
 }

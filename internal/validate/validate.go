@@ -24,6 +24,7 @@ package validate
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/phoenix-sched/phoenix/internal/sched"
@@ -300,6 +301,9 @@ func (c *Checker) Finalize() error {
 			}
 		}
 	}
+	if c.d.ServiceMode() {
+		c.finalizeService()
+	}
 	if c.enqueues != c.dequeues {
 		c.violate("conservation", "%d enqueues vs %d dequeues at end of run", c.enqueues, c.dequeues)
 	}
@@ -315,6 +319,49 @@ func (c *Checker) Finalize() error {
 		}
 	}
 	return c.Err()
+}
+
+// finalizeService runs the end-of-run conservation sweep for service-mode
+// runs, where there is no materialized trace to walk: the ground truth is
+// the set of arrivals the checker itself observed. Every arrived job must
+// have finished exactly once (a graceful drain completes all admitted
+// work), no job may finish without arriving, and every task that started
+// must have completed exactly once. Map iteration is re-sorted so the
+// violation report is deterministic.
+func (c *Checker) finalizeService() {
+	ids := make([]int, 0, len(c.arrived))
+	for id := range c.arrived {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if n := c.arrived[id]; n != 1 {
+			c.violate("conservation", "job %d arrived %d times, want 1", id, n)
+		}
+		if n := c.finished[id]; n != 1 {
+			c.violate("conservation", "job %d finished %d times, want 1", id, n)
+		}
+	}
+	orphans := make([]int, 0)
+	for id := range c.finished {
+		if c.arrived[id] == 0 {
+			orphans = append(orphans, id)
+		}
+	}
+	sort.Ints(orphans)
+	for _, id := range orphans {
+		c.violate("conservation", "job %d finished without arriving", id)
+	}
+	tasks := make([]*trace.Task, 0, len(c.started))
+	for t := range c.started {
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
+	for _, t := range tasks {
+		if n := c.completed[t]; n != 1 {
+			c.violate("conservation", "task %d of job %d completed %d times, want 1", t.ID, t.JobID, n)
+		}
+	}
 }
 
 // Err returns an error describing the violations observed so far, nil when
