@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner service experiments figures clean
+.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner service nightly experiments figures clean
 
 all: build test
 
@@ -65,6 +65,21 @@ docs-check:
 runner:
 	$(GO) test -count=1 -run 'TestGoldenDigestCorpus' ./internal/experiments/
 	$(GO) run ./cmd/experiments -run ext-designspace -scale 0.05 -seeds 2 -jobs 8 -digest
+
+# Nightly regression gate (see .github/workflows/nightly.yml): diff the
+# golden digest corpus at scale 0.05, re-run the scale-1.0 reference and
+# diff its digest against results/digest-scale1.golden, then run the
+# engine + service benchmarks and gate ns/op against the committed
+# BENCH_*.json baselines via cmd/benchgate (>15% regression fails).
+NIGHTLY_BENCH ?= /tmp/nightly-bench.txt
+nightly:
+	$(GO) test -count=1 -run 'TestGoldenDigestCorpus' ./internal/experiments/
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -profile google -scale 1.0 -seed 7 -digest | tee /tmp/nightly-scale1.txt
+	grep -q "$$(awk '!/^#/ {print $$2}' results/digest-scale1.golden)" /tmp/nightly-scale1.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineQueue' -benchmem -benchtime=2s ./internal/simulation/ > $(NIGHTLY_BENCH)
+	$(GO) test -run '^$$' -bench 'BenchmarkServiceWindow' -benchmem -benchtime=2s ./internal/telemetry/ >> $(NIGHTLY_BENCH)
+	$(GO) test -run '^$$' -bench 'BenchmarkScaleOne' -benchmem -benchtime=3x . >> $(NIGHTLY_BENCH)
+	$(GO) run ./cmd/benchgate -threshold 0.15 -input $(NIGHTLY_BENCH) results/BENCH_engine.json results/BENCH_service.json
 
 # Regenerate every paper table/figure (tables to stdout, CSVs + SVGs to
 # results/). JOBS bounds concurrent work units; 0 means GOMAXPROCS.

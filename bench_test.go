@@ -83,6 +83,43 @@ func BenchmarkExtFailureImpact(b *testing.B)     { benchExperiment(b, "ext-failu
 func BenchmarkExtFairness(b *testing.B)          { benchExperiment(b, "ext-fairness") }
 func BenchmarkExtEstimatorAccuracy(b *testing.B) { benchExperiment(b, "ext-estimator") }
 
+// BenchmarkScaleOne is the engine-speed reference: the full phoenix/google
+// batch run at paper scale (-scale 1.0, simulation seed 7), the same
+// workload `phoenix-sim -scheduler phoenix -profile google -scale 1.0
+// -seed 7` executes. One iteration is one complete run; ns/op is the
+// wall-clock of simulating the paper-scale day. Recorded in
+// results/BENCH_engine.json and gated by cmd/benchgate in nightly CI.
+func BenchmarkScaleOne(b *testing.B) {
+	cfg, err := trace.ConfigByName("google", 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cluster.GoogleProfile().GenerateCluster(cfg.NumNodes, simulation.NewRNG(42).Stream("cli/machines"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(cfg, cl, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := opts.NewScheduler("phoenix")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Ablation benches quantify the design choices DESIGN.md calls out: each
 // runs Phoenix with one mechanism toggled and reports the constrained
 // short-job p99 (seconds) as a custom metric, so `-bench Ablation` prints a

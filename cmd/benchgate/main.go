@@ -1,0 +1,157 @@
+// Command benchgate compares fresh `go test -bench` output against the
+// committed benchmark baselines in results/BENCH_*.json and fails on
+// regression.
+//
+// Usage:
+//
+//	benchgate [-threshold 0.15] [-input bench.txt] baseline.json...
+//
+// Each baseline file holds either a single benchmark record or an array of
+// them (see results/BENCH_engine.json); the last history entry of each
+// record is the baseline. The fresh output — read from -input or stdin —
+// is the standard benchmark text format:
+//
+//	BenchmarkEngineQueue/calendar/1000-4  14727225  201.9 ns/op  32 B/op  1 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped before matching names.
+// For every baseline record the gate prints a benchstat-style delta line
+// and fails when the fresh ns/op exceeds baseline*(1+threshold), or when a
+// baselined benchmark is missing from the fresh output entirely (a rename
+// must update the baseline, not silently escape the gate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record mirrors one benchmark entry of a results/BENCH_*.json file.
+type record struct {
+	Benchmark string  `json:"benchmark"`
+	Package   string  `json:"package"`
+	History   []entry `json:"history"`
+}
+
+// entry is one measurement in a record's history; the last entry is the
+// gating baseline.
+type entry struct {
+	Date    string  `json:"date"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// loadBaselines reads one BENCH_*.json file, accepting both the
+// single-record and the array shape.
+func loadBaselines(path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var many []record
+	if err := json.Unmarshal(data, &many); err == nil {
+		return many, nil
+	}
+	var one record
+	if err := json.Unmarshal(data, &one); err != nil {
+		return nil, fmt.Errorf("%s: neither a benchmark record nor an array of them: %w", path, err)
+	}
+	return []record{one}, nil
+}
+
+// parseBench extracts benchmark-name -> ns/op from `go test -bench` text
+// output, stripping the -N GOMAXPROCS suffix from names. Duplicate names
+// (e.g. -count > 1) keep the last measurement.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// fields: name-N iterations value "ns/op" [more pairs...]
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op value %q for %s", fields[i], name)
+			}
+			out[name] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op regression before failing")
+	input := flag.String("input", "", "benchmark output file (default: stdin)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold 0.15] [-input bench.txt] baseline.json...")
+		os.Exit(2)
+	}
+
+	in := io.Reader(os.Stdin)
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	fresh, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	failed := 0
+	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, path := range flag.Args() {
+		records, err := loadBaselines(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		for _, rec := range records {
+			if len(rec.History) == 0 {
+				fmt.Fprintf(os.Stderr, "benchgate: %s: %s has no history\n", path, rec.Benchmark)
+				failed++
+				continue
+			}
+			base := rec.History[len(rec.History)-1].NsPerOp
+			cur, ok := fresh[rec.Benchmark]
+			if !ok {
+				fmt.Printf("%-50s %14.1f %14s %8s  MISSING from fresh output\n", rec.Benchmark, base, "-", "-")
+				failed++
+				continue
+			}
+			delta := (cur - base) / base
+			verdict := ""
+			if delta > *threshold {
+				verdict = fmt.Sprintf("  FAIL (> %+.0f%%)", *threshold*100)
+				failed++
+			}
+			fmt.Printf("%-50s %14.1f %14.1f %+7.1f%%%s\n", rec.Benchmark, base, cur, delta*100, verdict)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed or missing\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out, err := parseBench(strings.NewReader(`
+goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineQueue/calendar/1000-4  14727225  201.9 ns/op  32 B/op  1 allocs/op
+BenchmarkEngineQueue/heap/1000-4      9070444   274.8 ns/op  32 B/op  1 allocs/op
+BenchmarkScaleOne                     3         1714899189 ns/op  191373544 B/op  2122707 allocs/op
+PASS
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkEngineQueue/calendar/1000": 201.9,
+		"BenchmarkEngineQueue/heap/1000":     274.8,
+		"BenchmarkScaleOne":                  1714899189,
+	}
+	if len(out) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(out), len(want), out)
+	}
+	for name, ns := range want {
+		if out[name] != ns {
+			t.Errorf("%s = %v, want %v", name, out[name], ns)
+		}
+	}
+}
+
+func TestParseBenchKeepsSubBenchDashes(t *testing.T) {
+	// Only a trailing numeric -N is a GOMAXPROCS suffix; a dash inside a
+	// sub-benchmark name must survive.
+	out, err := parseBench(strings.NewReader(
+		"BenchmarkX/eagle-c-8  100  50.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["BenchmarkX/eagle-c"]; !ok {
+		t.Fatalf("want BenchmarkX/eagle-c, got %v", out)
+	}
+}
+
+func TestLoadBaselinesBothShapes(t *testing.T) {
+	dir := t.TempDir()
+	object := filepath.Join(dir, "object.json")
+	array := filepath.Join(dir, "array.json")
+	if err := os.WriteFile(object, []byte(`{"benchmark":"BenchmarkA","history":[{"date":"2026-01-01","ns_per_op":10}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(array, []byte(`[{"benchmark":"BenchmarkB","history":[{"ns_per_op":20},{"ns_per_op":30}]}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := loadBaselines(object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Benchmark != "BenchmarkA" || recs[0].History[0].NsPerOp != 10 {
+		t.Fatalf("object shape parsed wrong: %+v", recs)
+	}
+	recs, err = loadBaselines(array)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last history entry is the gating baseline.
+	if len(recs) != 1 || recs[0].History[len(recs[0].History)-1].NsPerOp != 30 {
+		t.Fatalf("array shape parsed wrong: %+v", recs)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"github.com/phoenix-sched/phoenix/internal/bitset"
 	"github.com/phoenix-sched/phoenix/internal/constraint"
@@ -35,6 +36,15 @@ type Monitor struct {
 	demandCredit []float64
 	// heartbeats counts monitor refreshes.
 	heartbeats int64
+	// supplyCache memoizes live supply per distinct constraint within one
+	// Refresh (cleared on entry: supply shifts only with failures and
+	// repairs, which cannot land mid-refresh). The queue backlog repeats
+	// the same few constraints thousands of times; caching turns a binary
+	// search per queued entry-constraint into one per distinct constraint.
+	// Only the supply lookup is cached — the per-entry 1/n additions run
+	// in exactly the original order, so the float64 accumulation (and with
+	// it the run digest) is bit-identical.
+	supplyCache map[constraint.Constraint]int
 	// samples accumulates (estimate, realized) waiting-time pairs when
 	// estimate validation is enabled.
 	samples []EstimateSample
@@ -57,6 +67,7 @@ func NewMonitor(n int) *Monitor {
 		lastWait:     make([]float64, n),
 		marked:       make([]bool, n),
 		demandCredit: make([]float64, n),
+		supplyCache:  make(map[constraint.Constraint]int),
 	}
 }
 
@@ -79,10 +90,16 @@ func (m *Monitor) ObserveDemand(cands *bitset.Set) {
 		return
 	}
 	share := 1 / (float64(n) * float64(n))
-	cands.ForEach(func(id int) bool {
-		m.demandCredit[id] += share
-		return true
-	})
+	// Word-wise scan in ascending ID order — same visit order as ForEach
+	// (so the float64 accumulation is identical) without the per-bit
+	// callback.
+	for wi, word := range cands.Words() {
+		base := wi << 6
+		for word != 0 {
+			m.demandCredit[base+bits.TrailingZeros64(word)] += share
+			word &= word - 1
+		}
+	}
 }
 
 // DemandCredit reports worker w's current constrained-demand credit.
@@ -129,12 +146,18 @@ func (m *Monitor) Wait(w int) float64 { return m.lastWait[w] }
 // Heartbeats reports how many refreshes have run.
 func (m *Monitor) Heartbeats() int64 { return m.heartbeats }
 
-// supply returns the number of live (non-failed) workers satisfying c. The
+// supply returns the number of live (non-failed) workers satisfying c,
+// memoized per distinct constraint for the duration of one Refresh. The
 // cluster index precomputes per-value static counts and the driver
-// subtracts failed satisfying machines with one word-wise popcount, so
-// this stays a binary search plus a lookup when nothing is down.
+// subtracts failed satisfying machines with one word-wise popcount, so a
+// cache miss stays a binary search plus a lookup when nothing is down.
 func (m *Monitor) supply(d *sched.Driver, c constraint.Constraint) int {
-	return d.LiveSupplyOne(c)
+	if n, ok := m.supplyCache[c]; ok {
+		return n
+	}
+	n := d.LiveSupplyOne(c)
+	m.supplyCache[c] = n
+	return n
 }
 
 // Refresh recomputes the CRV and the per-worker estimates (the body of
@@ -148,6 +171,7 @@ func (m *Monitor) supply(d *sched.Driver, c constraint.Constraint) int {
 // CRV demand/supply ratio of §IV-A.
 func (m *Monitor) Refresh(d *sched.Driver, crvThreshold, qwaitThresholdSeconds float64) bool {
 	m.heartbeats++
+	clear(m.supplyCache)
 	for i := range m.demandCredit {
 		m.demandCredit[i] *= demandDecay
 	}

@@ -121,6 +121,12 @@ type Scheduler struct {
 
 	srpt sched.QueuePolicy
 	crv  *CRVPolicy
+
+	// crvOn mirrors which workers currently run the CRV policy, and wasHot
+	// whether the previous heartbeat was hot, so OnHeartbeat only writes
+	// policies on transitions instead of sweeping the cluster every beat.
+	crvOn  []bool
+	wasHot bool
 }
 
 var (
@@ -229,13 +235,34 @@ func rareFamilyWorkers(d *sched.Driver, frac float64) *bitset.Set {
 func (s *Scheduler) OnHeartbeat(d *sched.Driver, now simulation.Time) {
 	hot := s.monitor.Refresh(d, s.opts.CRVThreshold, s.opts.QwaitThresholdSeconds)
 	if s.opts.CRVReordering {
-		for _, w := range d.Workers() {
-			if hot && s.monitor.Marked(w.ID) {
-				d.SetPolicy(w, s.crv)
-			} else {
-				d.SetPolicy(w, s.srpt)
+		// Batched policy flip: the hot/marked decision is one monitor pass;
+		// per-worker writes happen only on transitions. Two consecutive cold
+		// beats touch no worker at all — the common case off-peak, where the
+		// per-beat cluster sweep used to dominate heartbeat cost.
+		if hot {
+			if s.crvOn == nil {
+				s.crvOn = make([]bool, d.Cluster().Size())
+			}
+			for _, w := range d.Workers() {
+				want := s.monitor.Marked(w.ID)
+				if want != s.crvOn[w.ID] {
+					if want {
+						d.SetPolicy(w, s.crv)
+					} else {
+						d.SetPolicy(w, s.srpt)
+					}
+					s.crvOn[w.ID] = want
+				}
+			}
+		} else if s.wasHot {
+			for _, w := range d.Workers() {
+				if s.crvOn[w.ID] {
+					d.SetPolicy(w, s.srpt)
+					s.crvOn[w.ID] = false
+				}
 			}
 		}
+		s.wasHot = hot
 	}
 	if s.opts.RescheduleBudget > 0 {
 		// Per-beat caps: a congested cluster can have thousands of marked

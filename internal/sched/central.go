@@ -1,8 +1,9 @@
 package sched
 
 import (
+	"math/bits"
+
 	"github.com/phoenix-sched/phoenix/internal/bitset"
-	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
 )
 
@@ -24,7 +25,9 @@ type CentralPlacer struct {
 	// backlogged candidates, the lowest-scoring worker wins. Phoenix
 	// scores workers by how much constrained demand they could satisfy,
 	// keeping long work off the machines that scarce constrained tasks
-	// have no alternative to.
+	// have no alternative to. The function must be stable across one
+	// PlaceJob call (nothing runs between task bindings that could change
+	// it): placement samples each candidate's score once per job.
 	Score func(*Worker) float64
 }
 
@@ -52,19 +55,28 @@ func (p *CentralPlacer) PlaceJob(d *Driver, js *JobState) {
 }
 
 // placeFree binds each task to the overall least-backlogged candidate.
+//
+// Binding a task moves only the chosen worker's backlog (reserve charges
+// it immediately; no event fires mid-loop), so instead of rescanning the
+// candidate set per task — O(tasks x |cands|) — the loop builds the
+// driver's backlog heap once and pays one root-bump per binding; the
+// selection sequence is identical (see backlogHeap).
 func (p *CentralPlacer) placeFree(d *Driver, js *JobState, cands *bitset.Set) {
-	for {
-		t := js.Claim()
-		if t == nil {
-			return
-		}
-		w := d.LeastBacklogInScored(cands, p.Score)
-		if w == nil {
-			// CandidateWorkers guarantees a non-empty set, so this is
-			// unreachable; guard anyway rather than loop forever.
-			return
-		}
-		d.EnqueueTask(w, js, t)
+	t := js.Claim()
+	if t == nil {
+		return
+	}
+	h := &d.placeHeap
+	d.fillBacklogHeap(h, cands, p.Score)
+	if h.empty() {
+		// CandidateWorkers guarantees a non-empty set, so this is
+		// unreachable; guard anyway rather than loop forever.
+		return
+	}
+	for t != nil {
+		d.EnqueueTask(d.workers[h.minID()], js, t)
+		h.bumpMin(js.EstDur)
+		t = js.Claim()
 	}
 }
 
@@ -73,25 +85,48 @@ func (p *CentralPlacer) placeFree(d *Driver, js *JobState, cands *bitset.Set) {
 // than the job has tasks, rack reuse is unavoidable; the fallback reuses
 // racks and the relaxation is counted (the placement constraint is a
 // preference, not a hard requirement — §III-A).
+// Like placeFree, placeSpread works off one heap built at entry: a placed
+// worker's rack is banned for the rest of the distinct-racks phase, so its
+// backlog bump can never influence a later pick — the heap only needs lazy
+// deletion of banned-rack entries, and every other candidate's key is
+// frozen. Once the candidate racks are exhausted the loop switches to the
+// relaxation phase, which is exactly placeFree over the remaining tasks
+// (counted as relaxed placements).
 func (p *CentralPlacer) placeSpread(d *Driver, js *JobState, cands *bitset.Set) {
 	cl := d.Cluster()
-	used := make(map[int]bool, len(js.Job.Tasks))
-	for {
-		t := js.Claim()
-		if t == nil {
-			return
+	used := make([]bool, cl.NumRacks())
+	t := js.Claim()
+	if t == nil {
+		return
+	}
+	h := &d.placeHeap
+	d.fillBacklogHeap(h, cands, p.Score)
+	for t != nil {
+		for !h.empty() && used[cl.RackOf(h.minID())] {
+			h.popMin()
 		}
-		w := d.leastBacklogWhere(cands, p.Score, func(id int) bool { return !used[cl.RackOf(id)] })
-		if w == nil {
-			// Every candidate rack already hosts a task: relax.
-			w = d.LeastBacklogInScored(cands, p.Score)
-			d.collector.PlacementRelaxed++
+		if h.empty() {
+			break
 		}
-		if w == nil {
-			return
-		}
+		w := d.workers[h.minID()]
 		used[cl.RackOf(w.ID)] = true
 		d.EnqueueTask(w, js, t)
+		t = js.Claim()
+	}
+	if t == nil {
+		return
+	}
+	// Every candidate rack already hosts a task: relax the remaining tasks
+	// onto the full candidate set, rebuilt at post-phase-one backlogs.
+	d.fillBacklogHeap(h, cands, p.Score)
+	if h.empty() {
+		return
+	}
+	for t != nil {
+		d.collector.PlacementRelaxed++
+		d.EnqueueTask(d.workers[h.minID()], js, t)
+		h.bumpMin(js.EstDur)
+		t = js.Claim()
 	}
 }
 
@@ -100,14 +135,19 @@ func (p *CentralPlacer) placeSpread(d *Driver, js *JobState, cands *bitset.Set) 
 // rack's workers by backlog.
 func (p *CentralPlacer) placePack(d *Driver, js *JobState, cands *bitset.Set) {
 	cl := d.Cluster()
-	counts := make(map[int]int)
-	cands.ForEach(func(id int) bool {
-		counts[cl.RackOf(id)]++
-		return true
-	})
+	counts := make([]int, cl.NumRacks())
+	for wi, word := range cands.Words() {
+		for word != 0 {
+			id := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			counts[cl.RackOf(id)]++
+		}
+	}
+	// Ascending rack order with a strict > keeps the lowest rack among
+	// count ties.
 	bestRack, bestCount := -1, 0
 	for rack, n := range counts {
-		if n > bestCount || (n == bestCount && rack < bestRack) {
+		if n > bestCount {
 			bestRack, bestCount = rack, n
 		}
 	}
@@ -126,44 +166,5 @@ func (p *CentralPlacer) placePack(d *Driver, js *JobState, cands *bitset.Set) {
 		p.placeFree(d, js, cands)
 		return
 	}
-	for {
-		t := js.Claim()
-		if t == nil {
-			return
-		}
-		w := d.LeastBacklogInScored(inRack, p.Score)
-		if w == nil {
-			return
-		}
-		d.EnqueueTask(w, js, t)
-	}
-}
-
-// leastBacklogWhere is LeastBacklogInScored restricted to candidates the
-// allow predicate accepts; nil when none qualify.
-func (d *Driver) leastBacklogWhere(cands *bitset.Set, score func(*Worker) float64, allow func(id int) bool) *Worker {
-	now := d.engine.Now()
-	var (
-		best  *Worker
-		bestB simulation.Time
-		bestS float64
-	)
-	cands.ForEach(func(id int) bool {
-		if !allow(id) {
-			return true
-		}
-		w := d.workers[id]
-		b := w.Backlog(now)
-		var s float64
-		if score != nil {
-			s = score(w)
-		}
-		if best == nil || b < bestB || (b == bestB && s < bestS) {
-			best = w
-			bestB = b
-			bestS = s
-		}
-		return true
-	})
-	return best
+	p.placeFree(d, js, inRack)
 }

@@ -105,7 +105,7 @@ func TestLeastBacklogInCoverage(t *testing.T) {
 	cands := bitset.New(cl.Size())
 	cands.Set(3)
 	cands.Set(7)
-	d.Worker(3).backlog = 5 * simulation.Second
+	d.soa.backlog[3] = 5 * simulation.Second
 	if got := d.LeastBacklogIn(cands); got == nil || got.ID != 7 {
 		t.Errorf("LeastBacklogIn = %v, want worker 7", got)
 	}

@@ -42,6 +42,14 @@ type Driver struct {
 	// or running) — the bit vector Eagle's succinct state sharing gossips.
 	longOccupied *bitset.Set
 
+	// soa is the struct-of-arrays view of per-worker load (backlog and
+	// running-end), shared with every Worker; placement scans read it
+	// directly instead of dereferencing workers.
+	soa *workerSoA
+	// placeHeap is the central placer's reusable candidate heap (soa.go);
+	// scratch, valid only within one PlaceJob call.
+	placeHeap backlogHeap
+
 	// failStream drives failure injection when enabled.
 	failStream *simulation.Stream
 
@@ -107,12 +115,13 @@ func newDriver(cfg Config, cl *cluster.Cluster, tr *trace.Trace, s Scheduler, se
 		rng:       simulation.NewRNG(seed),
 		scheduler: s,
 	}
+	d.soa = newWorkerSoA(cl.Size())
 	for i := range d.workers {
 		est, err := queueing.NewEstimator(cfg.ServiceWindow, cfg.ArrivalWindow)
 		if err != nil {
 			return nil, err
 		}
-		d.workers[i] = &Worker{ID: i, Machine: cl.Machine(i), Estimator: est}
+		d.workers[i] = &Worker{ID: i, Machine: cl.Machine(i), Estimator: est, soa: d.soa}
 		d.policies[i] = FIFO{}
 	}
 	d.longOccupied = bitset.New(cl.Size())
@@ -132,7 +141,7 @@ func (d *Driver) LongOccupied() *bitset.Set { return d.longOccupied }
 // reserve accounts a newly placed entry against w before it physically
 // arrives, so that concurrent placements see each other's load.
 func (d *Driver) reserve(w *Worker, e *Entry) {
-	w.backlog += e.EstDur()
+	d.soa.backlog[w.ID] += e.EstDur()
 	if !e.Job.Short {
 		w.longCount++
 		if w.longCount == 1 {
@@ -368,8 +377,9 @@ func (d *Driver) recoverWorker(w *Worker) {
 	now := d.engine.Now()
 	if w.running != nil {
 		w.runningStarted = now
-		w.runningEnds = now + d.serviceTime(w, w.runningTask)
-		w.completion = d.engine.Schedule(w.runningEnds, func(simulation.Time) { d.completeTask(w) })
+		ends := now + d.serviceTime(w, w.runningTask)
+		d.soa.runningEnds[w.ID] = ends
+		w.completion = d.engine.Schedule(ends, func(simulation.Time) { d.completeTask(w) })
 		return
 	}
 	d.tryDispatch(w)
@@ -590,8 +600,9 @@ func (d *Driver) startTask(w *Worker, e *Entry, task *trace.Task) {
 	w.running = e
 	w.runningTask = task
 	w.runningStarted = start
-	w.runningEnds = start + d.serviceTime(w, task)
-	w.completion = d.engine.Schedule(w.runningEnds, func(simulation.Time) { d.completeTask(w) })
+	ends := start + d.serviceTime(w, task)
+	d.soa.runningEnds[w.ID] = ends
+	w.completion = d.engine.Schedule(ends, func(simulation.Time) { d.completeTask(w) })
 	d.notifyStart(w, e, task)
 }
 
@@ -632,8 +643,10 @@ func (d *Driver) completeTask(w *Worker) {
 	// Account the realized service time of this successful attempt — equal
 	// to task.Duration except under an injected slowdown — so both cluster
 	// busy-time and the P-K estimator's E[S]/E[S²] reflect the degraded
-	// rate rather than the nominal trace duration.
-	served := w.runningEnds - w.runningStarted
+	// rate rather than the nominal trace duration. Read before the slot is
+	// marked idle below.
+	served := d.soa.runningEnds[w.ID] - w.runningStarted
+	d.soa.runningEnds[w.ID] = idleEnds
 	d.collector.BusyTime += served
 	w.Estimator.ObserveService(served.Seconds())
 
@@ -754,57 +767,4 @@ func (d *Driver) PlaceProbes(js *JobState, cands *bitset.Set, n int, stream *sim
 		out = append(out, w)
 	}
 	return out
-}
-
-// LeastBacklog returns the worker with the smallest backlog among ws,
-// breaking ties by lower ID for determinism. Empty input returns nil.
-func (d *Driver) LeastBacklog(ws []*Worker) *Worker {
-	if len(ws) == 0 {
-		return nil
-	}
-	now := d.engine.Now()
-	best := ws[0]
-	bestB := best.Backlog(now)
-	for _, w := range ws[1:] {
-		b := w.Backlog(now)
-		if b < bestB || (b == bestB && w.ID < best.ID) {
-			best = w
-			bestB = b
-		}
-	}
-	return best
-}
-
-// LeastBacklogIn returns the least-backlog worker in the candidate bitset,
-// scanning the whole set (the centralized placer's global view).
-func (d *Driver) LeastBacklogIn(cands *bitset.Set) *Worker {
-	return d.LeastBacklogInScored(cands, nil)
-}
-
-// LeastBacklogInScored returns the least-backlog worker in the candidate
-// bitset, breaking backlog ties by the lowest score (then lowest ID). A
-// constraint-aware placer passes a scarcity score so that, load being
-// equal, long work lands on the workers constrained tasks want least.
-func (d *Driver) LeastBacklogInScored(cands *bitset.Set, score func(*Worker) float64) *Worker {
-	now := d.engine.Now()
-	var (
-		best  *Worker
-		bestB simulation.Time
-		bestS float64
-	)
-	cands.ForEach(func(id int) bool {
-		w := d.workers[id]
-		b := w.Backlog(now)
-		var s float64
-		if score != nil {
-			s = score(w)
-		}
-		if best == nil || b < bestB || (b == bestB && s < bestS) {
-			best = w
-			bestB = b
-			bestS = s
-		}
-		return true
-	})
-	return best
 }

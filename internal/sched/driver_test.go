@@ -254,10 +254,10 @@ func TestBypassAccounting(t *testing.T) {
 	mkEntry := func(est simulation.Time) *Entry {
 		return &Entry{Job: &JobState{EstDur: est, Job: &trace.Job{}, Short: true}}
 	}
-	w := &Worker{}
+	w := &Worker{soa: newWorkerSoA(1)}
 	e0, e1, e2 := mkEntry(5*simulation.Second), mkEntry(1*simulation.Second), mkEntry(3*simulation.Second)
 	w.queue = []*Entry{e0, e1, e2}
-	w.backlog = 9 * simulation.Second
+	w.soa.backlog[w.ID] = 9 * simulation.Second
 
 	got := w.removeAt(1)
 	if got != e1 {
@@ -269,8 +269,8 @@ func TestBypassAccounting(t *testing.T) {
 	if e2.Bypassed != 0 {
 		t.Errorf("e2.Bypassed = %d, want 0 (arrived later)", e2.Bypassed)
 	}
-	if w.backlog != 8*simulation.Second {
-		t.Errorf("backlog = %v, want 8s", w.backlog)
+	if w.QueuedWork() != 8*simulation.Second {
+		t.Errorf("backlog = %v, want 8s", w.QueuedWork())
 	}
 	if w.QueueLen() != 2 {
 		t.Errorf("QueueLen = %d", w.QueueLen())
@@ -370,8 +370,8 @@ func TestLeastBacklog(t *testing.T) {
 		t.Fatal(err)
 	}
 	w3, w7 := d.Worker(3), d.Worker(7)
-	w3.backlog = 10 * simulation.Second
-	w7.backlog = 2 * simulation.Second
+	d.soa.backlog[3] = 10 * simulation.Second
+	d.soa.backlog[7] = 2 * simulation.Second
 	if got := d.LeastBacklog([]*Worker{w3, w7}); got != w7 {
 		t.Errorf("LeastBacklog = %d, want 7", got.ID)
 	}
@@ -379,7 +379,7 @@ func TestLeastBacklog(t *testing.T) {
 		t.Error("empty LeastBacklog not nil")
 	}
 	// Ties break to lower ID.
-	w3.backlog = 2 * simulation.Second
+	d.soa.backlog[3] = 2 * simulation.Second
 	if got := d.LeastBacklog([]*Worker{w7, w3}); got != w3 {
 		t.Errorf("tie LeastBacklog = %d, want 3", got.ID)
 	}

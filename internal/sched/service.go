@@ -137,9 +137,12 @@ func (d *Driver) RunService(ctx context.Context, horizon simulation.Time) (*Serv
 		stop()
 	}
 	if errors.Is(err, simulation.ErrHalted) && ctx != nil && ctx.Err() != nil {
-		// Graceful drain: close admission and re-enter the event loop
-		// (Run clears the halted flag on entry). The cancel's AfterFunc
-		// has already fired, so nothing halts the drain.
+		// Graceful drain: close admission and re-enter the event loop (the
+		// ErrHalted return consumed the halt flag). The cancel's AfterFunc
+		// has already fired, so nothing halts the drain. Halt being sticky
+		// also covers the construction-to-run window: a cancel landing
+		// before the first event loop iteration still halts the run instead
+		// of being dropped.
 		cancelled = true
 		d.closeAdmission()
 		err = d.engine.Run()

@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"math"
+	"math/bits"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// workerSoA holds the per-worker load signals every placement scan reads,
+// as parallel arrays indexed by worker ID (struct-of-arrays). The candidate
+// probe/match scan — LeastBacklogIn over up to the whole cluster, run once
+// per centrally placed task — used to chase one *Worker pointer per
+// candidate; with the signals packed contiguously the scan streams two
+// int64 arrays instead, which is what makes paper-scale placement
+// cache-resident. Workers read and write their own slots through their
+// embedded reference, so there is exactly one copy of the truth.
+type workerSoA struct {
+	// backlog is the summed estimated duration of queued and in-flight
+	// entries per worker — reserved at placement time (see Worker.backlog's
+	// former field comment, now Worker.QueuedWork).
+	backlog []simulation.Time
+	// runningEnds is the scheduled completion time of the running task, or
+	// idleEnds when the slot is free. The sentinel keeps the load scan
+	// branch-free: idleEnds never exceeds a valid clock, so the running
+	// remainder contributes zero without consulting a separate busy flag.
+	runningEnds []simulation.Time
+}
+
+// idleEnds marks a free execution slot in workerSoA.runningEnds.
+const idleEnds = simulation.Time(-1)
+
+func newWorkerSoA(n int) *workerSoA {
+	st := &workerSoA{
+		backlog:     make([]simulation.Time, n),
+		runningEnds: make([]simulation.Time, n),
+	}
+	for i := range st.runningEnds {
+		st.runningEnds[i] = idleEnds
+	}
+	return st
+}
+
+// loadAt reports worker id's backlog plus the running task's remaining
+// time at now — Worker.Backlog, inlined over the arrays.
+func (st *workerSoA) loadAt(id int, now simulation.Time) simulation.Time {
+	b := st.backlog[id]
+	if e := st.runningEnds[id]; e > now {
+		b += e - now
+	}
+	return b
+}
+
+// backlogHeap is a scratch min-heap over candidate workers keyed by
+// (projected load, score, ID) — the central placer's incremental view of
+// "least-backlogged candidate". Binding a task changes only the chosen
+// worker's load, so after the O(|cands|) build each subsequent task costs
+// one root update and sift instead of a fresh full-cluster scan; the
+// selection sequence is identical to rescanning because nothing else moves
+// between claims. The heap is owned by the Driver and reused across
+// placements (the event loop is single-threaded), so steady-state central
+// placement allocates nothing.
+type backlogHeap struct {
+	b  []simulation.Time
+	s  []float64
+	id []int32
+}
+
+// less orders heap slots by (load, score, worker ID) — the exact
+// tie-breaking of LeastBacklogInScored, where ascending-ID iteration keeps
+// the first (lowest-ID) worker among full ties.
+func (h *backlogHeap) less(i, j int) bool {
+	if h.b[i] != h.b[j] {
+		return h.b[i] < h.b[j]
+	}
+	if h.s[i] != h.s[j] {
+		return h.s[i] < h.s[j]
+	}
+	return h.id[i] < h.id[j]
+}
+
+func (h *backlogHeap) swap(i, j int) {
+	h.b[i], h.b[j] = h.b[j], h.b[i]
+	h.s[i], h.s[j] = h.s[j], h.s[i]
+	h.id[i], h.id[j] = h.id[j], h.id[i]
+}
+
+func (h *backlogHeap) siftDown(i int) {
+	n := len(h.b)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}
+
+// reset empties the heap, keeping capacity.
+func (h *backlogHeap) reset() {
+	h.b = h.b[:0]
+	h.s = h.s[:0]
+	h.id = h.id[:0]
+}
+
+// empty reports whether the heap holds no candidates.
+func (h *backlogHeap) empty() bool { return len(h.b) == 0 }
+
+// minID returns the least-loaded candidate's worker ID.
+func (h *backlogHeap) minID() int { return int(h.id[0]) }
+
+// bumpMin adds delta to the minimum candidate's load (a task was just
+// bound there) and restores heap order.
+func (h *backlogHeap) bumpMin(delta simulation.Time) {
+	h.b[0] += delta
+	h.siftDown(0)
+}
+
+// popMin discards the minimum candidate (it became ineligible — e.g. its
+// rack was claimed by a spread placement) and restores heap order.
+func (h *backlogHeap) popMin() {
+	last := len(h.b) - 1
+	h.swap(0, last)
+	h.b = h.b[:last]
+	h.s = h.s[:last]
+	h.id = h.id[:last]
+	h.siftDown(0)
+}
+
+// fillBacklogHeap loads h with every candidate in cands at its current
+// load (and score, when scoring is on), then heapifies. Scores are stable
+// within one placement loop — nothing that feeds them runs between claims
+// — so sampling them once here equals the per-task rescan.
+func (d *Driver) fillBacklogHeap(h *backlogHeap, cands *bitset.Set, score func(*Worker) float64) {
+	h.reset()
+	now := d.engine.Now()
+	st := d.soa
+	for wi, word := range cands.Words() {
+		for word != 0 {
+			id := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			var s float64
+			if score != nil {
+				s = score(d.workers[id])
+			}
+			h.b = append(h.b, st.loadAt(id, now))
+			h.s = append(h.s, s)
+			h.id = append(h.id, int32(id))
+		}
+	}
+	for i := len(h.b)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// LeastBacklog returns the worker with the smallest backlog among ws,
+// breaking ties by lower ID for determinism. Empty input returns nil.
+func (d *Driver) LeastBacklog(ws []*Worker) *Worker {
+	if len(ws) == 0 {
+		return nil
+	}
+	now := d.engine.Now()
+	best := ws[0]
+	bestB := best.Backlog(now)
+	for _, w := range ws[1:] {
+		b := w.Backlog(now)
+		if b < bestB || (b == bestB && w.ID < best.ID) {
+			best = w
+			bestB = b
+		}
+	}
+	return best
+}
+
+// LeastBacklogIn returns the least-backlog worker in the candidate bitset,
+// scanning the whole set (the centralized placer's global view).
+func (d *Driver) LeastBacklogIn(cands *bitset.Set) *Worker {
+	return d.LeastBacklogInScored(cands, nil)
+}
+
+// LeastBacklogInScored returns the least-backlog worker in the candidate
+// bitset, breaking backlog ties by the lowest score (then lowest ID). A
+// constraint-aware placer passes a scarcity score so that, load being
+// equal, long work lands on the workers constrained tasks want least.
+//
+// The scan walks the candidate words directly against the struct-of-arrays
+// load signals: no per-bit callback, no *Worker dereference unless a score
+// function needs one.
+func (d *Driver) LeastBacklogInScored(cands *bitset.Set, score func(*Worker) float64) *Worker {
+	now := d.engine.Now()
+	st := d.soa
+	bestID := -1
+	bestB := simulation.MaxTime
+	bestS := math.Inf(1)
+	for wi, word := range cands.Words() {
+		for word != 0 {
+			id := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			b := st.loadAt(id, now)
+			if b > bestB {
+				continue
+			}
+			var s float64
+			if score != nil {
+				s = score(d.workers[id])
+			}
+			if bestID < 0 || b < bestB || s < bestS {
+				bestID = id
+				bestB = b
+				bestS = s
+			}
+		}
+	}
+	if bestID < 0 {
+		return nil
+	}
+	return d.workers[bestID]
+}

@@ -47,8 +47,6 @@ type Worker struct {
 	running *Entry
 	// runningTask is the claimed task behind running.
 	runningTask *trace.Task
-	// runningEnds is the scheduled completion time.
-	runningEnds simulation.Time
 	// runningStarted is when the current execution attempt began.
 	runningStarted simulation.Time
 	// completion is the pending completion event (cancelled on failure).
@@ -62,10 +60,11 @@ type Worker struct {
 	// FaultObservers.
 	slowFactor float64
 
-	// backlog is the summed estimated duration of queued and in-flight
-	// entries — reserved at placement time so that a burst of placements
-	// sees each other's load even before the network delay elapses.
-	backlog simulation.Time
+	// soa points to the driver-owned struct-of-arrays load state; this
+	// worker's backlog and running-end live in soa.backlog[ID] and
+	// soa.runningEnds[ID] so placement scans can stream all workers'
+	// signals contiguously. Accessors below keep the per-worker view.
+	soa *workerSoA
 	// longCount tracks long-job entries placed here (queued, in flight,
 	// or running); Eagle's succinct state sharing flags workers with
 	// longCount > 0.
@@ -91,7 +90,7 @@ func (w *Worker) Running() *Entry { return w.running }
 
 // RunningEnds reports the completion time of the running task (only
 // meaningful when not idle).
-func (w *Worker) RunningEnds() simulation.Time { return w.runningEnds }
+func (w *Worker) RunningEnds() simulation.Time { return w.soa.runningEnds[w.ID] }
 
 // HasLongJob reports whether any long-job work is placed here.
 func (w *Worker) HasLongJob() bool { return w.longCount > 0 }
@@ -113,16 +112,13 @@ func (w *Worker) Slowed() bool { return w.slowFactor != 0 && w.slowFactor != 1 }
 
 // Backlog reports the estimated queued/in-flight work plus the running
 // entry's remaining time — the load signal used for least-loaded placement.
+// An idle slot carries the idleEnds sentinel, so no busy check is needed.
 func (w *Worker) Backlog(now simulation.Time) simulation.Time {
-	b := w.backlog
-	if w.running != nil && w.runningEnds > now {
-		b += w.runningEnds - now
-	}
-	return b
+	return w.soa.loadAt(w.ID, now)
 }
 
 // QueuedWork reports only the queued/in-flight estimated work.
-func (w *Worker) QueuedWork() simulation.Time { return w.backlog }
+func (w *Worker) QueuedWork() simulation.Time { return w.soa.backlog[w.ID] }
 
 // push appends an entry to the queue. Backlog was already reserved at
 // placement time.
@@ -138,7 +134,7 @@ func (w *Worker) removeAt(i int) *Entry {
 		w.queue[j].Bypassed++
 	}
 	w.deleteAt(i)
-	w.backlog -= e.EstDur()
+	w.soa.backlog[w.ID] -= e.EstDur()
 	return e
 }
 
@@ -147,7 +143,7 @@ func (w *Worker) removeAt(i int) *Entry {
 func (w *Worker) stealAt(i int) *Entry {
 	e := w.queue[i]
 	w.deleteAt(i)
-	w.backlog -= e.EstDur()
+	w.soa.backlog[w.ID] -= e.EstDur()
 	return e
 }
 

@@ -1,0 +1,455 @@
+package simulation
+
+// calQueue is the engine's pending-event structure: a calendar queue
+// (R. Brown, CACM 1988, simplified to a non-wrapping window) with a
+// sorted-overflow far-future band. It replaces the former container/heap
+// binary heap: insert and pop are O(1) amortized at simulation event rates
+// instead of O(log n), and cancellation is O(1) lazy deletion.
+//
+// Layout. A window of nb buckets, each w virtual-time units wide, covers
+// [start, start+nb*w). Bucket j holds the pending events with timestamp in
+// [start+j*w, start+(j+1)*w), kept sorted by (time, insertion sequence) —
+// the engine's total order. Events beyond the window land in the overflow
+// band, a binary heap ordered by the same key. Because buckets never wrap
+// (no two "years" share a bucket, unlike the classical modular calendar),
+// the head of the first non-empty bucket is always the global minimum of
+// the bucketed events, and no bucket-top comparison is needed on pop.
+//
+// Determinism. The pop order is exactly the (time, seq) total order the
+// binary heap produced: same-time events always map to the same bucket and
+// are kept in seq order there; the overflow heap orders by the same key;
+// and window rebuilds only move events between the two structures with the
+// key untouched. Bucket geometry (width, count, rebuild points) can change
+// the constant factors but never the order — see DESIGN.md §15 for the
+// argument and internal/simulation's differential tests for the proof by
+// battery.
+//
+// Resizing. The queue targets O(1) events per bucket. When the live count
+// outgrows the window (live > 2*nb) the bucket array doubles and all
+// bucketed events are redistributed; when a fully-consumed window rebuilds
+// from overflow, the bucket count is re-fit to the live population and the
+// width is re-estimated from the observed event spacing at the head of the
+// overflow band. Both operations are deterministic functions of the queue
+// contents.
+type calQueue struct {
+	buckets [][]*ScheduledEvent
+	heads   []int // per-bucket consumed-prefix index
+	w       Time  // bucket width (virtual-time units, >= 1)
+	start   Time  // window origin: bucket j covers [start+j*w, start+(j+1)*w)
+	cur     int   // first possibly non-empty bucket
+	live    int   // pending (non-cancelled) events across buckets + overflow
+
+	overflow []*ScheduledEvent // min-heap on (at, seq): the far-future band
+}
+
+// Calendar-queue sizing bounds. The bucket count stays a power of two in
+// [calMinBuckets, calMaxBuckets] so the window re-fit is a shift, not a
+// search; the width floor keeps degenerate event spacings (all events at
+// one timestamp) from collapsing the window to zero.
+const (
+	calMinBuckets = 64
+	calMaxBuckets = 1 << 20
+	// calSampleMax bounds how many overflow events a rebuild inspects to
+	// re-estimate the bucket width.
+	calSampleMax = 64
+	// calOverstuff is the unconsumed-depth of a single bucket that
+	// triggers a window re-fit (rewindow): event density has outgrown the
+	// current bucket width, so inserts are paying O(depth) memmove. The
+	// classic hold pattern — a large pending population compressed into a
+	// narrow band of virtual time — hits this; window-consumption rebuilds
+	// alone never would, because the hot buckets refill before the window
+	// empties.
+	calOverstuff = 64
+)
+
+// eventBefore is the engine's total order: time, then insertion sequence.
+func eventBefore(a, b *ScheduledEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// init prepares an empty queue. Called lazily on first insert.
+func (q *calQueue) init() {
+	q.buckets = make([][]*ScheduledEvent, calMinBuckets)
+	q.heads = make([]int, calMinBuckets)
+	q.w = Millisecond
+	q.start = 0
+	q.cur = 0
+}
+
+// span reports the window length.
+func (q *calQueue) span() Time { return Time(len(q.buckets)) * q.w }
+
+// len reports the number of pending (non-cancelled) events.
+func (q *calQueue) len() int { return q.live }
+
+// insert queues ev, which must not be cancelled.
+func (q *calQueue) insert(ev *ScheduledEvent) {
+	if q.buckets == nil {
+		q.init()
+		q.start = ev.at
+	}
+	q.live++
+	if q.live > 2*len(q.buckets) && len(q.buckets) < calMaxBuckets {
+		q.grow()
+	}
+	if ev.at >= q.start+q.span() {
+		q.overflowPush(ev)
+		return
+	}
+	// An event before the window origin (scheduled between runs, or after a
+	// rebuild re-anchored the origin on the then-earliest event) joins
+	// bucket 0: it precedes every bucketed event, and the sorted insert
+	// keeps bucket-local order exact.
+	j := 0
+	if ev.at > q.start {
+		j = int((ev.at - q.start) / q.w)
+	}
+	if j < q.cur {
+		q.cur = j
+	}
+	q.bucketInsert(j, ev)
+	if len(q.buckets[j])-q.heads[j] > calOverstuff && q.w > 1 {
+		q.rewindow(j)
+	}
+}
+
+// bucketInsert places ev into bucket j, keeping the unconsumed suffix
+// sorted by (at, seq).
+func (q *calQueue) bucketInsert(j int, ev *ScheduledEvent) {
+	b := q.buckets[j]
+	lo, hi := q.heads[j], len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventBefore(b[mid], ev) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	b = append(b, nil)
+	copy(b[lo+1:], b[lo:])
+	b[lo] = ev
+	q.buckets[j] = b
+}
+
+// peek returns the earliest pending event without consuming it, or nil when
+// the queue is empty. It physically drops cancelled events and fully
+// consumed buckets as it scans, so a subsequent pop is O(1).
+func (q *calQueue) peek() *ScheduledEvent {
+	if q.live == 0 {
+		return nil
+	}
+	for {
+		for q.cur < len(q.buckets) {
+			j := q.cur
+			b := q.buckets[j]
+			h := q.heads[j]
+			for h < len(b) && b[h].state == evCancelled {
+				b[h] = nil
+				h++
+			}
+			q.heads[j] = h
+			if h < len(b) {
+				return b[h]
+			}
+			q.buckets[j] = b[:0]
+			q.heads[j] = 0
+			q.cur++
+		}
+		q.rebuild()
+	}
+}
+
+// pop removes and returns the earliest pending event, or nil when empty.
+func (q *calQueue) pop() *ScheduledEvent {
+	ev := q.peek()
+	if ev == nil {
+		return nil
+	}
+	j := q.cur
+	q.buckets[j][q.heads[j]] = nil
+	q.heads[j]++
+	q.live--
+	return ev
+}
+
+// cancel lazily removes ev: the caller has already flipped its state to
+// evCancelled; the queue only forgets it in the live count. The slot is
+// reclaimed when the scan reaches it (buckets) or a rebuild drains past it
+// (overflow).
+func (q *calQueue) cancel() { q.live-- }
+
+// grow doubles the bucket count (capped), redistributing the pending
+// bucketed events and pulling newly in-window overflow events in. The
+// (at, seq) sort key never changes, so the pop order is unaffected.
+func (q *calQueue) grow() {
+	pending := q.gatherBuckets()
+	nb := len(q.buckets) * 2
+	q.buckets = make([][]*ScheduledEvent, nb)
+	q.heads = make([]int, nb)
+	q.cur = 0
+	if len(pending) > 0 && pending[0].at > q.start {
+		// Re-anchor on the earliest pending event so the doubled window
+		// covers the future, not the consumed past.
+		q.start = pending[0].at
+	}
+	for _, ev := range pending {
+		j := 0
+		if ev.at > q.start {
+			j = int((ev.at - q.start) / q.w)
+		}
+		q.buckets[j] = append(q.buckets[j], ev)
+	}
+	q.drainOverflow()
+}
+
+// gatherBuckets collects the pending bucketed events in (at, seq) order.
+// Each bucket is sorted and bucket j's window precedes bucket j+1's (events
+// before the origin land in bucket 0), so a sweep in bucket order is
+// already globally sorted; the check-and-sort below is a cheap safety net,
+// not the expected path.
+func (q *calQueue) gatherBuckets() []*ScheduledEvent {
+	var out []*ScheduledEvent
+	sorted := true
+	for j := q.cur; j < len(q.buckets); j++ {
+		b := q.buckets[j]
+		for i := q.heads[j]; i < len(b); i++ {
+			ev := b[i]
+			if ev.state == evCancelled {
+				continue
+			}
+			if len(out) > 0 && eventBefore(ev, out[len(out)-1]) {
+				sorted = false
+			}
+			out = append(out, ev)
+		}
+	}
+	if !sorted {
+		sortEvents(out)
+	}
+	return out
+}
+
+// sortEvents sorts events by (at, seq) with a simple binary-insertion sort:
+// gather output is nearly sorted (at most a handful of frontier strays), so
+// this stays close to linear without importing sort's interface machinery
+// on to the hot path.
+func sortEvents(evs []*ScheduledEvent) {
+	for i := 1; i < len(evs); i++ {
+		ev := evs[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if eventBefore(evs[mid], ev) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(evs[lo+1:i+1], evs[lo:i])
+		evs[lo] = ev
+	}
+}
+
+// rewindow shrinks the bucket width after bucket j overstuffed: the new
+// width is estimated from the bucket's own spacing (twice its mean
+// distinct-timestamp gap), the bucket count is re-fit to the live
+// population, and every bucketed event is redistributed; events beyond
+// the tighter window move to the overflow band. The spacing-based
+// estimate is a fixed point: if the density persists, the next trigger
+// computes the same width and skips, so re-fits per density regime are
+// bounded. The (at, seq) keys never change, so the pop order is
+// unaffected.
+//
+// The estimate divides by distinct timestamps, not raw depth: same-time
+// events append at their group's tail (highest seq sorts last), so they
+// cost no memmove and no width can separate them. Dividing by depth
+// would let a tie-heavy bucket (a heartbeat batch plus a few strays)
+// collapse the width toward 1 and strand the rest of the population in
+// the overflow band; dividing by distinct shrinks only to timestamp
+// granularity. A pure-tie bucket (spread 0) is dismissed O(1), and the
+// distinct scan is capped so tie-dominated buckets stay cheap to probe.
+func (q *calQueue) rewindow(j int) {
+	b := q.buckets[j]
+	h := q.heads[j]
+	spread := b[len(b)-1].at - b[h].at
+	if spread <= 0 {
+		return
+	}
+	distinct := 1
+	for i, scanned := len(b)-1, 0; i > h; i-- {
+		if b[i].at != b[i-1].at {
+			distinct++
+		}
+		if scanned++; scanned >= 4*calOverstuff {
+			break
+		}
+	}
+	w := 2 * spread / Time(distinct)
+	if w < 1 {
+		w = 1
+	}
+	if w >= q.w {
+		return
+	}
+	pending := q.gatherBuckets()
+	q.w = w
+	nb := calMinBuckets
+	for nb < q.live && nb < calMaxBuckets {
+		nb *= 2
+	}
+	if nb != len(q.buckets) {
+		q.buckets = make([][]*ScheduledEvent, nb)
+		q.heads = make([]int, nb)
+	} else {
+		for k := range q.buckets {
+			q.buckets[k] = q.buckets[k][:0]
+			q.heads[k] = 0
+		}
+	}
+	q.cur = 0
+	if len(pending) > 0 {
+		q.start = pending[0].at
+	}
+	limit := q.start + q.span()
+	for _, ev := range pending {
+		if ev.at >= limit {
+			q.overflowPush(ev)
+		} else {
+			q.bucketInsert(q.bucketFor(ev.at), ev)
+		}
+	}
+	q.drainOverflow()
+}
+
+// rebuild re-anchors a fully consumed window on the overflow band: the
+// earliest overflow events are sampled to re-estimate the bucket width, the
+// bucket count is re-fit to the live population, and every overflow event
+// now inside the window migrates into buckets. Requires live > 0.
+func (q *calQueue) rebuild() {
+	// Drop cancelled events stranded at the top of the band.
+	q.pruneOverflowTop()
+	// Sample the head of the band in (at, seq) order to estimate spacing.
+	n := len(q.overflow)
+	if n > calSampleMax {
+		n = calSampleMax
+	}
+	sample := make([]*ScheduledEvent, 0, n)
+	for len(sample) < n && len(q.overflow) > 0 {
+		sample = append(sample, q.overflowPop())
+		q.pruneOverflowTop()
+	}
+	if len(sample) == 0 {
+		// Queue corrupted: live > 0 with nothing pending anywhere. Keep the
+		// invariant visible rather than spinning.
+		panic("simulation: calendar queue live count out of sync")
+	}
+	q.start = sample[0].at
+	if gap := sample[len(sample)-1].at - q.start; gap > 0 && len(sample) > 1 {
+		// Width ~ 2x the mean head-of-band spacing: adjacent events usually
+		// share a bucket with at most one neighbor.
+		w := 2 * gap / Time(len(sample)-1)
+		if w < 1 {
+			w = 1
+		}
+		q.w = w
+	}
+	// Re-fit the bucket count to the live population (power of two).
+	nb := calMinBuckets
+	for nb < q.live && nb < calMaxBuckets {
+		nb *= 2
+	}
+	if nb != len(q.buckets) {
+		q.buckets = make([][]*ScheduledEvent, nb)
+		q.heads = make([]int, nb)
+	}
+	q.cur = 0
+	for _, ev := range sample {
+		q.bucketInsert(q.bucketFor(ev.at), ev)
+	}
+	q.drainOverflow()
+}
+
+// bucketFor maps a timestamp inside the window to its bucket, clamping to
+// the last bucket for timestamps at the window edge.
+func (q *calQueue) bucketFor(at Time) int {
+	j := 0
+	if at > q.start {
+		j = int((at - q.start) / q.w)
+	}
+	if j >= len(q.buckets) {
+		j = len(q.buckets) - 1
+	}
+	return j
+}
+
+// drainOverflow migrates every overflow event inside the current window
+// into buckets. Events at or beyond start+span stay in the band; events in
+// the last bucket's range land there even if the division would clamp.
+func (q *calQueue) drainOverflow() {
+	limit := q.start + q.span()
+	for len(q.overflow) > 0 {
+		top := q.overflow[0]
+		if top.state == evCancelled {
+			q.overflowPop()
+			continue
+		}
+		if top.at >= limit {
+			return
+		}
+		q.bucketInsert(q.bucketFor(top.at), q.overflowPop())
+	}
+}
+
+// pruneOverflowTop discards cancelled events from the top of the band.
+func (q *calQueue) pruneOverflowTop() {
+	for len(q.overflow) > 0 && q.overflow[0].state == evCancelled {
+		q.overflowPop()
+	}
+}
+
+// overflowPush pushes ev onto the far-future band's binary heap.
+func (q *calQueue) overflowPush(ev *ScheduledEvent) {
+	h := append(q.overflow, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	q.overflow = h
+}
+
+// overflowPop removes and returns the band's earliest event.
+func (q *calQueue) overflowPop() *ScheduledEvent {
+	h := q.overflow
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	q.overflow = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && eventBefore(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && eventBefore(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}

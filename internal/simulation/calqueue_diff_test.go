@@ -1,0 +1,220 @@
+package simulation
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file is the calendar queue's differential battery: the queue is run
+// op-for-op against a container/heap reference (the structure it replaced)
+// on byte-string-encoded operation programs, and every pop must return the
+// identical event. Programs come from three sources — seeded random 10k-op
+// sequences (TestCalQueueDifferential), hand-written regression programs,
+// and the fuzzer (FuzzCalendarQueue) — all through the same interpreter, so
+// a fuzz finding replays as a unit test by pasting its byte string. A
+// failing random program is shrunk before being reported.
+
+// refHeap is the reference: a plain binary heap on (at, seq) with the same
+// lazy cancellation the calendar queue uses (cancelled events pop through
+// and are skipped).
+type refHeap []*ScheduledEvent
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return eventBefore(h[i], h[j]) }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*ScheduledEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old) - 1
+	ev := old[n]
+	old[n] = nil
+	*h = old[:n]
+	return ev
+}
+
+// popRef removes and returns the reference's earliest non-cancelled event.
+func popRef(h *refHeap) *ScheduledEvent {
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(*ScheduledEvent)
+		if ev.state != evCancelled {
+			return ev
+		}
+	}
+	return nil
+}
+
+// diffOps interprets program as operations against a calendar queue and the
+// reference simultaneously and reports the first divergence. Each operation
+// consumes three bytes [op, a, b]:
+//
+//	op%4 == 0: insert at now + small delta  (a — dense same-bucket traffic,
+//	           including delta 0 for seq-order ties)
+//	op%4 == 1: insert at now + spread delta (a<<(b%24) — reaches across
+//	           buckets and far into the overflow band)
+//	op%4 == 2: pop (advances now to the popped event's time)
+//	op%4 == 3: cancel the (a<<8|b)-th oldest still-pending event
+//
+// Inserts use a monotonically increasing seq, mirroring Engine.Schedule.
+func diffOps(program []byte) error {
+	var q calQueue
+	var ref refHeap
+	var pending []*ScheduledEvent
+	var now Time
+	var seq uint64
+	live := 0
+	insert := func(at Time) {
+		ev := &ScheduledEvent{at: at, seq: seq}
+		seq++
+		q.insert(ev)
+		heap.Push(&ref, ev)
+		pending = append(pending, ev)
+		live++
+	}
+	for i := 0; i+2 < len(program); i += 3 {
+		op, a, b := program[i], program[i+1], program[i+2]
+		switch op % 4 {
+		case 0:
+			insert(now + Time(a))
+		case 1:
+			insert(now + Time(a)<<(b%24))
+		case 2:
+			got := q.pop()
+			want := popRef(&ref)
+			if got != want {
+				return fmt.Errorf("op %d: pop = %s, reference = %s", i/3, evStr(got), evStr(want))
+			}
+			if got == nil {
+				continue
+			}
+			if got.at < now {
+				return fmt.Errorf("op %d: pop went backwards: %s before now=%d", i/3, evStr(got), now)
+			}
+			// Mirror Engine.Step: a popped event is fired, which is what
+			// keeps Cancel (engine-side: state must be evPending) off
+			// events no longer in the queue.
+			got.state = evFired
+			now = got.at
+			live--
+		case 3:
+			// Drop consumed/cancelled events, then cancel by rank.
+			kept := pending[:0]
+			for _, ev := range pending {
+				if ev.state == evPending {
+					kept = append(kept, ev)
+				}
+			}
+			pending = kept
+			if len(pending) == 0 {
+				continue
+			}
+			ev := pending[(int(a)<<8|int(b))%len(pending)]
+			ev.state = evCancelled
+			q.cancel()
+			live--
+		}
+		if q.len() != live {
+			return fmt.Errorf("op %d: len = %d, model = %d", i/3, q.len(), live)
+		}
+	}
+	// Drain: every remaining event must come out in reference order.
+	for {
+		got, want := q.pop(), popRef(&ref)
+		if got != want {
+			return fmt.Errorf("drain: pop = %s, reference = %s", evStr(got), evStr(want))
+		}
+		if got == nil {
+			return nil
+		}
+	}
+}
+
+func evStr(ev *ScheduledEvent) string {
+	if ev == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("{at=%d seq=%d}", ev.at, ev.seq)
+}
+
+// shrinkProgram greedily minimizes a failing program: repeatedly remove
+// chunks (whole operations, halving the chunk size down to one op) while
+// the program still fails. The result replays directly through diffOps.
+func shrinkProgram(program []byte) []byte {
+	failing := append([]byte(nil), program...)
+	for chunk := len(failing) / 3; chunk >= 1; chunk /= 2 {
+		for start := 0; start+3*chunk <= len(failing); {
+			candidate := append([]byte(nil), failing[:start]...)
+			candidate = append(candidate, failing[start+3*chunk:]...)
+			if diffOps(candidate) != nil {
+				failing = candidate
+			} else {
+				start += 3 * chunk
+			}
+		}
+	}
+	return failing
+}
+
+// TestCalQueueDifferential runs seeded random 10k-op programs through the
+// interpreter. Op mix is tilted toward inserts so the queue grows through
+// several window doublings and rebuilds before the drain.
+func TestCalQueueDifferential(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			program := make([]byte, 3*10000)
+			rng.Read(program)
+			// Remap opcodes: ~3/8 small insert, ~2/8 spread insert,
+			// ~2/8 pop, ~1/8 cancel.
+			mix := [8]byte{0, 0, 0, 1, 1, 2, 2, 3}
+			for i := 0; i < len(program); i += 3 {
+				program[i] = mix[program[i]%8]
+			}
+			if err := diffOps(program); err != nil {
+				small := shrinkProgram(program)
+				t.Fatalf("differential failure: %v\nshrunk to %d ops: %x", err, len(small)/3, small)
+			}
+		})
+	}
+}
+
+// TestCalQueueDifferentialRegressions replays hand-written programs pinning
+// structural edge cases: overflow-band traffic, cancel of the band head,
+// window rebuild after full consumption, and same-time seq ties.
+func TestCalQueueDifferentialRegressions(t *testing.T) {
+	programs := map[string][]byte{
+		// Far-future inserts (overflow), then drain through a rebuild.
+		"overflow-rebuild": {1, 255, 23, 1, 200, 23, 0, 1, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0},
+		// Same-time ties: three inserts at delta 0 must pop in seq order.
+		"seq-ties": {0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0},
+		// Cancel the earliest pending event, then pop past it.
+		"cancel-head": {0, 1, 0, 0, 2, 0, 3, 0, 0, 2, 0, 0, 2, 0, 0},
+	}
+	for name, program := range programs {
+		name, program := name, program
+		t.Run(name, func(t *testing.T) {
+			if err := diffOps(program); err != nil {
+				t.Fatalf("differential failure: %v", err)
+			}
+		})
+	}
+}
+
+// FuzzCalendarQueue is the fuzz entry over the same interpreter:
+// go test -fuzz=FuzzCalendarQueue ./internal/simulation
+func FuzzCalendarQueue(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 2, 0, 0})
+	f.Add([]byte{1, 255, 23, 0, 1, 0, 2, 0, 0, 2, 0, 0})
+	f.Add(bytes.Repeat([]byte{0, 7, 0, 2, 0, 0}, 64))
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 3*4096 {
+			program = program[:3*4096]
+		}
+		if err := diffOps(program); err != nil {
+			t.Fatalf("differential failure: %v (program %x)", err, program)
+		}
+	})
+}

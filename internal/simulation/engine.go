@@ -1,7 +1,6 @@
 package simulation
 
 import (
-	"container/heap"
 	"errors"
 	"sync/atomic"
 )
@@ -14,20 +13,32 @@ var ErrHalted = errors.New("simulation halted")
 // virtual time and may schedule further events.
 type EventFunc func(now Time)
 
+// eventState tracks a scheduled event through its lifecycle. Cancellation
+// is lazy: a cancelled event stays in the calendar queue until the scan
+// reaches its slot, so Cancel is O(1) instead of a heap repair.
+type eventState uint8
+
+const (
+	evPending eventState = iota
+	evFired
+	evCancelled
+)
+
 // ScheduledEvent is a handle to a pending event, usable to cancel it.
 type ScheduledEvent struct {
-	at       Time
-	seq      uint64
-	fn       EventFunc
-	index    int // position in the heap, -1 when not queued
-	canceled bool
+	at    Time
+	seq   uint64
+	fn    EventFunc
+	state eventState
 }
 
 // At reports the virtual time the event is scheduled for.
 func (e *ScheduledEvent) At() Time { return e.at }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *ScheduledEvent) Canceled() bool { return e.canceled }
+// Canceled reports whether the event was removed by Cancel before firing.
+// An event that already ran is not cancelled, no matter how often Cancel
+// was called on it afterwards.
+func (e *ScheduledEvent) Canceled() bool { return e.state == evCancelled }
 
 // Engine is a single-threaded discrete-event simulation core. The zero
 // value is not usable; construct with NewEngine.
@@ -37,15 +48,21 @@ func (e *ScheduledEvent) Canceled() bool { return e.canceled }
 // across independent Engine instances (one per run/seed), never within one.
 // The sole cross-goroutine entry point is Halt, which the experiment
 // runner's cancel-on-first-error path uses to stop in-flight sibling runs.
+//
+// Pending events live in a calendar queue (calqueue.go): O(1) amortized
+// insert/pop at simulation event rates, with a sorted far-future overflow
+// band and an automatic resize policy, preserving the exact
+// (time, insertion-sequence) total order of the binary heap it replaced.
 type Engine struct {
-	queue     eventHeap
+	queue     calQueue
 	now       Time
 	seq       uint64
 	processed uint64
 	halted    atomic.Bool
 }
 
-// NewEngine returns an empty engine at virtual time zero.
+// NewEngine returns an empty engine at virtual time zero with the halt
+// flag clear.
 func NewEngine() *Engine {
 	return &Engine{}
 }
@@ -54,7 +71,7 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // Processed reports the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -66,9 +83,9 @@ func (e *Engine) Schedule(at Time, fn EventFunc) *ScheduledEvent {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &ScheduledEvent{at: at, seq: e.seq, fn: fn, index: -1}
+	ev := &ScheduledEvent{at: at, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.insert(ev)
 	return ev
 }
 
@@ -98,17 +115,15 @@ func (e *Engine) Every(interval Time, fn func(now Time) bool) error {
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op. Reports whether the event was
-// actually removed.
+// already-cancelled event is a no-op: it reports false and — for a fired
+// event — does not mark the handle cancelled, so Canceled never reports
+// true for an event that actually ran.
 func (e *Engine) Cancel(ev *ScheduledEvent) bool {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+	if ev == nil || ev.state != evPending {
 		return false
 	}
-	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	ev.state = evCancelled
+	e.queue.cancel()
 	return true
 }
 
@@ -117,15 +132,32 @@ func (e *Engine) Cancel(ev *ScheduledEvent) bool {
 // it only raises an atomic flag that the run loop polls between events, so
 // an external canceller (a context watcher, the experiment runner) can stop
 // a simulation without touching its state.
+//
+// Halt is sticky: a halt raised before a Run starts — the experiment
+// runner's and service driver's cancel paths can land one between driver
+// construction and the run loop — makes that Run return ErrHalted
+// immediately instead of being silently dropped. The flag is consumed when
+// a Run variant observes it and returns ErrHalted (and is clear in a new
+// engine), so the following Run proceeds normally.
 func (e *Engine) Halt() { e.halted.Store(true) }
+
+// haltConsumed reports whether a pending halt was observed, consuming it.
+func (e *Engine) haltConsumed() bool {
+	if !e.halted.Load() {
+		return false
+	}
+	e.halted.Store(false)
+	return true
+}
 
 // Step executes the single earliest pending event. It reports false when
 // the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev := e.queue.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*ScheduledEvent)
+	ev.state = evFired
 	e.now = ev.at
 	e.processed++
 	ev.fn(e.now)
@@ -140,55 +172,21 @@ func (e *Engine) Run() error {
 
 // RunUntil executes events with timestamps <= deadline. On return the clock
 // is at the last executed event (or at deadline if the next event lies
-// beyond it). Returns ErrHalted if Halt was called.
+// beyond it). Returns ErrHalted — consuming the halt flag — if Halt was
+// called, including before the run started (see Halt on stickiness).
 func (e *Engine) RunUntil(deadline Time) error {
-	e.halted.Store(false)
-	for len(e.queue) > 0 {
-		if e.halted.Load() {
+	for {
+		if e.haltConsumed() {
 			return ErrHalted
 		}
-		if e.queue[0].at > deadline {
+		next := e.queue.peek()
+		if next == nil {
+			return nil
+		}
+		if next.at > deadline {
 			e.now = deadline
 			return nil
 		}
 		e.Step()
 	}
-	if e.halted.Load() {
-		return ErrHalted
-	}
-	return nil
-}
-
-// eventHeap orders events by (time, insertion sequence).
-type eventHeap []*ScheduledEvent
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*ScheduledEvent)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
 }

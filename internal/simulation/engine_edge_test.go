@@ -27,8 +27,9 @@ func TestEngineCancelFromEarlierEventSameTime(t *testing.T) {
 }
 
 // TestEngineCancelAfterFireIsNoOp cancels an event that has already
-// executed: the call must report false, not perturb the queue, and still
-// mark the handle cancelled.
+// executed: the call must report false, not perturb the queue, and must NOT
+// mark the handle cancelled — the event genuinely ran, and Canceled
+// reporting true for it would let callers conclude it never did.
 func TestEngineCancelAfterFireIsNoOp(t *testing.T) {
 	e := NewEngine()
 	fired := 0
@@ -45,8 +46,11 @@ func TestEngineCancelAfterFireIsNoOp(t *testing.T) {
 	if fired != 2 {
 		t.Fatalf("fired = %d, want 2", fired)
 	}
-	if !ev.Canceled() {
-		t.Error("late Cancel did not mark the handle")
+	if ev.Canceled() {
+		t.Error("Canceled() = true for an event that fired")
+	}
+	if e.Cancel(ev) || ev.Canceled() {
+		t.Error("repeat late Cancel marked or removed a fired event")
 	}
 	_ = later
 }
@@ -82,19 +86,60 @@ func TestEngineHaltLeavesPendingEventsResumable(t *testing.T) {
 	}
 }
 
-// TestEngineHaltBeforeRun halts an idle engine: the next Run must report
-// ErrHalted without consuming any event, and the one after that proceeds.
+// TestEngineHaltBeforeRun halts an idle engine: Halt is sticky, so the
+// next Run must report ErrHalted without consuming any event, and the one
+// after that (the halt now consumed) proceeds. This is the regression
+// guard for the cancel race where a context watcher's Halt landed between
+// driver construction and the run loop starting and was silently dropped.
 func TestEngineHaltBeforeRun(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	e.Schedule(Second, func(Time) { fired = true })
 	e.Halt()
-	// RunUntil resets the flag on entry, so a pre-run Halt is absorbed.
+	if err := e.Run(); err != ErrHalted {
+		t.Fatalf("Run after pre-run Halt = %v, want ErrHalted", err)
+	}
+	if fired {
+		t.Fatal("event fired despite pre-run halt")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// The halt was consumed by the ErrHalted return; the next Run drains.
 	if err := e.Run(); err != nil {
-		t.Fatalf("Run after pre-run Halt: %v", err)
+		t.Fatalf("Run after consumed halt: %v", err)
 	}
 	if !fired {
-		t.Fatal("event did not fire")
+		t.Fatal("event did not fire on the follow-up Run")
+	}
+}
+
+// TestEngineHaltPreRunRace is the race-regression companion: Halt arrives
+// from another goroutine strictly before RunUntil enters its loop (the
+// channel handshake guarantees the ordering), exactly what a
+// context.AfterFunc cancel can do to a freshly built driver. Under -race
+// this also checks the flag handoff is clean.
+func TestEngineHaltPreRunRace(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(Second, func(Time) { fired = true })
+	halted := make(chan struct{})
+	go func() {
+		e.Halt()
+		close(halted)
+	}()
+	<-halted
+	if err := e.Run(); err != ErrHalted {
+		t.Fatalf("Run = %v, want ErrHalted (pre-run Halt dropped)", err)
+	}
+	if fired {
+		t.Fatal("event fired despite pre-run halt")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire after halt was consumed")
 	}
 }
 
