@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner service nightly experiments figures clean
+.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner service sharded nightly experiments figures clean
 
 all: build test
 
@@ -16,6 +16,7 @@ ci:
 	$(MAKE) faults
 	$(MAKE) runner
 	$(MAKE) service
+	$(MAKE) sharded
 	$(MAKE) docs-check
 
 build:
@@ -54,9 +55,21 @@ service:
 	$(GO) run ./cmd/phoenix-sim -service -scale 0.05 -duration 60 -window 10 -validate -digest
 
 # Godoc coverage gate: fail on any exported identifier without a doc
-# comment in the documentation-critical packages.
+# comment in the gated packages (docs-check's defaultDirs is the single
+# source of truth for the list).
 docs-check:
-	$(GO) run ./cmd/docs-check internal/telemetry internal/metrics internal/constraint internal/faults
+	$(GO) run ./cmd/docs-check
+
+# Sharded scale-out smoke: the shard-1 byte-identity and 4-shard battery
+# under the race detector, then a CLI golden diff — a 4-shard run must
+# complete clean and a -shards 1 run must print the exact digest of the
+# unsharded reference.
+sharded:
+	$(GO) test -race -count=1 -run 'TestShard' ./internal/schedulers/sharded/ ./internal/cluster/
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -profile google -scale 0.05 -seed 7 -digest | tee /tmp/sharded-ref.txt
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -shards 1 -profile google -scale 0.05 -seed 7 -digest | tee /tmp/sharded-one.txt
+	diff /tmp/sharded-ref.txt /tmp/sharded-one.txt
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -shards 4 -profile google -scale 0.05 -seed 7 -validate -digest
 
 # Parallel-runner smoke: diff the golden digest corpus, then exercise the
 # -jobs worker pool end to end through the CLI. The jobs=1 vs jobs=8
@@ -79,7 +92,8 @@ nightly:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineQueue' -benchmem -benchtime=2s ./internal/simulation/ > $(NIGHTLY_BENCH)
 	$(GO) test -run '^$$' -bench 'BenchmarkServiceWindow' -benchmem -benchtime=2s ./internal/telemetry/ >> $(NIGHTLY_BENCH)
 	$(GO) test -run '^$$' -bench 'BenchmarkScaleOne' -benchmem -benchtime=3x . >> $(NIGHTLY_BENCH)
-	$(GO) run ./cmd/benchgate -threshold 0.15 -input $(NIGHTLY_BENCH) results/BENCH_engine.json results/BENCH_service.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSharded' -benchmem -benchtime=3x . >> $(NIGHTLY_BENCH)
+	$(GO) run ./cmd/benchgate -threshold 0.15 -input $(NIGHTLY_BENCH) results/BENCH_engine.json results/BENCH_service.json results/BENCH_sharded.json
 
 # Regenerate every paper table/figure (tables to stdout, CSVs + SVGs to
 # results/). JOBS bounds concurrent work units; 0 means GOMAXPROCS.

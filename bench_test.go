@@ -9,6 +9,7 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/experiments"
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/sharded"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
 	"github.com/phoenix-sched/phoenix/internal/validate"
@@ -107,6 +108,48 @@ func BenchmarkScaleOne(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := opts.NewScheduler("phoenix")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSharded is the scale-out reference: the same paper-scale
+// phoenix/google workload as BenchmarkScaleOne, run through the sharded
+// meta-scheduler at 4 shards (`phoenix-sim -scheduler phoenix -shards 4
+// -profile google -scale 1.0 -seed 7`). The delta against BenchmarkScaleOne
+// is the full overhead of partitioned match state plus optimistic-commit
+// bookkeeping on a single host; the payoff sharding buys — smaller per-shard
+// candidate sets — is measured by the ext-sharded experiment's wall-clock
+// sweep at 10x scale. Recorded in results/BENCH_sharded.json and gated by
+// cmd/benchgate in nightly CI.
+func BenchmarkSharded(b *testing.B) {
+	cfg, err := trace.ConfigByName("google", 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cluster.GoogleProfile().GenerateCluster(cfg.NumNodes, simulation.NewRNG(42).Stream("cli/machines"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(cfg, cl, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sharded.NewWith("phoenix", 4, func() (sched.Scheduler, error) {
+			return opts.NewScheduler("phoenix")
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -82,6 +82,55 @@ func TestDeletedDocCommentFails(t *testing.T) {
 	}
 }
 
+// TestDeletedDocCommentFailsRealPackage repeats the deletion demo against a
+// real gated file: internal/cluster/shard.go with the Route doc comment
+// stripped must produce exactly one violation naming Route. This pins the
+// newly gated packages (cluster, sched, simulation) to the same contract
+// the synthetic demo shows: deleting any one doc comment breaks CI.
+func TestDeletedDocCommentFailsRealPackage(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "internal", "cluster", "shard.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(raw)
+	// Strip Route's entire doc comment: every contiguous "//" line
+	// immediately above the declaration.
+	decl := "func (p *ShardPlan) Route("
+	at := strings.Index(src, decl)
+	if at < 0 {
+		t.Fatalf("declaration %q not found", decl)
+	}
+	head := src[:at]
+	for {
+		nl := strings.LastIndexByte(strings.TrimRight(head, "\n"), '\n')
+		line := strings.TrimSpace(head[nl+1:])
+		if !strings.HasPrefix(line, "//") {
+			break
+		}
+		head = head[:nl+1]
+	}
+	stripped := head + src[at:]
+	if stripped == src {
+		t.Fatal("no doc comment stripped")
+	}
+	dir := writePackage(t, stripped)
+	violations, err := lintDirs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extracting the single file also drops the package comment (it lives
+	// in cluster.go), so expect exactly that plus the Route violation.
+	var routeHits int
+	for _, v := range violations {
+		if strings.Contains(v, "ShardPlan.Route") {
+			routeHits++
+		}
+	}
+	if routeHits != 1 || len(violations) != 2 {
+		t.Errorf("got violations %v, want the missing package comment plus exactly one naming ShardPlan.Route", violations)
+	}
+}
+
 func TestUndocumentedIdentifiersFlagged(t *testing.T) {
 	dir := writePackage(t, `// Package p has gaps.
 package p

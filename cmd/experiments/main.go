@@ -44,15 +44,16 @@ func main() {
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		list  = fs.Bool("list", false, "list experiment IDs and exit")
-		runID = fs.String("run", "all", "experiment ID, comma-separated list, or 'all'")
-		scale = fs.Float64("scale", 0, "workload scale override (0 = default)")
-		seeds = fs.Int("seeds", 0, "repetitions per data point override (0 = default)")
-		jobs  = fs.Int("jobs", 0, "concurrent simulation work units (0 = GOMAXPROCS); results are identical at any setting")
-		csv   = fs.String("csv", "", "directory to also write per-experiment CSV files into")
-		svg   = fs.String("svg", "", "directory to also render per-experiment SVG figures into")
-		check = fs.Bool("validate", false, "attach the invariant checker to every run; fail on any violation")
-		dig   = fs.Bool("digest", false, "print a digest of each experiment's table for regression diffing")
+		list   = fs.Bool("list", false, "list experiment IDs and exit")
+		runID  = fs.String("run", "all", "experiment ID, comma-separated list, or 'all'")
+		scale  = fs.Float64("scale", 0, "workload scale override (0 = default)")
+		seeds  = fs.Int("seeds", 0, "repetitions per data point override (0 = default)")
+		jobs   = fs.Int("jobs", 0, "concurrent simulation work units (0 = GOMAXPROCS); results are identical at any setting")
+		csv    = fs.String("csv", "", "directory to also write per-experiment CSV files into")
+		svg    = fs.String("svg", "", "directory to also render per-experiment SVG figures into")
+		check  = fs.Bool("validate", false, "attach the invariant checker to every run; fail on any violation")
+		timing = fs.Bool("timing", false, "measure and report host wall-clock columns (ext-sharded); nondeterministic, use with -jobs 1")
+		dig    = fs.Bool("digest", false, "print a digest of each experiment's table for regression diffing")
 
 		timeseriesPath = fs.String("timeseries", "", "telemetry reference run: write its per-interval CSV to this file")
 		reportPath     = fs.String("report", "", "telemetry reference run: write its Markdown run report to this file")
@@ -94,6 +95,7 @@ func run(args []string) (err error) {
 		opts.Parallelism = *jobs
 	}
 	opts.ValidateRuns = *check
+	opts.Timing = *timing
 
 	if *timeseriesPath != "" || *reportPath != "" {
 		return reportRun(opts, *repSched, *repProfile, *timeseriesPath, *reportPath)

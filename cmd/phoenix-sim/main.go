@@ -47,6 +47,7 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 	"github.com/phoenix-sched/phoenix/internal/profiling"
 	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/sharded"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/telemetry"
 	"github.com/phoenix-sched/phoenix/internal/trace"
@@ -75,6 +76,7 @@ func run(args []string) (err error) {
 		faultPath = fs.String("faults", "", "run a fault-campaign scenario from this JSON file (overrides -failure-rate)")
 		doCheck   = fs.Bool("validate", false, "run the invariant checker and fail on any violation")
 		doDigest  = fs.Bool("digest", false, "print the run digest (same seed => same digest)")
+		shards    = fs.Int("shards", 1, "run the scheduler sharded over N cluster partitions (1 = unsharded; digests identical at 1)")
 
 		timeseriesPath = fs.String("timeseries", "", "write a per-interval telemetry CSV (CRV, waits, queue depths) to this file")
 		reportPath     = fs.String("report", "", "write a Markdown run report to this file")
@@ -184,7 +186,17 @@ func run(args []string) (err error) {
 	if *reschedule >= 0 {
 		opts.Phoenix.RescheduleBudget = *reschedule
 	}
-	s, err := opts.NewScheduler(*schedName)
+	var s sched.Scheduler
+	if *shards > 1 {
+		// Wrap the selected scheduler per shard; the factory routes through
+		// opts.NewScheduler so Phoenix option overrides reach every shard
+		// instance.
+		s, err = sharded.NewWith(*schedName, *shards, func() (sched.Scheduler, error) {
+			return opts.NewScheduler(*schedName)
+		})
+	} else {
+		s, err = opts.NewScheduler(*schedName)
+	}
 	if err != nil {
 		return err
 	}

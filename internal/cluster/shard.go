@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+)
+
+// ShardPlan partitions an immutable cluster into disjoint shards for the
+// sharded meta-scheduler (Arktos' global-scheduler design): each shard owns
+// a subset of the machines, one scheduler instance runs per shard over the
+// shared-state view, and cross-shard placements are resolved optimistically
+// by the driver's commit layer.
+//
+// Partitioning is resource-profile-based (Arktos §2.5.3): machines with the
+// exact same attribute configuration (a "family") land in the same shard,
+// so a shard concentrates the supply of the constraint values its families
+// carry and most constrained jobs route to a single shard whose
+// satisfying-set words stay small and cache-resident. Families are packed
+// greedily — largest first onto the currently smallest shard — which keeps
+// shard sizes balanced to within one family.
+//
+// A plan additionally interns, per (shard, constraint set), the shard-local
+// satisfying set together with its popcount and its ascending member-ID
+// list, so a shard scheduler's candidate lookup is O(1) after the first
+// query and sampling the k-th candidate is one array index instead of a
+// bitset rank scan.
+//
+// Unlike MatchCache, a ShardPlan is NOT safe for concurrent use: it is
+// built per run by the sharded scheduler's Init and only ever touched from
+// the single-threaded event loop, so its caches are plain maps.
+type ShardPlan struct {
+	c      *Cluster
+	shards []shard
+	// shardOf maps machine ID to owning shard index.
+	shardOf []int32
+	// bySet recognizes interned shard-local sets by pointer, the handle the
+	// driver's sampling and placement fast paths key on.
+	bySet map[*bitset.Set]*ShardMatch
+}
+
+// shard is one partition: its global-width membership bitset, its member
+// IDs in ascending order, and the per-constraint-set intersection cache.
+type shard struct {
+	members *bitset.Set
+	ids     []int32
+	all     *ShardMatch
+	cache   map[constraint.SetKey]*ShardMatch
+}
+
+// ShardMatch is an interned shard-local candidate set: the machines of one
+// shard satisfying one constraint set. Set is global-width (bit i set means
+// machine i) and READ-ONLY, like every set MatchCache hands out; IDs lists
+// the same machines in ascending order, which is what makes uniform
+// sampling and placement scans O(members) instead of O(cluster/64).
+type ShardMatch struct {
+	// Set is the shard-local satisfying set, global bit width, read-only.
+	Set *bitset.Set
+	// IDs are the set's machine IDs in ascending order.
+	IDs []int32
+	// Count is len(IDs), the shard-local satisfying supply.
+	Count int
+}
+
+// NewShardPlan partitions c into the given number of shards. Every shard is
+// guaranteed non-empty: when the cluster has fewer attribute families than
+// shards, the largest shards donate the upper half of their members (by ID)
+// to empty ones. The same cluster and shard count always produce the same
+// plan.
+func NewShardPlan(c *Cluster, shards int) (*ShardPlan, error) {
+	if shards < 1 || shards > c.Size() {
+		return nil, fmt.Errorf("cluster: shard count %d out of [1, %d]", shards, c.Size())
+	}
+	machines := c.Machines()
+
+	// Group machines into exact-configuration families, first-seen order.
+	famIdx := make(map[constraint.Attributes]int)
+	var families [][]int32
+	for i := range machines {
+		fi, ok := famIdx[machines[i].Attrs]
+		if !ok {
+			fi = len(families)
+			famIdx[machines[i].Attrs] = fi
+			families = append(families, nil)
+		}
+		families[fi] = append(families[fi], int32(i))
+	}
+	// Largest families first; ties by lowest first member so the order is
+	// independent of map iteration.
+	sort.SliceStable(families, func(a, b int) bool {
+		if len(families[a]) != len(families[b]) {
+			return len(families[a]) > len(families[b])
+		}
+		return families[a][0] < families[b][0]
+	})
+
+	// Greedy packing: each family goes to the currently smallest shard
+	// (ties to the lowest index).
+	lists := make([][]int32, shards)
+	for _, fam := range families {
+		best := 0
+		for k := 1; k < shards; k++ {
+			if len(lists[k]) < len(lists[best]) {
+				best = k
+			}
+		}
+		lists[best] = append(lists[best], fam...)
+	}
+	// Fewer families than shards leaves some shards empty; split the
+	// largest shard's member list in half until every shard has machines.
+	for e := 0; e < shards; e++ {
+		if len(lists[e]) > 0 {
+			continue
+		}
+		donor := 0
+		for k := 1; k < shards; k++ {
+			if len(lists[k]) > len(lists[donor]) {
+				donor = k
+			}
+		}
+		sort.Slice(lists[donor], func(a, b int) bool { return lists[donor][a] < lists[donor][b] })
+		half := len(lists[donor]) / 2
+		lists[e] = append(lists[e], lists[donor][half:]...)
+		lists[donor] = lists[donor][:half]
+	}
+
+	p := &ShardPlan{
+		c:       c,
+		shards:  make([]shard, shards),
+		shardOf: make([]int32, c.Size()),
+		bySet:   make(map[*bitset.Set]*ShardMatch),
+	}
+	for k := range p.shards {
+		ids := lists[k]
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		members := bitset.New(c.Size())
+		for _, id := range ids {
+			members.Set(int(id))
+			p.shardOf[id] = int32(k)
+		}
+		all := &ShardMatch{Set: members, IDs: ids, Count: len(ids)}
+		p.shards[k] = shard{
+			members: members,
+			ids:     ids,
+			all:     all,
+			cache:   make(map[constraint.SetKey]*ShardMatch),
+		}
+		p.bySet[members] = all
+	}
+	return p, nil
+}
+
+// Cluster returns the cluster the plan partitions.
+func (p *ShardPlan) Cluster() *Cluster { return p.c }
+
+// NumShards reports the number of shards.
+func (p *ShardPlan) NumShards() int { return len(p.shards) }
+
+// ShardOf reports the shard owning machine id.
+func (p *ShardPlan) ShardOf(id int) int { return int(p.shardOf[id]) }
+
+// Members returns shard k's membership bitset (read-only, global width).
+func (p *ShardPlan) Members(k int) *bitset.Set { return p.shards[k].members }
+
+// MemberIDs returns shard k's machine IDs in ascending order (read-only).
+func (p *ShardPlan) MemberIDs(k int) []int32 { return p.shards[k].ids }
+
+// Satisfying returns the interned shard-local candidate set for s on shard
+// k: shard k's members satisfying every constraint in s, with the popcount
+// and ascending ID list precomputed. Repeat queries for the same logical
+// set return the same *ShardMatch. Oversized (unkeyable) constraint sets
+// are served uncached.
+func (p *ShardPlan) Satisfying(k int, s constraint.Set) *ShardMatch {
+	sh := &p.shards[k]
+	if len(s) == 0 {
+		return sh.all
+	}
+	key, ok := s.Key()
+	if !ok {
+		set := p.c.Satisfying(s)
+		// And cannot fail: both sets span the cluster.
+		_ = set.And(sh.members)
+		return newShardMatch(set)
+	}
+	if m := sh.cache[key]; m != nil {
+		return m
+	}
+	base, n := p.c.Matches().SatisfyingWithCount(s)
+	var set *bitset.Set
+	if n == 0 {
+		set = bitset.New(p.c.Size())
+	} else {
+		set = base.Clone()
+		_ = set.And(sh.members)
+	}
+	m := newShardMatch(set)
+	sh.cache[key] = m
+	p.bySet[set] = m
+	return m
+}
+
+// newShardMatch materializes the count and ascending ID list of set.
+func newShardMatch(set *bitset.Set) *ShardMatch {
+	m := &ShardMatch{Set: set, Count: set.Count()}
+	m.IDs = make([]int32, 0, m.Count)
+	for wi, word := range set.Words() {
+		base := wi << 6
+		for word != 0 {
+			m.IDs = append(m.IDs, int32(base+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return m
+}
+
+// Lookup recognizes an interned shard-local set by pointer and returns its
+// ShardMatch, or nil for any other set. The driver's sampling and placement
+// fast paths use it to swap a rank scan over bitset words for an index into
+// the precomputed member list.
+func (p *ShardPlan) Lookup(set *bitset.Set) *ShardMatch { return p.bySet[set] }
+
+// Route picks the shard to schedule a job with constraint set s on: the
+// shard with the largest satisfying supply for s (conflict-aware request
+// distribution, Arktos §2.5.4 — sending the job where its candidates are
+// concentrated minimizes cross-shard spill). Ties go to the lower shard
+// index. It returns -1 when s is empty or no shard has any satisfying
+// machine; the caller then balances load round-robin.
+func (p *ShardPlan) Route(s constraint.Set) int {
+	if len(s) == 0 {
+		return -1
+	}
+	best, bestN := -1, 0
+	for k := range p.shards {
+		if n := p.Satisfying(k, s).Count; n > bestN {
+			best, bestN = k, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+)
+
+func TestShardPlanPartitionsCluster(t *testing.T) {
+	cl := genCluster(t, 500)
+	for _, shards := range []int{1, 2, 3, 4, 8, 17} {
+		p, err := NewShardPlan(cl, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		seen := make([]bool, cl.Size())
+		for k := 0; k < p.NumShards(); k++ {
+			ids := p.MemberIDs(k)
+			if len(ids) == 0 {
+				t.Fatalf("shards=%d: shard %d empty", shards, k)
+			}
+			if p.Members(k).Count() != len(ids) {
+				t.Fatalf("shards=%d: shard %d bitset/IDs disagree", shards, k)
+			}
+			for i, id := range ids {
+				if i > 0 && ids[i-1] >= id {
+					t.Fatalf("shards=%d: shard %d IDs not ascending", shards, k)
+				}
+				if seen[id] {
+					t.Fatalf("shards=%d: machine %d in two shards", shards, id)
+				}
+				seen[id] = true
+				if !p.Members(k).Test(int(id)) {
+					t.Fatalf("shards=%d: shard %d bitset missing %d", shards, k, id)
+				}
+				if p.ShardOf(int(id)) != k {
+					t.Fatalf("shards=%d: ShardOf(%d) = %d, want %d", shards, id, p.ShardOf(int(id)), k)
+				}
+			}
+		}
+		for id, ok := range seen {
+			if !ok {
+				t.Fatalf("shards=%d: machine %d unassigned", shards, id)
+			}
+		}
+	}
+}
+
+func TestShardPlanKeepsFamiliesTogether(t *testing.T) {
+	cl := genCluster(t, 500)
+	p, err := NewShardPlan(cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 500 machines over the google profile there are far more than 4
+	// attribute families, so the empty-shard fix-up never splits one: every
+	// machine pair with identical attributes must share a shard.
+	byAttrs := make(map[constraint.Attributes]int)
+	for i, m := range cl.Machines() {
+		if k, ok := byAttrs[m.Attrs]; ok {
+			if p.ShardOf(i) != k {
+				t.Fatalf("machines with identical attrs split across shards %d and %d", k, p.ShardOf(i))
+			}
+		} else {
+			byAttrs[m.Attrs] = p.ShardOf(i)
+		}
+	}
+	if len(byAttrs) < 4 {
+		t.Skipf("only %d families; test needs >= shards", len(byAttrs))
+	}
+}
+
+func TestShardPlanDeterministic(t *testing.T) {
+	cl := genCluster(t, 300)
+	a, err := NewShardPlan(cl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewShardPlan(cl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cl.Size(); i++ {
+		if a.ShardOf(i) != b.ShardOf(i) {
+			t.Fatalf("plans differ at machine %d: %d vs %d", i, a.ShardOf(i), b.ShardOf(i))
+		}
+	}
+}
+
+func TestShardSatisfyingMatchesGlobalIntersection(t *testing.T) {
+	cl := genCluster(t, 400)
+	p, err := NewShardPlan(cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range genSets(cl, 100, 23) {
+		global := cl.Satisfying(s)
+		total := 0
+		for k := 0; k < p.NumShards(); k++ {
+			m := p.Satisfying(k, s)
+			if m.Count != len(m.IDs) || m.Count != m.Set.Count() {
+				t.Fatalf("shard %d: inconsistent ShardMatch for %v", k, s)
+			}
+			total += m.Count
+			for _, id := range m.IDs {
+				if !global.Test(int(id)) {
+					t.Fatalf("shard %d: machine %d in shard match but not global for %v", k, id, s)
+				}
+				if p.ShardOf(int(id)) != k {
+					t.Fatalf("shard %d: foreign machine %d in shard match", k, id)
+				}
+			}
+			// Interning: same logical set, same pointer, and Lookup
+			// recognizes it.
+			if again := p.Satisfying(k, s); again != m {
+				t.Fatalf("shard %d: repeat query returned a different ShardMatch", k)
+			}
+			if p.Lookup(m.Set) != m {
+				t.Fatalf("shard %d: Lookup missed an interned set", k)
+			}
+		}
+		if total != global.Count() {
+			t.Fatalf("shard counts sum %d != global %d for %v", total, global.Count(), s)
+		}
+	}
+}
+
+func TestShardSatisfyingEmptySetIsAllMembers(t *testing.T) {
+	cl := genCluster(t, 200)
+	p, err := NewShardPlan(cl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		m := p.Satisfying(k, nil)
+		if m.Set != p.Members(k) || m.Count != len(p.MemberIDs(k)) {
+			t.Fatalf("shard %d: empty constraint set should return the member set", k)
+		}
+	}
+}
+
+func TestShardRoute(t *testing.T) {
+	cl := genCluster(t, 400)
+	p, err := NewShardPlan(cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Route(nil) != -1 {
+		t.Fatal("empty constraint set should route to -1 (round-robin)")
+	}
+	for _, s := range genSets(cl, 60, 31) {
+		k := p.Route(s)
+		if cl.SatisfyingCount(s) == 0 {
+			if k != -1 {
+				t.Fatalf("unsatisfiable set routed to shard %d", k)
+			}
+			continue
+		}
+		if k < 0 || k >= 4 {
+			t.Fatalf("route out of range: %d", k)
+		}
+		best := p.Satisfying(k, s).Count
+		for j := 0; j < 4; j++ {
+			n := p.Satisfying(j, s).Count
+			if n > best || (n == best && j < k) {
+				t.Fatalf("route picked shard %d (%d candidates) over shard %d (%d)", k, best, j, n)
+			}
+		}
+	}
+}
+
+func TestShardPlanBounds(t *testing.T) {
+	cl := genCluster(t, 50)
+	for _, bad := range []int{0, -1, 51} {
+		if _, err := NewShardPlan(cl, bad); err == nil {
+			t.Fatalf("shards=%d should be rejected", bad)
+		}
+	}
+	// shards == size is legal: one machine per shard after fix-up.
+	p, err := NewShardPlan(cl, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		if len(p.MemberIDs(k)) == 0 {
+			t.Fatalf("shard %d empty at shards == size", k)
+		}
+	}
+}

@@ -57,6 +57,12 @@ type Options struct {
 	// ValidateRuns attaches the invariant checker to every simulation and
 	// fails the experiment on any violation (the -validate CLI flag).
 	ValidateRuns bool
+	// Timing, when set, lets experiments that report host wall-clock
+	// columns (ext-sharded) actually measure and print them (the -timing
+	// CLI flag). It is off by default so experiment CSVs stay byte-identical
+	// at any -jobs worker count — wall-clock is the one nondeterministic
+	// signal, and the determinism battery runs with it disabled.
+	Timing bool
 	// Stats, when non-nil, accumulates work-unit counts and busy time
 	// across every pool run issued under these options; the CLI attaches
 	// one per experiment to print its wall-clock/speedup summary line.

@@ -68,6 +68,8 @@ var registry = map[string]entry{
 	"ext-estimator":     {EstimatorAccuracy, singleUnit},
 	// Steady state: 6 schedulers in open-loop service mode per seed.
 	"ext-steadystate": {SteadyState, seedsTimes(6)},
+	// Sharded scale-out: 4 shard counts per seed.
+	"ext-sharded": {ShardScaling, seedsTimes(4)},
 }
 
 // IDs lists every experiment identifier in sorted order.

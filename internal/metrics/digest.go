@@ -96,10 +96,12 @@ func (d *Digest) counters(c *Collector) {
 	d.Int64(c.WorkerFailures)
 	d.Int64(int64(c.WastedWork))
 	d.Int64(int64(c.BusyTime))
-	// ProbesLost is intentionally NOT hashed: appending a field here would
-	// change every digest, and ProbesLost is zero outside fault campaigns —
-	// lost probes already perturb the hashed outcomes (waits, completions)
-	// whenever they matter.
+	// ProbesLost and CommitConflicts are intentionally NOT hashed:
+	// appending a field here would change every digest, ProbesLost is zero
+	// outside fault campaigns, and CommitConflicts is zero outside sharded
+	// runs at shard count > 1 — lost probes and commit retries already
+	// perturb the hashed outcomes (waits, completions) whenever they
+	// matter.
 }
 
 // Digest hashes the collector's full observable outcome: every JobRecord in

@@ -83,6 +83,14 @@ type Collector struct {
 	// Deliberately excluded from Digest: it is nonzero only under a fault
 	// campaign, and no-fault digests must stay comparable across versions.
 	ProbesLost int64
+	// CommitConflicts counts optimistic-commit conflicts detected by the
+	// sharded placement layer: placements a shard scheduler decided against
+	// a stale shared-state snapshot (another shard committed onto the same
+	// worker since the shard last synced). Like ProbesLost it is
+	// deliberately excluded from Digest: it is nonzero only under the
+	// sharded meta-scheduler at shard count > 1, and the conflicts already
+	// perturb the hashed outcomes through the retry round-trip delay.
+	CommitConflicts int64
 	// WastedWork accumulates execution time lost to failures (the partial
 	// runs of tasks that had to restart).
 	WastedWork simulation.Time
@@ -149,6 +157,7 @@ type CounterSnapshot struct {
 	PlacementRelaxed  int64
 	WorkerFailures    int64
 	ProbesLost        int64
+	CommitConflicts   int64
 	// WastedWork and BusyTime mirror the Collector's accumulated times.
 	WastedWork simulation.Time
 	BusyTime   simulation.Time
@@ -166,6 +175,7 @@ func (c *Collector) Counters() CounterSnapshot {
 		PlacementRelaxed:  c.PlacementRelaxed,
 		WorkerFailures:    c.WorkerFailures,
 		ProbesLost:        c.ProbesLost,
+		CommitConflicts:   c.CommitConflicts,
 		WastedWork:        c.WastedWork,
 		BusyTime:          c.BusyTime,
 	}
@@ -184,6 +194,7 @@ func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
 		PlacementRelaxed:  s.PlacementRelaxed - prev.PlacementRelaxed,
 		WorkerFailures:    s.WorkerFailures - prev.WorkerFailures,
 		ProbesLost:        s.ProbesLost - prev.ProbesLost,
+		CommitConflicts:   s.CommitConflicts - prev.CommitConflicts,
 		WastedWork:        s.WastedWork - prev.WastedWork,
 		BusyTime:          s.BusyTime - prev.BusyTime,
 	}

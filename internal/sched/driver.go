@@ -65,6 +65,11 @@ type Driver struct {
 	// SetProbeFilter.
 	probeFilter func(w *Worker, js *JobState) bool
 
+	// shard is the sharded shared-state machinery (sharding.go), installed
+	// only by the sharded meta-scheduler via SetSharding; nil on every
+	// unsharded run, so the plain path never branches on it being active.
+	shard *shardState
+
 	// faultObservers holds the subset of observers that also implement
 	// FaultObserver, resolved once at attach time.
 	faultObservers []FaultObserver
@@ -174,8 +179,15 @@ func (d *Driver) Config() Config { return d.cfg }
 func (d *Driver) Cluster() *cluster.Cluster { return d.cl }
 
 // Workers returns all workers (read via accessors; mutate via driver
-// methods only).
-func (d *Driver) Workers() []*Worker { return d.workers }
+// methods only). Inside an active shard scope (EnterShard) it returns only
+// that shard's workers, so a bundled scheduler delegated to by the sharded
+// meta-scheduler scans its own partition instead of the whole cluster.
+func (d *Driver) Workers() []*Worker {
+	if sh := d.shard; sh != nil && sh.active >= 0 {
+		return sh.workers[sh.active]
+	}
+	return d.workers
+}
 
 // Worker returns the worker with the given ID, nil when out of range.
 func (d *Driver) Worker(id int) *Worker {
@@ -229,8 +241,16 @@ func (d *Driver) Trace() *trace.Trace { return d.tr }
 // SetPolicy assigns worker w's queue policy.
 func (d *Driver) SetPolicy(w *Worker, p QueuePolicy) { d.policies[w.ID] = p }
 
-// SetAllPolicies assigns every worker the same queue policy.
+// SetAllPolicies assigns every worker the same queue policy. Inside an
+// active shard scope it covers only that shard's workers, so per-shard
+// scheduler instances do not clobber each other's queue policies.
 func (d *Driver) SetAllPolicies(p QueuePolicy) {
+	if sh := d.shard; sh != nil && sh.active >= 0 {
+		for _, id := range sh.plan.MemberIDs(sh.active) {
+			d.policies[id] = p
+		}
+		return
+	}
 	for i := range d.policies {
 		d.policies[i] = p
 	}
@@ -468,6 +488,9 @@ const ProbeRetryDelay = 2 * simulation.Second
 // outage erasing a dimension's supply is visible as supply loss, not
 // masked by the static machine count.
 func (d *Driver) LiveSupplyOne(cn constraint.Constraint) int {
+	if sh := d.shard; sh != nil && sh.active >= 0 {
+		return d.shardLiveSupplyOne(cn)
+	}
 	n := d.cl.SatisfyingOne(cn)
 	if n == 0 || d.downCount == 0 {
 		return n
@@ -487,7 +510,7 @@ func (d *Driver) DownWorkers() *bitset.Set { return d.downSet }
 func (d *Driver) EnqueueTask(w *Worker, js *JobState, t *trace.Task) {
 	e := &Entry{Job: js, Task: t}
 	d.reserve(w, e)
-	d.engine.ScheduleAfter(d.cfg.NetworkDelay, func(now simulation.Time) {
+	d.engine.ScheduleAfter(d.transitDelay(d.commitPlacement(w)), func(now simulation.Time) {
 		e.Enqueued = now
 		d.admit(w, e)
 	})
@@ -513,7 +536,7 @@ func (d *Driver) EnqueueProbe(w *Worker, js *JobState) {
 	d.collector.Probes++
 	e := &Entry{Job: js}
 	d.reserve(w, e)
-	d.engine.ScheduleAfter(d.cfg.NetworkDelay, func(now simulation.Time) {
+	d.engine.ScheduleAfter(d.transitDelay(d.commitPlacement(w)), func(now simulation.Time) {
 		e.Enqueued = now
 		d.admit(w, e)
 	})
@@ -531,7 +554,7 @@ func (d *Driver) MoveEntry(victim, thief *Worker, idx int) bool {
 	d.releaseLong(victim, e)
 	d.notifyDequeue(victim, e, DequeueMigrate)
 	d.reserve(thief, e)
-	d.engine.ScheduleAfter(d.cfg.NetworkDelay, func(now simulation.Time) {
+	d.engine.ScheduleAfter(d.transitDelay(d.commitPlacement(thief)), func(now simulation.Time) {
 		e.Enqueued = now
 		e.Bypassed = 0
 		d.admit(thief, e)
@@ -705,7 +728,17 @@ func (d *Driver) finishJob(js *JobState, now simulation.Time) {
 //
 // The returned set comes from the cluster's match cache and is SHARED and
 // READ-ONLY; callers that filter candidates must Clone first.
+//
+// Inside an active shard scope the set is further restricted to the
+// shard's members whenever the shard has any satisfying machine; a shard
+// with zero local supply for js falls through to the global path
+// (cross-shard spill), so routing mistakes cost locality, never progress.
 func (d *Driver) CandidateWorkers(js *JobState) *bitset.Set {
+	if sh := d.shard; sh != nil && sh.active >= 0 {
+		if m := sh.plan.Satisfying(sh.active, js.Constraints); m.Count > 0 {
+			return m.Set
+		}
+	}
 	matches := d.cl.Matches()
 	cands, n := matches.SatisfyingWithCount(js.Constraints)
 	if n > 0 {
@@ -732,7 +765,29 @@ func (d *Driver) CandidateWorkers(js *JobState) *bitset.Set {
 
 // SampleWorkers draws up to k distinct workers uniformly from the candidate
 // set. When the set holds at most k workers it returns all of them.
+//
+// Candidate sets interned by an installed shard plan take a fast path: the
+// plan precomputed the set's popcount and ascending ID list, so drawing the
+// r-th member is one array index instead of an O(cluster/64) bitset rank
+// scan. The sample — and the random stream consumption — is identical to
+// the slow path's, because NthSet(r) over a bitset IS its r-th ascending ID.
 func (d *Driver) SampleWorkers(cands *bitset.Set, k int, stream *simulation.Stream) []*Worker {
+	if sh := d.shard; sh != nil {
+		if m := sh.plan.Lookup(cands); m != nil {
+			if m.Count == 0 {
+				return nil
+			}
+			if k > m.Count {
+				k = m.Count
+			}
+			ranks := stream.SampleWithoutReplacement(m.Count, k)
+			out := make([]*Worker, 0, k)
+			for _, r := range ranks {
+				out = append(out, d.workers[m.IDs[r]])
+			}
+			return out
+		}
+	}
 	n := cands.Count()
 	if n == 0 {
 		return nil

@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/bitset"
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// shardState is the driver's sharded shared-state machinery, installed by
+// the sharded meta-scheduler via SetSharding and absent (nil) on every
+// unsharded run — which is what keeps shard-count-1 runs byte-identical to
+// the plain path: the wrapper never installs a plan at one shard, so no
+// driver branch below ever fires.
+//
+// Two concerns live here:
+//
+//   - Scoping: while a shard is active (EnterShard), the worker-facing
+//     accessors — Workers, SetAllPolicies, CandidateWorkers, LiveSupplyOne
+//     — present only that shard's slice of the cluster, so an unmodified
+//     bundled scheduler runs against a shard as if it were the whole
+//     machine set.
+//
+//   - Optimistic commit (Arktos §2.5.1): each shard schedules against its
+//     own snapshot of per-worker placement state, refreshed once per
+//     heartbeat (SyncShardView). Every placement bumps the worker's epoch;
+//     a shard placing onto a worker whose epoch moved since its last
+//     refresh has scheduled against stale shared state — a cross-shard
+//     commit conflict. The commit layer charges the retry round-trip (the
+//     placement pays double network delay) and counts it in the
+//     digest-excluded CommitConflicts metric, then commits: placements are
+//     never dropped, so determinism needs no retry loop — the "retry" is
+//     the same decision landing one RTT later, which keeps the event
+//     sequence a pure function of the seed.
+type shardState struct {
+	plan *cluster.ShardPlan
+	// workers[k] is shard k's *Worker slice, ascending ID — the view
+	// Workers() serves while shard k is active.
+	workers [][]*Worker
+	// epoch[w] counts placements committed onto worker w.
+	epoch []uint32
+	// seen[k][w] is shard k's snapshot of epoch[w] as of its last
+	// SyncShardView (or its own latest commit on w).
+	seen [][]uint32
+	// active is the shard whose scheduler instance is currently running,
+	// -1 between shard contexts (driver-internal events, telemetry).
+	active int
+	// scratch is reused by LiveSupplyOne for members-and-down intersections.
+	scratch *bitset.Set
+}
+
+// SetSharding installs a shard plan, turning on the scoped accessors and
+// the optimistic-commit layer. The sharded meta-scheduler calls it once
+// from Init; plans must partition this driver's own cluster. Installing a
+// second plan is an error.
+func (d *Driver) SetSharding(plan *cluster.ShardPlan) error {
+	if plan == nil {
+		return fmt.Errorf("sched: nil shard plan")
+	}
+	if plan.Cluster() != d.cl {
+		return fmt.Errorf("sched: shard plan partitions a different cluster")
+	}
+	if d.shard != nil {
+		return fmt.Errorf("sched: sharding already installed")
+	}
+	n := d.cl.Size()
+	sh := &shardState{
+		plan:    plan,
+		workers: make([][]*Worker, plan.NumShards()),
+		epoch:   make([]uint32, n),
+		seen:    make([][]uint32, plan.NumShards()),
+		active:  -1,
+		scratch: bitset.New(n),
+	}
+	for k := range sh.workers {
+		ids := plan.MemberIDs(k)
+		ws := make([]*Worker, len(ids))
+		for i, id := range ids {
+			ws[i] = d.workers[id]
+		}
+		sh.workers[k] = ws
+		sh.seen[k] = make([]uint32, n)
+	}
+	d.shard = sh
+	return nil
+}
+
+// ShardPlan returns the installed shard plan, nil on unsharded runs.
+func (d *Driver) ShardPlan() *cluster.ShardPlan {
+	if d.shard == nil {
+		return nil
+	}
+	return d.shard.plan
+}
+
+// EnterShard makes shard k's scope active: until LeaveShard, the
+// worker-facing accessors present shard k's slice of the cluster and
+// placements commit against shard k's shared-state snapshot. The sharded
+// meta-scheduler brackets every delegation to an inner scheduler with
+// EnterShard/LeaveShard; contexts do not nest.
+func (d *Driver) EnterShard(k int) {
+	if d.shard != nil {
+		d.shard.active = k
+	}
+}
+
+// LeaveShard exits the active shard scope (see EnterShard).
+func (d *Driver) LeaveShard() {
+	if d.shard != nil {
+		d.shard.active = -1
+	}
+}
+
+// ActiveShard reports the shard scope currently active, -1 when none (also
+// -1 on unsharded runs).
+func (d *Driver) ActiveShard() int {
+	if d.shard == nil {
+		return -1
+	}
+	return d.shard.active
+}
+
+// SyncShardView refreshes shard k's snapshot of the shared placement state
+// to the present — after it, shard k's next placements see every commit
+// made so far and conflict only with commits that land afterwards. The
+// sharded meta-scheduler calls it once per shard per heartbeat, modeling
+// the periodic shared-state pull of the Arktos design.
+func (d *Driver) SyncShardView(k int) {
+	if d.shard != nil {
+		copy(d.shard.seen[k], d.shard.epoch)
+	}
+}
+
+// commitPlacement runs the optimistic-commit protocol for a placement onto
+// w and reports whether it conflicted: the active shard's snapshot of w is
+// stale, so its decision was made against shared state another shard (or a
+// driver-internal path) has since changed. Every placement — conflicted or
+// not — commits and bumps w's epoch; the shard that placed it updates its
+// own snapshot of w, so a shard never conflicts with itself.
+//
+// Placements outside any shard scope (driver-internal probe retries,
+// unsharded runs) commit without a conflict check; under a plan they still
+// bump the epoch so shard snapshots correctly go stale.
+func (d *Driver) commitPlacement(w *Worker) bool {
+	sh := d.shard
+	if sh == nil {
+		return false
+	}
+	k := sh.active
+	if k < 0 {
+		sh.epoch[w.ID]++
+		return false
+	}
+	conflicted := sh.seen[k][w.ID] != sh.epoch[w.ID]
+	if conflicted {
+		d.collector.CommitConflicts++
+	}
+	sh.epoch[w.ID]++
+	sh.seen[k][w.ID] = sh.epoch[w.ID]
+	return conflicted
+}
+
+// transitDelay is the network delay a placement pays in flight: one RTT
+// normally, two when the optimistic commit conflicted — the reject-and-
+// resubmit round of the commit-or-retry protocol.
+func (d *Driver) transitDelay(conflicted bool) simulation.Time {
+	if conflicted {
+		return 2 * d.cfg.NetworkDelay
+	}
+	return d.cfg.NetworkDelay
+}
+
+// shardLiveSupplyOne is LiveSupplyOne scoped to the active shard: the
+// shard's satisfying members minus those currently failed.
+func (d *Driver) shardLiveSupplyOne(cn constraint.Constraint) int {
+	sh := d.shard
+	members := sh.plan.Members(sh.active)
+	n := d.cl.SatisfyingOneAmong(cn, members)
+	if n == 0 || d.downCount == 0 {
+		return n
+	}
+	// CopyFrom/And cannot fail: all three sets span the cluster.
+	_ = sh.scratch.CopyFrom(members)
+	_ = sh.scratch.And(d.downSet)
+	return n - d.cl.SatisfyingOneAmong(cn, sh.scratch)
+}

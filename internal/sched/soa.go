@@ -144,6 +144,27 @@ func (d *Driver) fillBacklogHeap(h *backlogHeap, cands *bitset.Set, score func(*
 	h.reset()
 	now := d.engine.Now()
 	st := d.soa
+	if sh := d.shard; sh != nil {
+		if m := sh.plan.Lookup(cands); m != nil {
+			// Shard-interned candidate set: iterate its precomputed ID
+			// list (ascending, same visit order as the word scan below)
+			// instead of ranking bitset words.
+			for _, id32 := range m.IDs {
+				id := int(id32)
+				var s float64
+				if score != nil {
+					s = score(d.workers[id])
+				}
+				h.b = append(h.b, st.loadAt(id, now))
+				h.s = append(h.s, s)
+				h.id = append(h.id, id32)
+			}
+			for i := len(h.b)/2 - 1; i >= 0; i-- {
+				h.siftDown(i)
+			}
+			return
+		}
+	}
 	for wi, word := range cands.Words() {
 		for word != 0 {
 			id := wi<<6 + bits.TrailingZeros64(word)
@@ -201,6 +222,33 @@ func (d *Driver) LeastBacklogInScored(cands *bitset.Set, score func(*Worker) flo
 	bestID := -1
 	bestB := simulation.MaxTime
 	bestS := math.Inf(1)
+	if sh := d.shard; sh != nil {
+		if m := sh.plan.Lookup(cands); m != nil {
+			// Shard-interned candidate set: scan its precomputed ID list
+			// (ascending, the word scan's visit order) so the shard-local
+			// scan length is O(members), not O(cluster/64).
+			for _, id32 := range m.IDs {
+				id := int(id32)
+				b := st.loadAt(id, now)
+				if b > bestB {
+					continue
+				}
+				var s float64
+				if score != nil {
+					s = score(d.workers[id])
+				}
+				if bestID < 0 || b < bestB || s < bestS {
+					bestID = id
+					bestB = b
+					bestS = s
+				}
+			}
+			if bestID < 0 {
+				return nil
+			}
+			return d.workers[bestID]
+		}
+	}
 	for wi, word := range cands.Words() {
 		for word != 0 {
 			id := wi<<6 + bits.TrailingZeros64(word)

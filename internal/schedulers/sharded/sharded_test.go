@@ -1,0 +1,203 @@
+package sharded_test
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/sharded"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+	"github.com/phoenix-sched/phoenix/internal/validate"
+
+	_ "github.com/phoenix-sched/phoenix/internal/core"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/centralized"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/eagle"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/hawk"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/sparrow"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
+)
+
+// bundled are the six bundled schedulers the wrapper must wrap.
+var bundled = []string{"phoenix", "eagle-c", "hawk-c", "sparrow-c", "yacc-d", "centralized"}
+
+func testbed(t *testing.T, nodes, jobs int, load float64, seed uint64) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(nodes, simulation.NewRNG(seed).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumJobs = jobs
+	cfg.NumNodes = nodes
+	cfg.TargetLoad = load
+	tr, err := trace.Generate(cfg, cl, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr
+}
+
+func run(t *testing.T, s sched.Scheduler, cl *cluster.Cluster, tr *trace.Trace, seed uint64) *sched.Result {
+	t.Helper()
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	return res
+}
+
+// TestShardOneDigestIdentity is the shard-count-invariance contract: for
+// every bundled scheduler, a -shards 1 sharded run must produce a run
+// digest byte-identical to the unsharded scheduler's at the same seed. The
+// wrapper at one shard never installs a shard plan, so the only behavioral
+// difference is the wrapper's always-on heartbeat handler, which for inner
+// schedulers without one fires no-op events — invisible to the digest.
+func TestShardOneDigestIdentity(t *testing.T) {
+	cl, tr := testbed(t, 80, 250, 0.8, 3)
+	for _, name := range bundled {
+		plain, err := sched.NewByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrapped, err := sharded.New(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := run(t, plain, cl, tr, 7)
+		b := run(t, wrapped, cl, tr, 7)
+		if ad, bd := a.Collector.Digest(), b.Collector.Digest(); ad != bd {
+			t.Errorf("%s: unsharded digest %016x != sharded(x1) digest %016x", name, ad, bd)
+		}
+		if b.Collector.CommitConflicts != 0 {
+			t.Errorf("%s: %d commit conflicts at shard count 1", name, b.Collector.CommitConflicts)
+		}
+	}
+}
+
+// TestShardedCompletesAllJobs runs every bundled scheduler under 4 shards
+// with the invariant checker attached: sharding must never lose work, and
+// the checker's queue/accounting invariants must hold across shard scopes.
+func TestShardedCompletesAllJobs(t *testing.T) {
+	cl, tr := testbed(t, 100, 300, 0.8, 1)
+	for _, name := range bundled {
+		s, err := sharded.New(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := validate.Attach(d)
+		res, err := d.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := chk.Finalize(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+		if res.Collector.NumJobs() != len(tr.Jobs) {
+			t.Errorf("%s: completed %d/%d jobs", s.Name(), res.Collector.NumJobs(), len(tr.Jobs))
+		}
+	}
+}
+
+// TestShardedDeterministic re-runs a 4-shard configuration at the same
+// seed: the optimistic-commit protocol never drops or reorders work, so
+// conflicts — and everything downstream of their retry delays — must be a
+// pure function of the seed.
+func TestShardedDeterministic(t *testing.T) {
+	cl, tr := testbed(t, 80, 250, 0.85, 5)
+	for _, shards := range []int{2, 4} {
+		mk := func() sched.Scheduler {
+			s, err := sharded.New("phoenix", shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		a := run(t, mk(), cl, tr, 9)
+		b := run(t, mk(), cl, tr, 9)
+		if ad, bd := a.Collector.Digest(), b.Collector.Digest(); ad != bd {
+			t.Errorf("shards=%d: digest %016x != rerun digest %016x", shards, ad, bd)
+		}
+		if a.Collector.CommitConflicts != b.Collector.CommitConflicts {
+			t.Errorf("shards=%d: conflicts %d != rerun conflicts %d",
+				shards, a.Collector.CommitConflicts, b.Collector.CommitConflicts)
+		}
+	}
+}
+
+// TestShardedFaultToleranceUnderChurn runs 4-shard phoenix with fail-stop
+// churn: shard scopes must compose with the failure/recovery paths (which
+// run outside any shard context).
+func TestShardedFaultToleranceUnderChurn(t *testing.T) {
+	cl, tr := testbed(t, 60, 200, 0.85, 12)
+	cfg := sched.DefaultConfig()
+	cfg.FailureRatePerHour = 20
+	s, err := sharded.New("phoenix", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.NewDriver(cfg, cl, tr, s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := validate.Attach(d)
+	res, err := d.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	if err := chk.Finalize(); err != nil {
+		t.Errorf("%s under churn: %v", s.Name(), err)
+	}
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Errorf("%s: completed %d/%d jobs", s.Name(), res.Collector.NumJobs(), len(tr.Jobs))
+	}
+}
+
+// TestShardedRegistryDefault exercises the registry entry: "sharded" must
+// construct (phoenix over 4 shards) and run.
+func TestShardedRegistryDefault(t *testing.T) {
+	s, err := sched.NewByName("sharded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Name(); got != "sharded(phoenix x4)" {
+		t.Fatalf("registry default Name() = %q", got)
+	}
+	cl, tr := testbed(t, 60, 150, 0.8, 2)
+	res := run(t, s, cl, tr, 7)
+	if res.Collector.NumJobs() != len(tr.Jobs) {
+		t.Fatalf("completed %d/%d jobs", res.Collector.NumJobs(), len(tr.Jobs))
+	}
+}
+
+// TestShardedCountsConflicts checks the conflict counter moves under a
+// contended multi-shard run (cross-shard spill and stale snapshots are
+// unavoidable at this load) and that Phoenix's CRV surface aggregates.
+func TestShardedCountsConflicts(t *testing.T) {
+	cl, tr := testbed(t, 80, 300, 0.9, 4)
+	s, err := sharded.New("phoenix", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, s, cl, tr, 7)
+	t.Logf("conflicts: %d over %d probes", res.Collector.CommitConflicts, res.Collector.Probes)
+	if res.Collector.CommitConflicts < 0 {
+		t.Fatalf("negative conflict count %d", res.Collector.CommitConflicts)
+	}
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards() = %d", s.NumShards())
+	}
+	// Per-shard CRV must be readable for every shard (zero vectors are
+	// fine; out-of-range access would panic).
+	for k := 0; k < s.NumShards(); k++ {
+		_ = s.ShardCRV(k)
+	}
+}

@@ -11,14 +11,18 @@ import (
 
 // WriteCSV emits the recorded time series as CSV: one row per sample, one
 // column per signal, with one crv_<dimension> column per constraint
-// dimension. Missing windowed values (an interval with no dispatches) are
-// emitted as empty cells rather than NaN so the file loads cleanly into
-// standard tooling. The encoding is deterministic: same-seed runs produce
-// byte-identical files.
+// dimension and — when the CRV source is sharded (ShardCRVSource) — one
+// crv_max_shard<k> column per shard. Missing windowed values (an interval
+// with no dispatches) are emitted as empty cells rather than NaN so the
+// file loads cleanly into standard tooling. The encoding is deterministic:
+// same-seed runs produce byte-identical files.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cols := []string{"time_s", "crv_max", "crv_max_dim", "monitor_hot", "congested_workers"}
 	for _, d := range constraint.Dims {
 		cols = append(cols, "crv_"+dimSlug(d))
+	}
+	for k := 0; k < r.numShards; k++ {
+		cols = append(cols, fmt.Sprintf("crv_max_shard%d", k))
 	}
 	cols = append(cols,
 		"queued", "queued_probes", "busy_workers", "failed_workers",
@@ -26,7 +30,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		"max_est_wait_s", "started_tasks", "mean_wait_s", "max_wait_s",
 		"mean_abs_est_err_s", "finished_jobs", "reordered", "crv_reordered",
 		"probes", "probes_lost", "stolen", "rescheduled", "relaxed_jobs",
-		"placement_relaxed", "worker_failures",
+		"placement_relaxed", "worker_failures", "commit_conflicts",
 	)
 	if _, err := io.WriteString(w, strings.Join(cols, ",")+"\n"); err != nil {
 		return err
@@ -57,6 +61,14 @@ func (r *Recorder) csvRow(s *Sample) string {
 		b.WriteByte(',')
 		b.WriteString(csvFloat(s.CRV.Get(d)))
 	}
+	// Column count must match the header: r.numShards is fixed over the
+	// run, and ShardMaxCRV is only non-nil when it is non-zero.
+	for k := 0; k < r.numShards; k++ {
+		b.WriteByte(',')
+		if k < len(s.ShardMaxCRV) {
+			b.WriteString(csvFloat(s.ShardMaxCRV[k]))
+		}
+	}
 	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%d,%s,%s,%d,%s,%s,%s,%d",
 		s.QueuedEntries, s.QueuedProbes, s.BusyWorkers, s.FailedWorkers,
 		s.SlowedWorkers, s.SaturatedWorkers, csvFloat(s.MeanEstWaitSeconds),
@@ -64,10 +76,10 @@ func (r *Recorder) csvRow(s *Sample) string {
 		csvFloat(s.MeanWaitSeconds), csvFloat(s.MaxWaitSeconds),
 		csvFloat(s.MeanAbsEstErrSeconds), s.FinishedJobs)
 	c := &s.Counters
-	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 		c.ReorderedTasks, c.CRVReorderedTasks, c.Probes, c.ProbesLost,
 		c.StolenTasks, c.RescheduledProbes, c.RelaxedJobs,
-		c.PlacementRelaxed, c.WorkerFailures)
+		c.PlacementRelaxed, c.WorkerFailures, c.CommitConflicts)
 	return b.String()
 }
 

@@ -55,6 +55,19 @@ type CRVSource interface {
 	CongestedWorkers() int
 }
 
+// ShardCRVSource is implemented by CRV sources that additionally maintain
+// per-shard CRV state (the sharded meta-scheduler). When the supplied
+// Options.CRV also implements it, each sample records every shard's
+// maximum CRV element and the CSV gains one crv_max_shard<k> column per
+// shard — the per-partition contention view a global max would hide. The
+// methods must be read-only.
+type ShardCRVSource interface {
+	// NumShards reports the (fixed) shard count.
+	NumShards() int
+	// ShardCRV returns shard k's CRV as of its monitor's last refresh.
+	ShardCRV(k int) constraint.Vector
+}
+
 // Options configure a Recorder.
 type Options struct {
 	// Interval is the sampling cadence in virtual time; zero or negative
@@ -99,6 +112,10 @@ type Sample struct {
 	// CongestedWorkers is the scheduler-reported congested-worker count,
 	// when a CRVSource was supplied (0 otherwise).
 	CongestedWorkers int
+	// ShardMaxCRV is the per-shard maximum CRV element, when the CRV
+	// source also implements ShardCRVSource (nil otherwise). Index k is
+	// shard k; the length is fixed over a run.
+	ShardMaxCRV []float64
 
 	// QueuedEntries is the total queue depth across workers.
 	QueuedEntries int
@@ -148,6 +165,10 @@ type Recorder struct {
 	d       *sched.Driver
 	opts    Options
 	samples []Sample
+	// shardSrc is opts.CRV's per-shard view when it has one (resolved once
+	// at Attach); numShards caches its shard count for the CSV header.
+	shardSrc  ShardCRVSource
+	numShards int
 	// head is the ring write position once len(samples) == MaxSamples;
 	// totalSamples counts every sample ever taken, retained or not.
 	head         int
@@ -191,6 +212,10 @@ func Attach(d *sched.Driver, opts Options) *Recorder {
 		totalJobs: len(d.Trace().Jobs),
 		waitHist:  NewLatencyHistogram(),
 		respHist:  NewLatencyHistogram(),
+	}
+	if src, ok := opts.CRV.(ShardCRVSource); ok {
+		r.shardSrc = src
+		r.numShards = src.NumShards()
 	}
 	d.AttachObserver(r)
 	d.Every(opts.Interval, r.tick)
@@ -303,6 +328,13 @@ func (r *Recorder) sample(now simulation.Time) {
 	if src := r.opts.CRV; src != nil {
 		s.MonitorHot = src.CRVHot()
 		s.CongestedWorkers = src.CongestedWorkers()
+	}
+	if r.shardSrc != nil {
+		s.ShardMaxCRV = make([]float64, r.numShards)
+		for k := range s.ShardMaxCRV {
+			v := r.shardSrc.ShardCRV(k)
+			_, s.ShardMaxCRV[k] = v.Max()
+		}
 	}
 
 	s.StartedTasks = r.started
