@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner service sharded nightly experiments figures clean
+.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner service sharded gang nightly nightly-report experiments figures clean
 
 all: build test
 
@@ -17,6 +17,7 @@ ci:
 	$(MAKE) runner
 	$(MAKE) service
 	$(MAKE) sharded
+	$(MAKE) gang
 	$(MAKE) docs-check
 
 build:
@@ -71,6 +72,19 @@ sharded:
 	diff /tmp/sharded-ref.txt /tmp/sharded-one.txt
 	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -shards 4 -profile google -scale 0.05 -seed 7 -validate -digest
 
+# Policy plug-in smoke: the pass-through/determinism/invariant batteries
+# under the race detector, then two CLI golden diffs — a zero-fraction run
+# under the full policy stack must print the exact digest of the bare
+# scheduler (the invisibility contract; only the scheduler-name line may
+# differ), and a gang-flavored stacked run must complete with the
+# invariant checker clean.
+gang:
+	$(GO) test -race -count=1 ./internal/schedulers/policies/
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -profile google -scale 0.05 -seed 7 -digest | grep '^digest' | tee /tmp/gang-ref.txt
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -policies gang,preempt,backfill -profile google -scale 0.05 -seed 7 -digest | grep '^digest' | tee /tmp/gang-wrapped.txt
+	diff /tmp/gang-ref.txt /tmp/gang-wrapped.txt
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -policies gang,backfill -gang-fraction 0.3 -priority-fraction 0.2 -profile google -scale 0.05 -seed 7 -validate -digest
+
 # Parallel-runner smoke: diff the golden digest corpus, then exercise the
 # -jobs worker pool end to end through the CLI. The jobs=1 vs jobs=8
 # byte-identity battery itself (TestJobsDeterminism*) runs under the race
@@ -93,7 +107,19 @@ nightly:
 	$(GO) test -run '^$$' -bench 'BenchmarkServiceWindow' -benchmem -benchtime=2s ./internal/telemetry/ >> $(NIGHTLY_BENCH)
 	$(GO) test -run '^$$' -bench 'BenchmarkScaleOne' -benchmem -benchtime=3x . >> $(NIGHTLY_BENCH)
 	$(GO) test -run '^$$' -bench 'BenchmarkSharded' -benchmem -benchtime=3x . >> $(NIGHTLY_BENCH)
-	$(GO) run ./cmd/benchgate -threshold 0.15 -input $(NIGHTLY_BENCH) results/BENCH_engine.json results/BENCH_service.json results/BENCH_sharded.json
+	$(GO) test -run '^$$' -bench 'BenchmarkGang$$' -benchmem -benchtime=3x . >> $(NIGHTLY_BENCH)
+	$(GO) run ./cmd/benchgate -threshold 0.15 -input $(NIGHTLY_BENCH) results/BENCH_engine.json results/BENCH_service.json results/BENCH_sharded.json results/BENCH_gang.json
+
+# Nightly run-report artifact (see .github/workflows/nightly.yml): re-run
+# the scale-1.0 phoenix/google reference with telemetry attached and write
+# the Markdown run report plus its per-interval time series into
+# NIGHTLY_REPORT_DIR, which the workflow uploads as a build artifact.
+NIGHTLY_REPORT_DIR ?= /tmp/nightly-report
+nightly-report:
+	mkdir -p $(NIGHTLY_REPORT_DIR)
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -profile google -scale 1.0 -seed 7 \
+		-report $(NIGHTLY_REPORT_DIR)/report-google-phoenix.md \
+		-timeseries $(NIGHTLY_REPORT_DIR)/report-google-phoenix.csv
 
 # Regenerate every paper table/figure (tables to stdout, CSVs + SVGs to
 # results/). JOBS bounds concurrent work units; 0 means GOMAXPROCS.

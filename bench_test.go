@@ -9,6 +9,7 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/experiments"
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/policies"
 	"github.com/phoenix-sched/phoenix/internal/schedulers/sharded"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/trace"
@@ -150,6 +151,52 @@ func BenchmarkSharded(b *testing.B) {
 		s, err := sharded.NewWith("phoenix", 4, func() (sched.Scheduler, error) {
 			return opts.NewScheduler("phoenix")
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGang is the policy-layer reference: the paper-scale
+// phoenix/google workload regenerated with ext-gang's mix (20% of long
+// multi-task jobs as gangs, 15% of long jobs high-priority) and run
+// through the full backfill(preempt(gang(phoenix))) stack, the workload
+// `phoenix-sim -scheduler phoenix -policies gang,preempt,backfill
+// -gang-fraction 0.2 -priority-fraction 0.15 -scale 1.0 -seed 7`
+// executes. The delta against BenchmarkScaleOne is the reservation,
+// sweep, and backfill bookkeeping at paper scale. Recorded in
+// results/BENCH_gang.json and gated by cmd/benchgate in nightly CI.
+func BenchmarkGang(b *testing.B) {
+	cfg, err := trace.ConfigByName("google", 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.GangFraction = 0.2
+	cfg.PriorityFraction = 0.15
+	cl, err := cluster.GoogleProfile().GenerateCluster(cfg.NumNodes, simulation.NewRNG(42).Stream("cli/machines"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(cfg, cl, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := opts.NewScheduler("phoenix")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err = policies.Wrap(s, []string{"gang", "preempt", "backfill"})
 		if err != nil {
 			b.Fatal(err)
 		}

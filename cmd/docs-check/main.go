@@ -42,6 +42,10 @@ var defaultDirs = []string{
 	"internal/cluster",
 	"internal/sched",
 	"internal/simulation",
+	"internal/trace",
+	"internal/schedulers",
+	"internal/schedulers/policies",
+	"internal/schedulers/sharded",
 }
 
 func main() {

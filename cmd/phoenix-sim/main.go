@@ -17,13 +17,29 @@
 // deterministic fault campaign (internal/faults) from a scenario JSON file;
 // it overrides -failure-rate, and the report gains a fault timeline.
 //
+// -policies stacks composable policy plug-ins around the chosen scheduler
+// (including sharded), innermost-first:
+//
+//	phoenix-sim -scheduler phoenix -policies gang,preempt,backfill \
+//	    -gang-fraction 0.2 -priority-fraction 0.15 -scale 0.1
+//
+// gang adds all-or-nothing co-placement for jobs with gang widths,
+// preempt relocates lower-priority short probes queued ahead of
+// high-priority long jobs, and backfill slots short jobs into gang
+// reservation windows (DESIGN.md §17). -gang-fraction and
+// -priority-fraction flavor the synthetic workload; at zero (the
+// default) the policy stack is digest-invisible.
+//
 // -service switches to the open-loop live-service mode:
 //
 //	phoenix-sim -service -arrivals poisson -duration 600 -windows win.csv
 //	phoenix-sim -service -arrivals bursty -duration 0 -scheduler eagle-c
+//	phoenix-sim -service -replay workload.jsonl -rate 1.2 -window 30
 //
 // Jobs stream from a never-ending arrival process (poisson, diurnal, or
-// bursty) instead of a pre-materialized trace; admission closes at
+// bursty) instead of a pre-materialized trace — or, with -replay, from a
+// recorded JSONL trace streamed open-loop with -rate scaling its
+// inter-arrival gaps; admission closes at
 // -duration simulated seconds (0 = run until interrupted), queues drain
 // gracefully, and the summary reports steady-state tumbling-window wait
 // percentiles past the MSER warm-up cut. Ctrl-C (SIGINT/SIGTERM) triggers
@@ -39,6 +55,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"github.com/phoenix-sched/phoenix/internal/cluster"
@@ -47,6 +64,7 @@ import (
 	"github.com/phoenix-sched/phoenix/internal/metrics"
 	"github.com/phoenix-sched/phoenix/internal/profiling"
 	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/policies"
 	"github.com/phoenix-sched/phoenix/internal/schedulers/sharded"
 	"github.com/phoenix-sched/phoenix/internal/simulation"
 	"github.com/phoenix-sched/phoenix/internal/telemetry"
@@ -77,11 +95,15 @@ func run(args []string) (err error) {
 		doCheck   = fs.Bool("validate", false, "run the invariant checker and fail on any violation")
 		doDigest  = fs.Bool("digest", false, "print the run digest (same seed => same digest)")
 		shards    = fs.Int("shards", 1, "run the scheduler sharded over N cluster partitions (1 = unsharded; digests identical at 1)")
+		policyCSV = fs.String("policies", "", "policy plug-ins wrapped around the scheduler, comma-separated innermost-first: gang, preempt, backfill (e.g. gang,backfill = backfill(gang(s)))")
+		gangFrac  = fs.Float64("gang-fraction", 0, "fraction of long multi-task jobs generated as gangs (synthetic workloads only)")
+		prioFrac  = fs.Float64("priority-fraction", 0, "fraction of long jobs generated at high priority (synthetic workloads only)")
 
 		timeseriesPath = fs.String("timeseries", "", "write a per-interval telemetry CSV (CRV, waits, queue depths) to this file")
 		reportPath     = fs.String("report", "", "write a Markdown run report to this file")
 
 		service     = fs.Bool("service", false, "open-loop live-service mode: stream arrivals instead of replaying a trace")
+		replayPath  = fs.String("replay", "", "service mode: stream this recorded JSONL trace open-loop at -rate instead of synthetic arrivals")
 		arrivals    = fs.String("arrivals", "poisson", "service arrival process: poisson, diurnal, bursty")
 		duration    = fs.Float64("duration", 600, "service admission horizon in simulated seconds (0 = until interrupted)")
 		rate        = fs.Float64("rate", 1.0, "service arrival-rate multiplier (1.0 = the profile's calibrated load)")
@@ -118,24 +140,41 @@ func run(args []string) (err error) {
 		return err
 	}
 
+	if *replayPath != "" && !*service {
+		return fmt.Errorf("-replay streams a recorded trace open-loop; it requires -service")
+	}
 	var tr *trace.Trace
 	var svcCfg trace.GeneratorConfig
+	var replay *trace.ReplaySource
 	clusterSize := *nodes
 	if *service {
 		if *tracePath != "" {
-			return fmt.Errorf("-service streams synthetic arrivals; -trace is batch-only")
+			return fmt.Errorf("-service streams synthetic arrivals; -trace is batch-only (use -replay to stream a recorded trace)")
 		}
-		cfg, err := trace.ConfigByName(*profile, *scale)
-		if err != nil {
-			return err
+		if *replayPath != "" {
+			replay, err = trace.OpenReplay(*replayPath, *rate)
+			if err != nil {
+				return err
+			}
+			defer replay.Close()
+			if clusterSize == 0 {
+				clusterSize = replay.NumNodes()
+			}
+		} else {
+			cfg, err := trace.ConfigByName(*profile, *scale)
+			if err != nil {
+				return err
+			}
+			if *load > 0 {
+				cfg.TargetLoad = *load
+			}
+			cfg.GangFraction = *gangFrac
+			cfg.PriorityFraction = *prioFrac
+			if clusterSize == 0 {
+				clusterSize = cfg.NumNodes
+			}
+			svcCfg = cfg
 		}
-		if *load > 0 {
-			cfg.TargetLoad = *load
-		}
-		if clusterSize == 0 {
-			clusterSize = cfg.NumNodes
-		}
-		svcCfg = cfg
 	} else if *tracePath != "" {
 		tr, err = trace.ReadFile(*tracePath)
 		if err != nil {
@@ -152,6 +191,8 @@ func run(args []string) (err error) {
 		if *load > 0 {
 			cfg.TargetLoad = *load
 		}
+		cfg.GangFraction = *gangFrac
+		cfg.PriorityFraction = *prioFrac
 		if clusterSize == 0 {
 			clusterSize = cfg.NumNodes
 		}
@@ -200,6 +241,16 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	if *policyCSV != "" {
+		names := strings.Split(*policyCSV, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		s, err = policies.Wrap(s, names)
+		if err != nil {
+			return err
+		}
+	}
 
 	var scenario *faults.Scenario
 	if *faultPath != "" {
@@ -225,6 +276,7 @@ func run(args []string) (err error) {
 			cl:             cl,
 			sched:          s,
 			scenario:       scenario,
+			replay:         replay,
 			arrivals:       trace.ArrivalKind(*arrivals),
 			rate:           *rate,
 			durationSec:    *duration,
@@ -261,6 +313,9 @@ func run(args []string) (err error) {
 		topts := telemetry.Options{CRVThreshold: opts.Phoenix.CRVThreshold}
 		if src, ok := s.(telemetry.CRVSource); ok {
 			topts.CRV = src
+		}
+		if g, ok := s.(telemetry.GangSource); ok {
+			topts.Gang = g
 		}
 		rec = telemetry.Attach(d, topts)
 	}
@@ -321,6 +376,9 @@ type serviceParams struct {
 	cl       *cluster.Cluster
 	sched    sched.Scheduler
 	scenario *faults.Scenario
+	// replay streams a recorded trace instead of synthetic arrivals (the
+	// -replay flag); when set, cfg and arrivals are unused.
+	replay *trace.ReplaySource
 
 	arrivals    trace.ArrivalKind
 	rate        float64
@@ -366,12 +424,18 @@ func runService(p serviceParams) error {
 		p.maxSamples = autoMaxSamples
 	}
 
-	src, err := trace.NewArrivalSource(p.cfg, trace.ArrivalConfig{
-		Kind:           p.arrivals,
-		RateMultiplier: p.rate,
-	}, p.cl, p.traceSeed)
-	if err != nil {
-		return err
+	var src sched.JobSource
+	var err error
+	if p.replay != nil {
+		src = p.replay
+	} else {
+		src, err = trace.NewArrivalSource(p.cfg, trace.ArrivalConfig{
+			Kind:           p.arrivals,
+			RateMultiplier: p.rate,
+		}, p.cl, p.traceSeed)
+		if err != nil {
+			return err
+		}
 	}
 	d, err := sched.NewServiceDriver(p.simCfg, p.cl, src, p.sched, p.seed)
 	if err != nil {
@@ -404,6 +468,9 @@ func runService(p serviceParams) error {
 		if src, ok := p.sched.(telemetry.CRVSource); ok {
 			topts.CRV = src
 		}
+		if g, ok := p.sched.(telemetry.GangSource); ok {
+			topts.Gang = g
+		}
 		rec = telemetry.Attach(d, topts)
 	}
 
@@ -414,6 +481,11 @@ func runService(p serviceParams) error {
 	res, err := d.RunService(ctx, simulation.FromSeconds(p.durationSec))
 	if err != nil {
 		return err
+	}
+	if p.replay != nil {
+		if rerr := p.replay.Err(); rerr != nil {
+			return rerr
+		}
 	}
 	printServiceResult(p, src, wr, res)
 
@@ -432,13 +504,19 @@ func runService(p serviceParams) error {
 		for i := range res.Collector.Jobs() {
 			tasks += res.Collector.Jobs()[i].NumTasks
 		}
+		workload := fmt.Sprintf("service/%s/%s", p.cfg.Name, p.arrivals)
+		offered := p.rate * p.cfg.TargetLoad
+		if p.replay != nil {
+			workload = fmt.Sprintf("replay/%s", p.replay.Name())
+			offered = p.rate
+		}
 		meta := telemetry.Meta{
 			Scheduler:   res.Scheduler,
-			Workload:    fmt.Sprintf("service/%s/%s", p.cfg.Name, p.arrivals),
+			Workload:    workload,
 			Jobs:        res.JobsAdmitted,
 			Tasks:       tasks,
 			Workers:     res.NumWorkers,
-			OfferedLoad: p.rate * p.cfg.TargetLoad,
+			OfferedLoad: offered,
 			Seed:        p.seed,
 			Span:        res.Span,
 			Utilization: res.Utilization,
@@ -470,7 +548,7 @@ func runService(p serviceParams) error {
 	return nil
 }
 
-func printServiceResult(p serviceParams, src *trace.ArrivalSource, wr *telemetry.WindowRecorder, res *sched.ServiceResult) {
+func printServiceResult(p serviceParams, src sched.JobSource, wr *telemetry.WindowRecorder, res *sched.ServiceResult) {
 	c := res.Collector
 	fmt.Printf("scheduler      %s\n", res.Scheduler)
 	fmt.Printf("cluster        %d workers\n", res.NumWorkers)
@@ -478,8 +556,14 @@ func printServiceResult(p serviceParams, src *trace.ArrivalSource, wr *telemetry
 	if res.Horizon > 0 {
 		horizon = fmt.Sprintf("horizon %s", res.Horizon)
 	}
-	fmt.Printf("arrivals       %s x%.2f (base %.2f jobs/s), %s\n",
-		p.arrivals, p.rate, src.BaseRate(), horizon)
+	switch s := src.(type) {
+	case *trace.ReplaySource:
+		fmt.Printf("arrivals       replay %s x%.2f (%d/%d jobs emitted), %s\n",
+			s.Name(), s.Rate(), s.Emitted(), s.NumJobs(), horizon)
+	case *trace.ArrivalSource:
+		fmt.Printf("arrivals       %s x%.2f (base %.2f jobs/s), %s\n",
+			p.arrivals, p.rate, s.BaseRate(), horizon)
+	}
 	ending := "horizon reached"
 	if res.Cancelled {
 		ending = "interrupted, drained gracefully"

@@ -57,7 +57,8 @@ func TestNewSchedulerFactory(t *testing.T) {
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{
 		"ext-designspace", "ext-estimator", "ext-failures", "ext-fairness",
-		"ext-faultcampaign", "ext-placement", "ext-sharded", "ext-steadystate",
+		"ext-faultcampaign", "ext-gang", "ext-placement", "ext-sharded",
+		"ext-steadystate",
 		"fig2a", "fig2b", "fig3",
 		"fig4a", "fig4b", "fig4c", "fig6",
 		"fig7a", "fig7b", "fig7c",

@@ -70,6 +70,8 @@ var registry = map[string]entry{
 	"ext-steadystate": {SteadyState, seedsTimes(6)},
 	// Sharded scale-out: 4 shard counts per seed.
 	"ext-sharded": {ShardScaling, seedsTimes(4)},
+	// Gang/preempt/backfill policy compositions: 4 variants per seed.
+	"ext-gang": {GangPolicies, seedsTimes(4)},
 }
 
 // IDs lists every experiment identifier in sorted order.

@@ -42,6 +42,7 @@ func SteadyState(opts Options) (*Report, error) {
 		admitted            float64
 		windows, warmup     float64
 		p50, p95, p99, util float64
+		ci50, ci95, ci99    float64
 	}
 	n := len(scheds) * opts.Seeds
 	units := make([]cell, n)
@@ -56,6 +57,7 @@ func SteadyState(opts Options) (*Report, error) {
 			return err
 		}
 		p50, p95, p99 := wr.SteadyWaitPercentiles()
+		ci50, ci95, ci99 := wr.SteadyWaitCI()
 		units[i] = cell{
 			admitted: float64(sr.JobsAdmitted),
 			windows:  float64(wr.TotalWindows()),
@@ -64,6 +66,9 @@ func SteadyState(opts Options) (*Report, error) {
 			p95:      p95,
 			p99:      p99,
 			util:     sr.Utilization,
+			ci50:     ci50,
+			ci95:     ci95,
+			ci99:     ci99,
 		}
 		return nil
 	})
@@ -76,15 +81,18 @@ func SteadyState(opts Options) (*Report, error) {
 		Title: "Steady state: open-loop Poisson service runs, windowed wait percentiles past MSER warm-up",
 		Columns: []string{
 			"scheduler", "admitted", "windows", "warmup",
-			"wait_p50_s", "wait_p95_s", "wait_p99_s", "util",
+			"wait_p50_s", "p50_ci", "wait_p95_s", "p95_ci",
+			"wait_p99_s", "p99_ci", "util",
 		},
 		Notes: []string{
 			fmt.Sprintf("google profile, poisson arrivals at calibrated load, %ds horizon, %ds windows, graceful drain", steadyHorizonSeconds, steadyWindowSeconds),
 			"percentiles are medians across post-warm-up windows (streaming histograms, <=2.5% relative error)",
+			"p*_ci are 95% batch-means half-widths over the post-warm-up window series (mean over seeds)",
 		},
 	}
 	for si, name := range scheds {
 		var adm, win, wu, p50, p95, p99, util []float64
+		var ci50, ci95, ci99 []float64
 		for rep := 0; rep < opts.Seeds; rep++ {
 			u := units[rep*len(scheds)+si]
 			adm = append(adm, u.admitted)
@@ -94,13 +102,19 @@ func SteadyState(opts Options) (*Report, error) {
 			p95 = append(p95, u.p95)
 			p99 = append(p99, u.p99)
 			util = append(util, u.util)
+			ci50 = append(ci50, u.ci50)
+			ci95 = append(ci95, u.ci95)
+			ci99 = append(ci99, u.ci99)
 		}
 		rep.Rows = append(rep.Rows, []string{
 			name,
 			fmt.Sprintf("%.0f", meanOf(adm)),
 			fmt.Sprintf("%.1f", meanOf(win)),
 			fmt.Sprintf("%.1f", meanOf(wu)),
-			f(meanOf(p50)), f(meanOf(p95)), f(meanOf(p99)), f2(meanOf(util)),
+			f(meanOf(p50)), f(meanOf(ci50)),
+			f(meanOf(p95)), f(meanOf(ci95)),
+			f(meanOf(p99)), f(meanOf(ci99)),
+			f2(meanOf(util)),
 		})
 	}
 	return rep, nil

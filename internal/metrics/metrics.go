@@ -28,6 +28,14 @@ type JobRecord struct {
 	// Placement is the job's rack affinity policy.
 	Placement trace.Placement
 	NumTasks  int
+	// GangWidth is the job's gang (co-scheduling) width; 0 or 1 means the
+	// job had no gang semantics. Not folded into Digest (pre-gang digests
+	// must stay comparable); gang behavior perturbs the hashed outcomes
+	// whenever it matters.
+	GangWidth int
+	// Priority is the job's scheduling tier (0 = default). Not folded
+	// into Digest, for the same reason as GangWidth.
+	Priority int
 	// MaxQueueDelay is the largest per-task wait (time from the task
 	// becoming schedulable to starting execution) — the job's queuing time
 	// in the paper's sense, since the straggler determines completion.
@@ -91,6 +99,27 @@ type Collector struct {
 	// sharded meta-scheduler at shard count > 1, and the conflicts already
 	// perturb the hashed outcomes through the retry round-trip delay.
 	CommitConflicts int64
+	// GangsScheduled counts gang jobs committed all-or-nothing by the gang
+	// policy plug-in (every task placed onto a held reservation at once).
+	// Like ProbesLost and CommitConflicts it is deliberately excluded from
+	// Digest: it is nonzero only when the gang plug-in meets a trace with
+	// gang widths, and the co-placement already perturbs the hashed
+	// outcomes (waits, completions).
+	GangsScheduled int64
+	// GangAbandons counts gang reservations abandoned on timeout and
+	// requeued to the wrapped scheduler without co-placement. Excluded
+	// from Digest for the same reason as GangsScheduled.
+	GangAbandons int64
+	// Preemptions counts queued short-job probes evicted and requeued
+	// elsewhere by the preempt policy plug-in on behalf of a higher-
+	// priority long job. Excluded from Digest: nonzero only under the
+	// preempt plug-in with prioritized traces.
+	Preemptions int64
+	// Backfills counts short-job tasks the backfill policy plug-in slotted
+	// into held gang reservations (each provably finishing before the
+	// reservation's start estimate). Excluded from Digest: nonzero only
+	// under the backfill plug-in with live reservations.
+	Backfills int64
 	// WastedWork accumulates execution time lost to failures (the partial
 	// runs of tasks that had to restart).
 	WastedWork simulation.Time
@@ -158,6 +187,10 @@ type CounterSnapshot struct {
 	WorkerFailures    int64
 	ProbesLost        int64
 	CommitConflicts   int64
+	GangsScheduled    int64
+	GangAbandons      int64
+	Preemptions       int64
+	Backfills         int64
 	// WastedWork and BusyTime mirror the Collector's accumulated times.
 	WastedWork simulation.Time
 	BusyTime   simulation.Time
@@ -176,6 +209,10 @@ func (c *Collector) Counters() CounterSnapshot {
 		WorkerFailures:    c.WorkerFailures,
 		ProbesLost:        c.ProbesLost,
 		CommitConflicts:   c.CommitConflicts,
+		GangsScheduled:    c.GangsScheduled,
+		GangAbandons:      c.GangAbandons,
+		Preemptions:       c.Preemptions,
+		Backfills:         c.Backfills,
 		WastedWork:        c.WastedWork,
 		BusyTime:          c.BusyTime,
 	}
@@ -195,6 +232,10 @@ func (s CounterSnapshot) Sub(prev CounterSnapshot) CounterSnapshot {
 		WorkerFailures:    s.WorkerFailures - prev.WorkerFailures,
 		ProbesLost:        s.ProbesLost - prev.ProbesLost,
 		CommitConflicts:   s.CommitConflicts - prev.CommitConflicts,
+		GangsScheduled:    s.GangsScheduled - prev.GangsScheduled,
+		GangAbandons:      s.GangAbandons - prev.GangAbandons,
+		Preemptions:       s.Preemptions - prev.Preemptions,
+		Backfills:         s.Backfills - prev.Backfills,
 		WastedWork:        s.WastedWork - prev.WastedWork,
 		BusyTime:          s.BusyTime - prev.BusyTime,
 	}
@@ -215,6 +256,10 @@ var (
 	Constrained Filter = func(r *JobRecord) bool { return r.Constrained }
 	// Unconstrained selects jobs without constraints.
 	Unconstrained Filter = func(r *JobRecord) bool { return !r.Constrained }
+	// Gang selects jobs that demanded gang (all-or-nothing) placement.
+	Gang Filter = func(r *JobRecord) bool { return r.GangWidth > 1 }
+	// HighPriority selects jobs above the default priority tier.
+	HighPriority Filter = func(r *JobRecord) bool { return r.Priority > 0 }
 )
 
 // Placed selects jobs with the given rack placement policy.

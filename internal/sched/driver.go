@@ -65,6 +65,12 @@ type Driver struct {
 	// SetProbeFilter.
 	probeFilter func(w *Worker, js *JobState) bool
 
+	// reservations is the per-worker gang-reservation record
+	// (reservation.go), lazily allocated alongside soa.resStartBy on the
+	// first ReserveWorker call; nil on every run that never reserves.
+	reservations  []reservation
+	reservedCount int
+
 	// shard is the sharded shared-state machinery (sharding.go), installed
 	// only by the sharded meta-scheduler via SetSharding; nil on every
 	// unsharded run, so the plain path never branches on it being active.
@@ -586,6 +592,7 @@ func (d *Driver) tryDispatch(w *Worker) {
 		if idx < 0 {
 			return
 		}
+		gated := false
 		e := w.queue[idx]
 		if e.Task == nil && e.Job.Unclaimed() == 0 {
 			w.discardAt(idx)
@@ -593,10 +600,34 @@ func (d *Driver) tryDispatch(w *Worker) {
 			d.notifyDequeue(w, e, DequeueStale)
 			continue // stale probe
 		}
+		if d.soa.resStartBy != nil && d.reservationBlocks(w, e, d.engine.Now()) {
+			// A gang reservation holds the slot: only its own job, or work
+			// that provably drains before the deadline, may start. The
+			// policy's pick is blocked, but another queued entry may pass the
+			// gate — above all the reserving job's own task, which nothing
+			// else will ever re-kick — so fall back to the first admissible
+			// entry instead of stalling the queue outright.
+			idx = d.reservationFallback(w, d.engine.Now())
+			if idx < 0 {
+				return
+			}
+			gated = true
+			e = w.queue[idx]
+			if e.Task == nil && e.Job.Unclaimed() == 0 {
+				w.discardAt(idx)
+				d.releaseLong(w, e)
+				d.notifyDequeue(w, e, DequeueStale)
+				continue // stale probe
+			}
+		}
 		if idx > 0 {
 			d.collector.ReorderedTasks++
 		}
-		w.removeAt(idx)
+		if gated {
+			d.removeAtReserved(w, idx, d.engine.Now())
+		} else {
+			w.removeAt(idx)
+		}
 		task := e.Task
 		if task == nil {
 			// Non-nil: Unclaimed was checked above and nothing can claim
@@ -612,6 +643,11 @@ func (d *Driver) tryDispatch(w *Worker) {
 // fetch the task from the scheduler (late binding's placement latency);
 // bound tasks shipped with their payload and start immediately.
 func (d *Driver) startTask(w *Worker, e *Entry, task *trace.Task) {
+	if d.soa.resStartBy != nil && d.soa.resStartBy[w.ID] >= 0 && d.reservations[w.ID].js == e.Job {
+		// The reserving gang's own task is starting: the reservation has
+		// done its job, release the slot record (release-on-start).
+		d.clearReservation(w)
+	}
 	start := d.engine.Now()
 	if e.IsProbe() {
 		start += d.cfg.NetworkDelay
@@ -705,6 +741,8 @@ func (d *Driver) finishJob(js *JobState, now simulation.Time) {
 		Dims:          js.Job.Constraints().Dims(),
 		Placement:     js.Placement,
 		NumTasks:      len(js.Job.Tasks),
+		GangWidth:     js.Job.GangWidth,
+		Priority:      js.Job.Priority,
 		MaxQueueDelay: js.maxWait,
 		SumQueueDelay: js.sumWait,
 	})

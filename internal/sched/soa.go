@@ -19,17 +19,28 @@ import (
 type workerSoA struct {
 	// backlog is the summed estimated duration of queued and in-flight
 	// entries per worker — reserved at placement time (see Worker.backlog's
-	// former field comment, now Worker.QueuedWork).
+	// former field comment, now Worker.QueuedWork). A gang reservation also
+	// parks its expected hold here (added at reserve, removed at release),
+	// so placement scans steer new work away from reserved slots without a
+	// third array in the hot loadAt path.
 	backlog []simulation.Time
 	// runningEnds is the scheduled completion time of the running task, or
 	// idleEnds when the slot is free. The sentinel keeps the load scan
 	// branch-free: idleEnds never exceeds a valid clock, so the running
 	// remainder contributes zero without consulting a separate busy flag.
 	runningEnds []simulation.Time
+	// resStartBy is the per-worker gang-reservation deadline (reservation.go),
+	// or noReservation when the slot is unreserved. It stays nil until the
+	// first ReserveWorker call, so runs that never reserve pay exactly one
+	// nil check per dispatch and nothing on placement scans.
+	resStartBy []simulation.Time
 }
 
 // idleEnds marks a free execution slot in workerSoA.runningEnds.
 const idleEnds = simulation.Time(-1)
+
+// noReservation marks an unreserved slot in workerSoA.resStartBy.
+const noReservation = simulation.Time(-1)
 
 func newWorkerSoA(n int) *workerSoA {
 	st := &workerSoA{

@@ -1,0 +1,185 @@
+package policies
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// GangOptions parameterizes the gang policy.
+type GangOptions struct {
+	// Timeout is how long a gang may hold partial reservations before the
+	// policy abandons co-placement and requeues the job to the inner
+	// scheduler. It doubles as the reservation deadline the driver's
+	// dispatch gate and the backfill policy reason against: a reservation
+	// provably lifts by its gang's deadline, so work that drains before it
+	// is safe to slot in.
+	Timeout simulation.Time
+}
+
+// DefaultGangOptions returns the bundled configuration.
+func DefaultGangOptions() GangOptions {
+	return GangOptions{Timeout: 60 * simulation.Second}
+}
+
+// gangState tracks one gang job from submission to commit or abandon.
+type gangState struct {
+	js       *sched.JobState
+	width    int
+	deadline simulation.Time
+	reserved []*sched.Worker
+	// done marks a committed or abandoned gang; the armed timeout event
+	// checks it instead of being cancelled.
+	done bool
+}
+
+// Gang is the gang (co-scheduling) policy plug-in: jobs with GangWidth > 1
+// wait in an FCFS queue while the policy reserves idle candidate workers
+// one by one (deterministic reservation); when the head gang holds
+// GangWidth workers, every task is placed onto the reserved slots at once
+// (all-or-nothing commit) and each reservation lifts as its task starts. A
+// gang that cannot assemble its width within the timeout abandons: its
+// reservations release and the job falls back to the inner scheduler
+// without co-placement, counted in the digest-excluded GangAbandons.
+//
+// Strict FCFS — only the head gang acquires reservations — trades
+// throughput for a deadlock-free, deterministic protocol: two gangs can
+// never starve each other holding partial worker sets. Non-gang jobs pass
+// straight through to the inner scheduler.
+type Gang struct {
+	base
+	opts    GangOptions
+	waiting []*gangState
+}
+
+// NewGang wraps inner with the gang policy at default options.
+func NewGang(inner sched.Scheduler) *Gang { return NewGangWith(inner, DefaultGangOptions()) }
+
+// NewGangWith wraps inner with the gang policy at explicit options.
+func NewGangWith(inner sched.Scheduler, opts GangOptions) *Gang {
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultGangOptions().Timeout
+	}
+	return &Gang{base: newBase(inner), opts: opts}
+}
+
+// Name identifies the wrapper and its inner scheduler, e.g. "gang(phoenix)".
+func (g *Gang) Name() string { return fmt.Sprintf("gang(%s)", g.inner.Name()) }
+
+// GangsWaiting reports how many gang jobs are queued for reservations here
+// plus in any stacked gang policy inside this one — the telemetry gauge
+// behind the gangs_waiting column.
+func (g *Gang) GangsWaiting() int { return len(g.waiting) + g.base.GangsWaiting() }
+
+// SubmitJob enqueues gang jobs for reservation assembly and passes
+// everything else through to the inner scheduler.
+func (g *Gang) SubmitJob(d *sched.Driver, js *sched.JobState) {
+	if js.Job.GangWidth <= 1 {
+		g.inner.SubmitJob(d, js)
+		return
+	}
+	gs := &gangState{js: js, width: js.Job.GangWidth, deadline: d.Now() + g.opts.Timeout}
+	g.waiting = append(g.waiting, gs)
+	d.After(g.opts.Timeout, func() { g.abandon(d, gs) })
+	g.pump(d)
+}
+
+// OnWorkerIdle gives the gang queue first claim on a freshly idle worker,
+// then delegates to the inner scheduler's idle hook (which would otherwise
+// steal work onto a slot the head gang needs).
+func (g *Gang) OnWorkerIdle(d *sched.Driver, w *sched.Worker) {
+	g.pump(d)
+	g.base.OnWorkerIdle(d, w)
+}
+
+// pump advances the head of the FCFS gang queue: acquire idle candidate
+// workers until the head holds its width, then commit and move on. It
+// returns as soon as the head cannot complete (head-of-line order is what
+// keeps reservation assembly deadlock-free).
+func (g *Gang) pump(d *sched.Driver) {
+	for len(g.waiting) > 0 {
+		gs := g.waiting[0]
+		g.acquire(d, gs)
+		if len(gs.reserved) < gs.width {
+			return
+		}
+		g.commit(d, gs)
+		g.remove(gs)
+	}
+}
+
+// acquire reserves idle, unreserved, empty-queue candidate workers for gs
+// in ascending worker-ID order until the gang holds its width.
+func (g *Gang) acquire(d *sched.Driver, gs *gangState) {
+	if len(gs.reserved) >= gs.width {
+		return
+	}
+	cands := d.CandidateWorkers(gs.js)
+	for wi, word := range cands.Words() {
+		for word != 0 {
+			id := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			w := d.Worker(id)
+			if w == nil || w.Failed() || !w.Idle() || w.QueueLen() > 0 || d.Reserved(w) {
+				continue
+			}
+			if !d.ReserveWorker(w, gs.js, gs.deadline) {
+				continue
+			}
+			gs.reserved = append(gs.reserved, w)
+			if len(gs.reserved) >= gs.width {
+				return
+			}
+		}
+	}
+}
+
+// commit places every task of the gang at once, round-robin over the
+// reserved workers (gang width equals the task count for synthesized
+// traces; hand-built traces may stack several tasks per slot). The driver's
+// dispatch gate admits the reserving job's own entries, and each
+// reservation lifts as its task starts (release-on-start).
+func (g *Gang) commit(d *sched.Driver, gs *gangState) {
+	gs.done = true
+	for i := 0; ; i++ {
+		t := gs.js.Claim()
+		if t == nil {
+			break
+		}
+		d.EnqueueTask(gs.reserved[i%len(gs.reserved)], gs.js, t)
+	}
+	d.Collector().GangsScheduled++
+}
+
+// abandon fires at the gang's deadline: if it has not committed, release
+// every held reservation and requeue the job to the inner scheduler
+// without co-placement.
+func (g *Gang) abandon(d *sched.Driver, gs *gangState) {
+	if gs.done {
+		return
+	}
+	gs.done = true
+	g.remove(gs)
+	held := gs.reserved
+	gs.reserved = nil
+	for _, w := range held {
+		// Release re-kicks dispatch and may fire idle hooks, re-entering
+		// pump for the new head gang; gs is already out of the queue.
+		d.ReleaseReservation(w)
+	}
+	d.Collector().GangAbandons++
+	g.inner.SubmitJob(d, gs.js)
+	g.pump(d)
+}
+
+// remove deletes gs from the waiting queue.
+func (g *Gang) remove(gs *gangState) {
+	for i, q := range g.waiting {
+		if q == gs {
+			g.waiting = append(g.waiting[:i], g.waiting[i+1:]...)
+			return
+		}
+	}
+}

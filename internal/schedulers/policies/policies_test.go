@@ -1,0 +1,263 @@
+package policies_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/policies"
+	"github.com/phoenix-sched/phoenix/internal/schedulers/sharded"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+	"github.com/phoenix-sched/phoenix/internal/validate"
+
+	_ "github.com/phoenix-sched/phoenix/internal/core"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/centralized"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/eagle"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/hawk"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/sparrow"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
+)
+
+// bundled are the six bundled schedulers every policy must compose with.
+var bundled = []string{"phoenix", "eagle-c", "hawk-c", "sparrow-c", "yacc-d", "centralized"}
+
+// compositions are the policy stacks the determinism battery covers,
+// innermost-first as Wrap applies them.
+var compositions = [][]string{
+	{"gang"},
+	{"preempt"},
+	{"backfill"},
+	{"gang", "preempt", "backfill"},
+}
+
+// testbed builds a cluster and trace; gangFrac/prioFrac add gang widths
+// and priority tiers to the standard Google workload.
+func testbed(t *testing.T, nodes, jobs int, load, gangFrac, prioFrac float64, seed uint64) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(nodes, simulation.NewRNG(seed).Stream("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumJobs = jobs
+	cfg.NumNodes = nodes
+	cfg.TargetLoad = load
+	cfg.GangFraction = gangFrac
+	cfg.PriorityFraction = prioFrac
+	tr, err := trace.Generate(cfg, cl, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr
+}
+
+func run(t *testing.T, s sched.Scheduler, cl *cluster.Cluster, tr *trace.Trace, seed uint64) *sched.Result {
+	t.Helper()
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	return res
+}
+
+// runChecked runs with the invariant checker attached and fails on any
+// violation.
+func runChecked(t *testing.T, s sched.Scheduler, cl *cluster.Cluster, tr *trace.Trace, seed uint64) *sched.Result {
+	t.Helper()
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := validate.Attach(d)
+	res, err := d.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	if err := chk.Finalize(); err != nil {
+		t.Errorf("%s: %v", s.Name(), err)
+	}
+	return res
+}
+
+func wrap(t *testing.T, inner string, names []string) sched.Scheduler {
+	t.Helper()
+	s, err := sched.NewByName(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = policies.Wrap(s, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPassThroughDigestIdentity is the invisibility contract: on a trace
+// with no gang widths and no priority tiers, every policy wrapper (alone
+// and stacked) around every bundled scheduler must produce a run digest
+// byte-identical to the bare scheduler's at the same seed. The wrappers
+// consume no driver randomness of their own and the generator's gang and
+// priority streams draw nothing at fraction zero, so the PR cannot move
+// any pre-existing digest.
+func TestPassThroughDigestIdentity(t *testing.T) {
+	cl, tr := testbed(t, 60, 150, 0.8, 0, 0, 3)
+	for _, inner := range bundled {
+		want := run(t, wrap(t, inner, nil), cl, tr, 7).Collector.Digest()
+		for _, names := range compositions {
+			s := wrap(t, inner, names)
+			got := run(t, s, cl, tr, 7).Collector.Digest()
+			if got != want {
+				t.Errorf("%s: digest %016x != bare %s digest %016x on a gang-free trace",
+					s.Name(), got, inner, want)
+			}
+		}
+	}
+}
+
+// TestPolicyDeterminism re-runs every composition around every bundled
+// scheduler on a gang-flavored trace: same seed must reproduce the digest
+// bit-for-bit.
+func TestPolicyDeterminism(t *testing.T) {
+	cl, tr := testbed(t, 60, 150, 0.85, 0.3, 0.2, 4)
+	for _, inner := range bundled {
+		for _, names := range compositions {
+			a := run(t, wrap(t, inner, names), cl, tr, 9).Collector.Digest()
+			b := run(t, wrap(t, inner, names), cl, tr, 9).Collector.Digest()
+			if a != b {
+				t.Errorf("%s around %s: same-seed digests differ: %016x vs %016x",
+					strings.Join(names, ","), inner, a, b)
+			}
+		}
+	}
+}
+
+// TestPolicyInvariants runs the full stack around every bundled scheduler
+// on a gang-heavy constrained trace with the invariant checker attached:
+// no constraint-violating start, exact accounting, every job completes.
+func TestPolicyInvariants(t *testing.T) {
+	cl, tr := testbed(t, 80, 250, 0.9, 0.3, 0.2, 5)
+	for _, inner := range bundled {
+		s := wrap(t, inner, []string{"gang", "preempt", "backfill"})
+		res := runChecked(t, s, cl, tr, 7)
+		if res.Collector.NumJobs() != len(tr.Jobs) {
+			t.Errorf("%s: completed %d/%d jobs", s.Name(), res.Collector.NumJobs(), len(tr.Jobs))
+		}
+		if res.Collector.BusyTime != tr.TotalWork() {
+			t.Errorf("%s: busy %v != total work %v", s.Name(), res.Collector.BusyTime, tr.TotalWork())
+		}
+	}
+}
+
+// TestShardedComposition wraps the policy stack around the sharded
+// meta-scheduler: the composition must validate cleanly, complete every
+// job, and stay deterministic at the same seed.
+func TestShardedComposition(t *testing.T) {
+	cl, tr := testbed(t, 80, 250, 0.85, 0.3, 0.2, 6)
+	mk := func() sched.Scheduler {
+		inner, err := sharded.New("phoenix", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := policies.Wrap(inner, []string{"gang", "backfill"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := runChecked(t, mk(), cl, tr, 7)
+	if a.Collector.NumJobs() != len(tr.Jobs) {
+		t.Errorf("completed %d/%d jobs", a.Collector.NumJobs(), len(tr.Jobs))
+	}
+	b := run(t, mk(), cl, tr, 7)
+	if ad, bd := a.Collector.Digest(), b.Collector.Digest(); ad != bd {
+		t.Errorf("same-seed digests differ: %016x vs %016x", ad, bd)
+	}
+}
+
+// TestGangCommitsPreemptsAndBackfills checks that each policy actually
+// fires on a workload that exercises it: gangs are committed atomically,
+// high-priority sweeps move short probes, and short jobs ride reservation
+// windows.
+func TestGangCommitsPreemptsAndBackfills(t *testing.T) {
+	cl, tr := testbed(t, 80, 400, 0.85, 0.35, 0.25, 8)
+	s := wrap(t, "phoenix", []string{"gang", "preempt", "backfill"})
+	res := runChecked(t, s, cl, tr, 7)
+	c := res.Collector
+	if c.GangsScheduled == 0 {
+		t.Error("no gangs committed")
+	}
+	if c.Preemptions == 0 {
+		t.Error("no preemptions")
+	}
+	if c.Backfills == 0 {
+		t.Error("no backfills")
+	}
+	if c.NumJobs() != len(tr.Jobs) {
+		t.Errorf("completed %d/%d jobs", c.NumJobs(), len(tr.Jobs))
+	}
+}
+
+// TestGangAbandonFallsBack forces reservation timeouts with a short fuse
+// on a saturated cluster: abandoned gangs must fall back to the inner
+// scheduler so every job still completes exactly once.
+func TestGangAbandonFallsBack(t *testing.T) {
+	cl, tr := testbed(t, 40, 300, 1.1, 0.5, 0, 10)
+	inner, err := sched.NewByName("phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := policies.NewGangWith(inner, policies.GangOptions{Timeout: 5 * simulation.Second})
+	res := runChecked(t, s, cl, tr, 7)
+	c := res.Collector
+	if c.GangAbandons == 0 {
+		t.Error("no gang abandons despite the 5s fuse on a saturated cluster")
+	}
+	if c.NumJobs() != len(tr.Jobs) {
+		t.Errorf("completed %d/%d jobs after abandons", c.NumJobs(), len(tr.Jobs))
+	}
+	if c.BusyTime != tr.TotalWork() {
+		t.Errorf("busy %v != total work %v", c.BusyTime, tr.TotalWork())
+	}
+}
+
+// TestWrapNames checks name composition and the Wrap error paths.
+func TestWrapNames(t *testing.T) {
+	s := wrap(t, "phoenix", []string{"gang", "preempt", "backfill"})
+	if got := s.Name(); got != "backfill(preempt(gang(phoenix)))" {
+		t.Errorf("Name() = %q", got)
+	}
+	inner, err := sched.NewByName("phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same, err := policies.Wrap(inner, nil); err != nil || same != inner {
+		t.Errorf("Wrap(s, nil) = %v, %v; want inner unchanged", same, err)
+	}
+	if _, err := policies.Wrap(inner, []string{"fifo"}); err == nil {
+		t.Error("unknown policy name accepted")
+	}
+}
+
+// TestRegistryNames checks that the three plug-ins are registered and
+// construct phoenix-wrapped instances by name.
+func TestRegistryNames(t *testing.T) {
+	for name, want := range map[string]string{
+		"gang":     "gang(phoenix)",
+		"preempt":  "preempt(phoenix)",
+		"backfill": "backfill(phoenix)",
+	} {
+		s, err := sched.NewByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != want {
+			t.Errorf("NewByName(%q).Name() = %q, want %q", name, s.Name(), want)
+		}
+	}
+}

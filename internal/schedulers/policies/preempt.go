@@ -1,0 +1,83 @@
+package policies
+
+import (
+	"fmt"
+
+	"github.com/phoenix-sched/phoenix/internal/sched"
+)
+
+// Preempt is the priority-preemption policy plug-in: when a long job with
+// Priority above the default tier is submitted, the policy lets the inner
+// scheduler place it, then — once the placements have landed after one
+// network delay — sweeps each worker queue the job reached and evicts the
+// lower-priority short-job probes queued ahead of it. Evicted probes are
+// not lost: each is requeued (one network delay in transit) onto the
+// least-backlogged candidate elsewhere, and the move is accounted in the
+// digest-excluded Preemptions counter.
+//
+// Only late-binding probes are evicted. A probe carries no claimed task,
+// so moving it forfeits nothing — the job binds wherever the probe drains
+// first — whereas evicting a bound task would discard placement work the
+// inner scheduler already committed. Jobs at the default priority tier
+// pass through untouched, so a trace with no priorities is byte-identical
+// to the bare inner scheduler.
+type Preempt struct {
+	base
+}
+
+// NewPreempt wraps inner with the priority-preemption policy.
+func NewPreempt(inner sched.Scheduler) *Preempt { return &Preempt{base: newBase(inner)} }
+
+// Name identifies the wrapper and its inner scheduler, e.g.
+// "preempt(phoenix)".
+func (p *Preempt) Name() string { return fmt.Sprintf("preempt(%s)", p.inner.Name()) }
+
+// SubmitJob places js through the inner scheduler and, for prioritized long
+// jobs, schedules the eviction sweep for when the placements have landed
+// (they ride one network delay; sweeping immediately would find nothing in
+// the queues yet).
+func (p *Preempt) SubmitJob(d *sched.Driver, js *sched.JobState) {
+	p.inner.SubmitJob(d, js)
+	if js.Short || js.Job.Priority <= 0 {
+		return
+	}
+	d.After(d.Config().NetworkDelay, func() { p.sweep(d, js) })
+}
+
+// sweep walks every worker queue holding an entry of js and moves the
+// lower-priority short-job probes queued ahead of it to the least-loaded
+// candidate worker elsewhere, so the prioritized entry reaches the slot
+// sooner without idling the evictees.
+func (p *Preempt) sweep(d *sched.Driver, js *sched.JobState) {
+	for _, victim := range d.Workers() {
+		q := victim.Queue()
+		h := -1
+		for i, e := range q {
+			if e.Job == js {
+				h = i
+				break
+			}
+		}
+		if h <= 0 {
+			continue
+		}
+		for i := 0; i < h; {
+			e := victim.Queue()[i]
+			if !e.IsProbe() || !e.Job.Short || e.Job.Job.Priority >= js.Job.Priority {
+				i++
+				continue
+			}
+			thief := d.LeastBacklogIn(d.CandidateWorkers(e.Job))
+			if thief == nil || thief == victim {
+				i++
+				continue
+			}
+			if !d.MoveEntry(victim, thief, i) {
+				i++
+				continue
+			}
+			d.Collector().Preemptions++
+			h--
+		}
+	}
+}

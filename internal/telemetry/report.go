@@ -67,6 +67,7 @@ func (r *Recorder) Report(m Meta, c *metrics.Collector) string {
 	r.writeWaitDistribution(&b)
 	r.writeTriggerTimeline(&b)
 	r.writeContentionTable(&b)
+	r.writeGangSection(&b, c)
 	r.writeCounters(&b, c)
 	return b.String()
 }
@@ -238,6 +239,34 @@ func (r *Recorder) writeContentionTable(b *strings.Builder) {
 			dimSlug(d), peak, sum/float64(n), over, n, 100*float64(over)/float64(n))
 	}
 	b.WriteString("\n")
+}
+
+// writeGangSection renders the gang/preemption/backfill outcome table,
+// omitted entirely for runs where no policy plug-in acted — reports from
+// plain schedulers stay byte-identical to reports built before the policy
+// layer existed.
+func (r *Recorder) writeGangSection(b *strings.Builder, c *metrics.Collector) {
+	cs := c.Counters()
+	if cs.GangsScheduled == 0 && cs.GangAbandons == 0 &&
+		cs.Preemptions == 0 && cs.Backfills == 0 {
+		return
+	}
+	b.WriteString("## Gang scheduling and policy plug-ins\n\n")
+	b.WriteString("| outcome | count |\n|---|---|\n")
+	fmt.Fprintf(b, "| gangs co-placed (all-or-nothing commit) | %d |\n", cs.GangsScheduled)
+	fmt.Fprintf(b, "| gangs abandoned (timeout, fell back to inner) | %d |\n", cs.GangAbandons)
+	fmt.Fprintf(b, "| probes preempted (requeued for priority) | %d |\n", cs.Preemptions)
+	fmt.Fprintf(b, "| tasks backfilled into reservations | %d |\n\n", cs.Backfills)
+	if n := len(c.ResponseTimes(metrics.Gang)); n > 0 {
+		p := c.ResponsePercentiles(metrics.Gang)
+		fmt.Fprintf(b, "Gang jobs: %d, response p50 %s, p90 %s, p99 %s.\n\n",
+			n, seconds(p.P50), seconds(p.P90), seconds(p.P99))
+	}
+	if n := len(c.ResponseTimes(metrics.HighPriority)); n > 0 {
+		p := c.ResponsePercentiles(metrics.HighPriority)
+		fmt.Fprintf(b, "High-priority jobs: %d, response p50 %s, p90 %s, p99 %s.\n\n",
+			n, seconds(p.P50), seconds(p.P90), seconds(p.P99))
+	}
 }
 
 // writeCounters renders the end-of-run scheduler counters.

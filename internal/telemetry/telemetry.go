@@ -68,6 +68,16 @@ type ShardCRVSource interface {
 	ShardCRV(k int) constraint.Vector
 }
 
+// GangSource is implemented by schedulers that queue gang jobs for
+// all-or-nothing co-placement (the gang policy plug-in, and wrappers that
+// forward a stacked one). When a source is supplied, each sample records
+// how many gangs were waiting on reservations — the gauge behind the
+// gangs_waiting CSV column. The method must be read-only.
+type GangSource interface {
+	// GangsWaiting reports how many gang jobs are queued for reservations.
+	GangsWaiting() int
+}
+
 // Options configure a Recorder.
 type Options struct {
 	// Interval is the sampling cadence in virtual time; zero or negative
@@ -80,6 +90,9 @@ type Options struct {
 	// and per-dimension table classify against; zero means
 	// DefaultCRVThreshold.
 	CRVThreshold float64
+	// Gang optionally supplies the scheduler's waiting-gang gauge (see
+	// GangSource). Nil is valid for schedulers without gang support.
+	Gang GangSource
 	// MaxSamples bounds the retained time series: once full, each new
 	// sample overwrites the oldest (a ring), so recorder memory stays
 	// constant over an unbounded service run. Zero retains every sample
@@ -116,6 +129,9 @@ type Sample struct {
 	// source also implements ShardCRVSource (nil otherwise). Index k is
 	// shard k; the length is fixed over a run.
 	ShardMaxCRV []float64
+	// GangsWaiting is the number of gang jobs waiting on reservations at
+	// the sample time, when a GangSource was supplied (0 otherwise).
+	GangsWaiting int
 
 	// QueuedEntries is the total queue depth across workers.
 	QueuedEntries int
@@ -335,6 +351,9 @@ func (r *Recorder) sample(now simulation.Time) {
 			v := r.shardSrc.ShardCRV(k)
 			_, s.ShardMaxCRV[k] = v.Max()
 		}
+	}
+	if r.opts.Gang != nil {
+		s.GangsWaiting = r.opts.Gang.GangsWaiting()
 	}
 
 	s.StartedTasks = r.started

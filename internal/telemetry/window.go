@@ -325,6 +325,82 @@ func (r *WindowRecorder) SteadyWaitPercentiles() (p50, p95, p99 float64) {
 	return medianOf(a50), medianOf(a95), medianOf(a99)
 }
 
+// SteadyWaitCI reports 95% confidence half-widths to pair with
+// SteadyWaitPercentiles, one per percentile, computed by the method of
+// batch means over the post-warm-up per-window percentile series: the
+// windows are grouped into ~sqrt(n) batches, and the half-width is the
+// t-quantile times the standard error of the batch means. Batching absorbs
+// the autocorrelation between adjacent windows that a naive standard error
+// over raw windows would ignore. A series too short to form two batches
+// yields NaN for that percentile.
+func (r *WindowRecorder) SteadyWaitCI() (ci50, ci95, ci99 float64) {
+	ws := r.Windows()
+	skip := r.WarmupWindows()
+	var a50, a95, a99 []float64
+	for i := skip; i < len(ws); i++ {
+		if !math.IsNaN(ws[i].WaitP50) {
+			a50 = append(a50, ws[i].WaitP50)
+		}
+		if !math.IsNaN(ws[i].WaitP95) {
+			a95 = append(a95, ws[i].WaitP95)
+		}
+		if !math.IsNaN(ws[i].WaitP99) {
+			a99 = append(a99, ws[i].WaitP99)
+		}
+	}
+	return batchMeansCI(a50), batchMeansCI(a95), batchMeansCI(a99)
+}
+
+// batchMeansCI is the 95% half-width of the series' steady-state mean by
+// the method of batch means: b = floor(sqrt(n)) equal batches (the usual
+// bias/variance compromise), trailing remainder windows dropped, half-width
+// = t_{b-1, 0.975} * s / sqrt(b) over the batch means. NaN when fewer than
+// two full batches can form.
+func batchMeansCI(series []float64) float64 {
+	n := len(series)
+	b := int(math.Sqrt(float64(n)))
+	if b < 2 {
+		return math.NaN()
+	}
+	m := n / b
+	means := make([]float64, b)
+	var grand float64
+	for i := range means {
+		var s float64
+		for j := 0; j < m; j++ {
+			s += series[i*m+j]
+		}
+		means[i] = s / float64(m)
+		grand += means[i]
+	}
+	grand /= float64(b)
+	var ss float64
+	for _, v := range means {
+		ss += (v - grand) * (v - grand)
+	}
+	variance := ss / float64(b-1)
+	return tQuantile975(b-1) * math.Sqrt(variance/float64(b))
+}
+
+// tQuantile975 is the two-sided 95% Student-t quantile for the given
+// degrees of freedom, from the standard table for df <= 30 and the normal
+// limit beyond.
+func tQuantile975(df int) float64 {
+	table := [...]float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+		2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+		2.048, 2.045, 2.042,
+	}
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.96
+}
+
 // medianOf is the nearest-rank median, NaN when empty.
 func medianOf(v []float64) float64 {
 	if len(v) == 0 {

@@ -157,6 +157,8 @@ func NewArrivalSource(cfg GeneratorConfig, ac ArrivalConfig, cl *cluster.Cluster
 	sizes := rng.Stream("service/sizes")
 	durs := rng.Stream("service/durations")
 	synthStream := rng.Stream("service/constraints")
+	gangs := rng.Stream("service/gang")
+	prios := rng.Stream("service/priority")
 
 	synth, err := NewSynthesizer(cfg.Synth, cl, synthStream)
 	if err != nil {
@@ -172,7 +174,7 @@ func NewArrivalSource(cfg GeneratorConfig, ac ArrivalConfig, cl *cluster.Cluster
 		cfg:  cfg,
 		ac:   ac,
 		arr:  arr,
-		body: jobSynth{cfg: nil, sizes: sizes, durs: durs, synth: synth},
+		body: jobSynth{cfg: nil, sizes: sizes, durs: durs, synth: synth, gangs: gangs, prios: prios},
 		base: lambda,
 	}
 	s.body.cfg = &s.cfg

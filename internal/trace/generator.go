@@ -57,6 +57,17 @@ type GeneratorConfig struct {
 	// distributions).
 	ShortCutoffSeconds float64
 
+	// GangFraction is the share of multi-task long jobs demanding gang
+	// (all-or-nothing) placement: GangWidth = task count, so every task
+	// must hold a worker before any may start. Zero (the default for all
+	// built-in profiles) draws nothing from the gang stream and leaves
+	// every GangWidth at 0, keeping pre-existing traces byte-identical.
+	GangFraction float64
+	// PriorityFraction is the share of long jobs promoted to priority
+	// tier 1 (they evict queued short-job probes under the preempt policy
+	// plug-in). Zero, the default, leaves every job at tier 0.
+	PriorityFraction float64
+
 	// SpreadFraction is the share of long jobs carrying a rack
 	// anti-affinity (spread) placement constraint — services spreading
 	// replicas for fault tolerance (paper §III-A).
@@ -98,6 +109,10 @@ func (c *GeneratorConfig) Validate() error {
 		return fmt.Errorf("trace: BurstDwellSeconds must be positive when bursting")
 	case c.ShortCutoffSeconds <= 0:
 		return fmt.Errorf("trace: ShortCutoffSeconds = %v", c.ShortCutoffSeconds)
+	case c.GangFraction < 0 || c.GangFraction > 1:
+		return fmt.Errorf("trace: GangFraction = %v", c.GangFraction)
+	case c.PriorityFraction < 0 || c.PriorityFraction > 1:
+		return fmt.Errorf("trace: PriorityFraction = %v", c.PriorityFraction)
 	case c.SpreadFraction < 0 || c.SpreadFraction > 1:
 		return fmt.Errorf("trace: SpreadFraction = %v", c.SpreadFraction)
 	case c.PackFraction < 0 || c.PackFraction > 1:
@@ -138,6 +153,15 @@ type jobSynth struct {
 	durs  *simulation.Stream
 	synth *Synthesizer
 
+	// gangs and prios are dedicated streams for the gang-width and
+	// priority draws ("trace/gang"/"trace/priority" in the batch
+	// generator, "service/gang"/"service/priority" in the arrival
+	// source). They are consulted only when the matching fraction is
+	// positive, so configurations predating the fields consume nothing
+	// and synthesize byte-identical workloads.
+	gangs *simulation.Stream
+	prios *simulation.Stream
+
 	// Long jobs carry ~98% of the work, so sampling their count i.i.d.
 	// would let the offered load swing tens of percent across seeds at
 	// laptop scale. Stratified assignment pins the long-job count to the
@@ -177,6 +201,14 @@ func (g *jobSynth) nextJob(jobID int, nowSeconds float64) Job {
 		Short:     short,
 		Placement: pickPlacement(g.sizes, *cfg, short, nTasks),
 		Tasks:     make([]Task, nTasks),
+	}
+	if !short {
+		if cfg.GangFraction > 0 && nTasks >= 2 && g.gangs.Bernoulli(cfg.GangFraction) {
+			job.GangWidth = nTasks
+		}
+		if cfg.PriorityFraction > 0 && g.prios.Bernoulli(cfg.PriorityFraction) {
+			job.Priority = 1
+		}
 	}
 	cs := g.synth.JobConstraints()
 	for k := 0; k < nTasks; k++ {
@@ -253,7 +285,10 @@ func Generate(cfg GeneratorConfig, cl *cluster.Cluster, seed uint64) (*Trace, er
 		stateEnds = math.Inf(1)
 	}
 
-	body := &jobSynth{cfg: &cfg, sizes: sizes, durs: durs, synth: synth}
+	body := &jobSynth{
+		cfg: &cfg, sizes: sizes, durs: durs, synth: synth,
+		gangs: rng.Stream("trace/gang"), prios: rng.Stream("trace/priority"),
+	}
 	for jobID := 0; jobID < cfg.NumJobs; jobID++ {
 		rate := base
 		if inBurst {

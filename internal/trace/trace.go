@@ -85,9 +85,22 @@ type Job struct {
 	Short bool `json:"short"`
 	// Placement is the job's combinatorial (rack affinity) constraint.
 	Placement Placement `json:"placement,omitempty"`
+	// GangWidth is the number of workers the job must hold simultaneously
+	// before any task may start (gang / co-scheduling semantics, the
+	// "multiserver jobs" of Hong & Wang). 0 or 1 means no gang semantics;
+	// the gang policy plug-in ignores such jobs entirely, so traces that
+	// never set the field behave byte-identically to traces predating it.
+	GangWidth int `json:"gang_width,omitempty"`
+	// Priority is the job's scheduling tier; higher preempts lower. The
+	// default tier 0 is never preempted and never preempts, so traces that
+	// never set the field are unaffected by the preempt policy plug-in.
+	Priority int `json:"priority,omitempty"`
 	// Tasks are the job's tasks.
 	Tasks []Task `json:"tasks"`
 }
+
+// Gang reports whether the job demands gang (all-or-nothing) placement.
+func (j *Job) Gang() bool { return j.GangWidth > 1 }
 
 // Constrained reports whether any task carries constraints.
 func (j *Job) Constrained() bool {
@@ -161,6 +174,12 @@ func (t *Trace) Validate() error {
 		prev = j.Arrival
 		if len(j.Tasks) == 0 {
 			return fmt.Errorf("trace: job %d has no tasks", j.ID)
+		}
+		if j.GangWidth < 0 || j.GangWidth > len(j.Tasks) {
+			return fmt.Errorf("trace: job %d has gang width %d with %d tasks", j.ID, j.GangWidth, len(j.Tasks))
+		}
+		if j.Priority < 0 {
+			return fmt.Errorf("trace: job %d has negative priority %d", j.ID, j.Priority)
 		}
 		for k := range j.Tasks {
 			task := &j.Tasks[k]
