@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner service sharded gang nightly nightly-report experiments figures clean
+.PHONY: all build test race vet ci bench bench-hotpath docs-check faults runner service sharded gang admission nightly nightly-report experiments figures clean
 
 all: build test
 
@@ -18,6 +18,7 @@ ci:
 	$(MAKE) service
 	$(MAKE) sharded
 	$(MAKE) gang
+	$(MAKE) admission
 	$(MAKE) docs-check
 
 build:
@@ -85,6 +86,18 @@ gang:
 	diff /tmp/gang-ref.txt /tmp/gang-wrapped.txt
 	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -policies gang,backfill -gang-fraction 0.3 -priority-fraction 0.2 -profile google -scale 0.05 -seed 7 -validate -digest
 
+# Admission-control smoke: the stability/determinism/sentinel battery
+# under the race detector, then two CLI checks — an -admission off run
+# must print the exact digest of the plain reference (the off-state
+# invisibility contract), and a feedback-controller run under the
+# supply-loss campaign must complete with the invariant checker clean.
+admission:
+	$(GO) test -race -count=1 ./internal/admission/
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -profile google -scale 0.05 -seed 7 -digest | grep '^digest' | tee /tmp/admission-ref.txt
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -admission off -profile google -scale 0.05 -seed 7 -digest | grep '^digest' | tee /tmp/admission-off.txt
+	diff /tmp/admission-ref.txt /tmp/admission-off.txt
+	$(GO) run ./cmd/phoenix-sim -scheduler phoenix -admission controller -faults scenarios/supply-loss.json -profile google -scale 0.05 -seed 7 -validate -digest
+
 # Parallel-runner smoke: diff the golden digest corpus, then exercise the
 # -jobs worker pool end to end through the CLI. The jobs=1 vs jobs=8
 # byte-identity battery itself (TestJobsDeterminism*) runs under the race
@@ -108,7 +121,8 @@ nightly:
 	$(GO) test -run '^$$' -bench 'BenchmarkScaleOne' -benchmem -benchtime=3x . >> $(NIGHTLY_BENCH)
 	$(GO) test -run '^$$' -bench 'BenchmarkSharded' -benchmem -benchtime=3x . >> $(NIGHTLY_BENCH)
 	$(GO) test -run '^$$' -bench 'BenchmarkGang$$' -benchmem -benchtime=3x . >> $(NIGHTLY_BENCH)
-	$(GO) run ./cmd/benchgate -threshold 0.15 -input $(NIGHTLY_BENCH) results/BENCH_engine.json results/BENCH_service.json results/BENCH_sharded.json results/BENCH_gang.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAdmission$$' -benchmem -benchtime=2s ./internal/admission/ >> $(NIGHTLY_BENCH)
+	$(GO) run ./cmd/benchgate -threshold 0.15 -input $(NIGHTLY_BENCH) results/BENCH_engine.json results/BENCH_service.json results/BENCH_sharded.json results/BENCH_gang.json results/BENCH_admission.json
 
 # Nightly run-report artifact (see .github/workflows/nightly.yml): re-run
 # the scale-1.0 phoenix/google reference with telemetry attached and write

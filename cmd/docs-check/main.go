@@ -35,6 +35,7 @@ import (
 // whose godocs double as the architecture reference. The Makefile invokes
 // docs-check with no arguments so this list is the single source of truth.
 var defaultDirs = []string{
+	"internal/admission",
 	"internal/telemetry",
 	"internal/metrics",
 	"internal/constraint",

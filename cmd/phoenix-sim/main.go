@@ -30,6 +30,17 @@
 // -priority-fraction flavor the synthetic workload; at zero (the
 // default) the policy stack is digest-invisible.
 //
+// -admission enables CRV-aware admission control (internal/admission):
+//
+//	phoenix-sim -admission controller -admission-k 3 -admission-dwell 6 \
+//	    -faults scenarios/supply-loss.json -report run.md
+//
+// "controller" runs the per-dimension feedback loop (relax a soft
+// constraint dimension after its CRV exceeds the trigger for k beats,
+// re-tighten after a longer recovery streak, hysteresis + dwell bound the
+// oscillation); "static" is the always-relax open-loop baseline. At "off"
+// (the default) runs are byte-identical to builds without the layer.
+//
 // -service switches to the open-loop live-service mode:
 //
 //	phoenix-sim -service -arrivals poisson -duration 600 -windows win.csv
@@ -58,6 +69,7 @@ import (
 	"strings"
 	"syscall"
 
+	"github.com/phoenix-sched/phoenix/internal/admission"
 	"github.com/phoenix-sched/phoenix/internal/cluster"
 	"github.com/phoenix-sched/phoenix/internal/experiments"
 	"github.com/phoenix-sched/phoenix/internal/faults"
@@ -101,6 +113,11 @@ func run(args []string) (err error) {
 
 		timeseriesPath = fs.String("timeseries", "", "write a per-interval telemetry CSV (CRV, waits, queue depths) to this file")
 		reportPath     = fs.String("report", "", "write a Markdown run report to this file")
+
+		admissionMode   = fs.String("admission", "off", "admission control: off, controller (CRV feedback loop), static (always-relax baseline)")
+		admissionK      = fs.Int("admission-k", 0, "admission controller: consecutive over-threshold beats before relaxing (0 = default)")
+		admissionDwell  = fs.Int("admission-dwell", -1, "admission controller: minimum beats between transitions of one dimension (-1 = default)")
+		admissionConfig = fs.String("admission-config", "", "admission controller: load thresholds/streaks from this JSON file (flags override)")
 
 		service     = fs.Bool("service", false, "open-loop live-service mode: stream arrivals instead of replaying a trace")
 		replayPath  = fs.String("replay", "", "service mode: stream this recorded JSONL trace open-loop at -rate instead of synthetic arrivals")
@@ -271,26 +288,30 @@ func run(args []string) (err error) {
 	simCfg.FailureRatePerHour = *failRate
 	if *service {
 		return runService(serviceParams{
-			cfg:            svcCfg,
-			simCfg:         simCfg,
-			cl:             cl,
-			sched:          s,
-			scenario:       scenario,
-			replay:         replay,
-			arrivals:       trace.ArrivalKind(*arrivals),
-			rate:           *rate,
-			durationSec:    *duration,
-			windowSec:      *window,
-			maxWindows:     *maxWindows,
-			maxSamples:     *maxSamples,
-			seed:           *seed,
-			traceSeed:      *traceSeed,
-			crvThreshold:   opts.Phoenix.CRVThreshold,
-			validate:       *doCheck,
-			digest:         *doDigest,
-			windowsPath:    *windowsPath,
-			timeseriesPath: *timeseriesPath,
-			reportPath:     *reportPath,
+			cfg:             svcCfg,
+			simCfg:          simCfg,
+			cl:              cl,
+			sched:           s,
+			scenario:        scenario,
+			replay:          replay,
+			arrivals:        trace.ArrivalKind(*arrivals),
+			rate:            *rate,
+			durationSec:     *duration,
+			windowSec:       *window,
+			maxWindows:      *maxWindows,
+			maxSamples:      *maxSamples,
+			seed:            *seed,
+			traceSeed:       *traceSeed,
+			crvThreshold:    opts.Phoenix.CRVThreshold,
+			validate:        *doCheck,
+			digest:          *doDigest,
+			windowsPath:     *windowsPath,
+			timeseriesPath:  *timeseriesPath,
+			reportPath:      *reportPath,
+			admissionMode:   *admissionMode,
+			admissionK:      *admissionK,
+			admissionDwell:  *admissionDwell,
+			admissionConfig: *admissionConfig,
 		})
 	}
 	d, err := sched.NewDriver(simCfg, cl, tr, s, *seed)
@@ -308,9 +329,13 @@ func run(args []string) (err error) {
 			return err
 		}
 	}
+	admSrc, err := attachAdmission(d, *admissionMode, *admissionConfig, *admissionK, *admissionDwell)
+	if err != nil {
+		return err
+	}
 	var rec *telemetry.Recorder
 	if *timeseriesPath != "" || *reportPath != "" {
-		topts := telemetry.Options{CRVThreshold: opts.Phoenix.CRVThreshold}
+		topts := telemetry.Options{CRVThreshold: opts.Phoenix.CRVThreshold, Admission: admSrc}
 		if src, ok := s.(telemetry.CRVSource); ok {
 			topts.CRV = src
 		}
@@ -395,6 +420,50 @@ type serviceParams struct {
 	windowsPath    string
 	timeseriesPath string
 	reportPath     string
+
+	admissionMode   string
+	admissionK      int
+	admissionDwell  int
+	admissionConfig string
+}
+
+// attachAdmission wires the requested admission-control mode to d and
+// returns its telemetry source (nil when off). The controller starts from
+// DefaultConfig, the optional -admission-config JSON overrides it, and the
+// -admission-k / -admission-dwell flags override both; raising k past the
+// configured tighten streak raises the streak with it, keeping recovery no
+// faster than relaxation.
+func attachAdmission(d *sched.Driver, mode, configPath string, k, dwell int) (telemetry.AdmissionSource, error) {
+	switch mode {
+	case "", "off":
+		return nil, nil
+	case "static":
+		return admission.AttachStatic(d), nil
+	case "controller":
+		cfg := admission.DefaultConfig()
+		if configPath != "" {
+			var err error
+			cfg, err = admission.LoadConfig(configPath)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if k > 0 {
+			cfg.RelaxBeats = k
+			if cfg.TightenBeats < k {
+				cfg.TightenBeats = k
+			}
+		}
+		if dwell >= 0 {
+			cfg.DwellBeats = dwell
+		}
+		ctl, err := admission.Attach(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return ctl, nil
+	}
+	return nil, fmt.Errorf("unknown -admission mode %q (off, controller, static)", mode)
 }
 
 // Ring bounds applied to unbounded-horizon service runs when the caller did
@@ -458,13 +527,17 @@ func runService(p serviceParams) error {
 			return err
 		}
 	}
+	admSrc, err := attachAdmission(d, p.admissionMode, p.admissionConfig, p.admissionK, p.admissionDwell)
+	if err != nil {
+		return err
+	}
 	wr := telemetry.AttachWindows(d, telemetry.WindowOptions{
 		Interval:   simulation.FromSeconds(p.windowSec),
 		MaxWindows: p.maxWindows,
 	})
 	var rec *telemetry.Recorder
 	if p.timeseriesPath != "" || p.reportPath != "" {
-		topts := telemetry.Options{CRVThreshold: p.crvThreshold, MaxSamples: p.maxSamples}
+		topts := telemetry.Options{CRVThreshold: p.crvThreshold, MaxSamples: p.maxSamples, Admission: admSrc}
 		if src, ok := p.sched.(telemetry.CRVSource); ok {
 			topts.CRV = src
 		}

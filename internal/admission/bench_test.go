@@ -1,0 +1,25 @@
+package admission
+
+import "testing"
+
+// BenchmarkAdmission measures one controller heartbeat: a Step over a
+// pre-generated CRV reading. This is the entire per-beat cost the
+// controller adds to a simulation (the CRV computation itself is already
+// paid by telemetry's identical loop), so it must stay allocation-free and
+// in the low tens of nanoseconds.
+func BenchmarkAdmission(b *testing.B) {
+	cfg := DefaultConfig()
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := randTrace(cfg, 1, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(&tr[i&1023])
+	}
+	if c.Beats() != int64(b.N) {
+		b.Fatalf("beats %d, want %d", c.Beats(), b.N)
+	}
+}

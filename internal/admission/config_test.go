@@ -1,0 +1,75 @@
+package admission
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigIsValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig rejected: %v", err)
+	}
+}
+
+// TestConfigValidation walks the edge of every Validate clause: each invalid
+// case mutates one field of the (valid) default, and each valid case sits
+// exactly on the boundary the neighbouring invalid case falls off.
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string // substring of the error; empty means valid
+	}{
+		{"default", func(*Config) {}, ""},
+		{"nan relax threshold", func(c *Config) { c.RelaxThreshold = math.NaN() }, "relax_threshold"},
+		{"inf relax threshold", func(c *Config) { c.RelaxThreshold = math.Inf(1) }, "relax_threshold"},
+		{"nan tighten threshold", func(c *Config) { c.TightenThreshold = math.NaN() }, "tighten_threshold"},
+		{"negative tighten threshold", func(c *Config) { c.TightenThreshold = -0.1 }, "negative"},
+		{"inverted hysteresis band", func(c *Config) { c.TightenThreshold = c.RelaxThreshold + 1 }, "hysteresis band"},
+		{"empty hysteresis band", func(c *Config) { c.TightenThreshold = c.RelaxThreshold }, "hysteresis band"},
+		{"k zero", func(c *Config) { c.RelaxBeats = 0 }, "relax_beats"},
+		{"k negative", func(c *Config) { c.RelaxBeats = -3 }, "relax_beats"},
+		{"k one is the floor", func(c *Config) { c.RelaxBeats = 1 }, ""},
+		{"recovery faster than relaxation", func(c *Config) { c.TightenBeats = c.RelaxBeats - 1 }, "tighten_beats"},
+		{"recovery as fast as relaxation", func(c *Config) { c.TightenBeats = c.RelaxBeats }, ""},
+		{"negative dwell", func(c *Config) { c.DwellBeats = -1 }, "dwell_beats"},
+		{"zero dwell disables the bound", func(c *Config) { c.DwellBeats = 0 }, ""},
+		{"zero tighten threshold", func(c *Config) { c.TightenThreshold = 0 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted: %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewRejectsInvalidConfig pins that both constructors refuse a config
+// Validate refuses, so a controller can never run with k=0 or an inverted
+// band.
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RelaxBeats = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("New accepted k=0")
+	}
+	cfg = DefaultConfig()
+	cfg.TightenThreshold = cfg.RelaxThreshold
+	if _, err := New(cfg); err == nil {
+		t.Error("New accepted an empty hysteresis band")
+	}
+}

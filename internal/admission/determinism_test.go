@@ -1,0 +1,205 @@
+package admission_test
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/admission"
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/faults"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+
+	// Bring in the bundled schedulers' registry registrations, including
+	// the sharded meta-scheduler and the gang/preempt/backfill policy
+	// stacks the invisibility battery sweeps.
+	_ "github.com/phoenix-sched/phoenix/internal/core"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/centralized"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/eagle"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/hawk"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/policies"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/sharded"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/sparrow"
+	_ "github.com/phoenix-sched/phoenix/internal/schedulers/yaccd"
+)
+
+// schedulerVariants is every registered scheduling configuration the
+// invisibility contract must hold for: the six bundled schedulers, the
+// sharded meta-scheduler, and the three policy plug-in stacks.
+var schedulerVariants = []string{
+	"phoenix", "centralized", "sparrow-c", "eagle-c", "hawk-c", "yacc-d",
+	"sharded", "gang", "preempt", "backfill",
+}
+
+// newWorkload builds the shared small batch workload. amplifySoft raises
+// the soft-dimension constraint shares (as ext-admission does) so the
+// generated trace carries enough clock/eth_speed demand for a controller
+// to act on.
+func newWorkload(t *testing.T, amplifySoft bool) (*cluster.Cluster, *trace.Trace) {
+	t.Helper()
+	cl, err := cluster.GoogleProfile().GenerateCluster(120, simulation.NewRNG(1).Stream("admission/machines"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.GoogleConfig(1.0)
+	cfg.NumNodes = cl.Size()
+	cfg.NumJobs = 200
+	if amplifySoft {
+		cfg.Synth.DimWeights[constraint.DimClock.Index()] = 30
+		cfg.Synth.DimWeights[constraint.DimEthSpeed.Index()] = 30
+	}
+	tr, err := trace.Generate(cfg, cl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, tr
+}
+
+// neverTriggerConfig returns a valid tuning whose relax threshold sits
+// above even the constraint.SupplyLostRatio sentinel, so the attached
+// controller evaluates every heartbeat but can never accumulate a relax
+// streak.
+func neverTriggerConfig() admission.Config {
+	cfg := admission.DefaultConfig()
+	cfg.RelaxThreshold = 2 * constraint.SupplyLostRatio
+	return cfg
+}
+
+// runVariant executes one batch run and returns its digest; attach, when
+// non-nil, wires extra layers (controller, faults) before the run.
+func runVariant(t *testing.T, cl *cluster.Cluster, tr *trace.Trace, name string, seed uint64, attach func(*sched.Driver)) uint64 {
+	t.Helper()
+	s, err := sched.NewByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attach != nil {
+		attach(d)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res.Collector.Digest()
+}
+
+// TestNeverTriggeringControllerIsDigestInvisible pins the layering
+// contract: a controller that never relaxes anything leaves every
+// scheduler variant's same-seed digest byte-identical to a run with no
+// controller at all — the heartbeat evaluation, observer registration, and
+// policy installation are all free of observable side effects until the
+// controller actually acts.
+func TestNeverTriggeringControllerIsDigestInvisible(t *testing.T) {
+	cl, tr := newWorkload(t, false)
+	for _, name := range schedulerVariants {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			plain := runVariant(t, cl, tr, name, 7, nil)
+			var ctl *admission.Controller
+			withCtl := runVariant(t, cl, tr, name, 7, func(d *sched.Driver) {
+				var err error
+				ctl, err = admission.Attach(d, neverTriggerConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if plain != withCtl {
+				t.Errorf("never-triggering controller changed the digest: %x != %x", withCtl, plain)
+			}
+			if ctl.ControllerTransitions() != 0 || ctl.RelaxedDims() != 0 {
+				t.Errorf("controller acted: %d transitions, mask %v", ctl.ControllerTransitions(), ctl.RelaxedDims())
+			}
+			if ctl.Beats() == 0 {
+				t.Error("controller never evaluated a heartbeat; the invisibility check is vacuous")
+			}
+		})
+	}
+}
+
+// outageOnSoftSupply returns a scenario that kills every eth_speed=100
+// machine across the middle of the workload's arrival window, the
+// condition that drives the controller to act.
+func outageOnSoftSupply(tr *trace.Trace) *faults.Scenario {
+	l := tr.Jobs[len(tr.Jobs)-1].Arrival.Seconds()
+	return &faults.Scenario{
+		Name: "soft-outage",
+		Phases: []faults.Phase{
+			{Kind: faults.KindOutage, StartSeconds: 0.15 * l, DurationSeconds: 0.45 * l, Dim: "eth_speed", Value: 100},
+		},
+	}
+}
+
+// TestActiveControllerSameSeedIsDeterministic pins reproducibility with
+// the controller actually relaxing: two same-seed runs under a
+// supply-killing fault produce identical digests and identical controller
+// trajectories, and differ from the run without a controller (the
+// relaxation is observable).
+func TestActiveControllerSameSeedIsDeterministic(t *testing.T) {
+	cl, tr := newWorkload(t, true)
+	sc := outageOnSoftSupply(tr)
+	run := func(seed uint64, withCtl bool) (uint64, *admission.Controller) {
+		var ctl *admission.Controller
+		digest := runVariant(t, cl, tr, "phoenix", seed, func(d *sched.Driver) {
+			if _, err := faults.Attach(d, sc); err != nil {
+				t.Fatal(err)
+			}
+			if withCtl {
+				var err error
+				ctl, err = admission.Attach(d, admission.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		return digest, ctl
+	}
+	a, ctlA := run(7, true)
+	b, ctlB := run(7, true)
+	if a != b {
+		t.Errorf("same-seed controller-on digests differ: %x != %x", a, b)
+	}
+	if ctlA.ControllerTransitions() != ctlB.ControllerTransitions() ||
+		ctlA.RelaxedDimBeats() != ctlB.RelaxedDimBeats() ||
+		ctlA.Beats() != ctlB.Beats() {
+		t.Errorf("same-seed controller trajectories differ: (%d,%d,%d) != (%d,%d,%d)",
+			ctlA.ControllerTransitions(), ctlA.RelaxedDimBeats(), ctlA.Beats(),
+			ctlB.ControllerTransitions(), ctlB.RelaxedDimBeats(), ctlB.Beats())
+	}
+	if ctlA.ControllerTransitions() == 0 {
+		t.Error("controller never acted; the determinism check is vacuous")
+	}
+	plain, _ := run(7, false)
+	if a == plain {
+		t.Error("active controller had no observable effect on the run")
+	}
+}
+
+// TestStaticBaselineSameSeedIsDeterministic gives the always-relax
+// baseline the same reproducibility guarantee.
+func TestStaticBaselineSameSeedIsDeterministic(t *testing.T) {
+	cl, tr := newWorkload(t, true)
+	run := func() (uint64, *admission.Static) {
+		var st *admission.Static
+		digest := runVariant(t, cl, tr, "phoenix", 7, func(d *sched.Driver) {
+			st = admission.AttachStatic(d)
+		})
+		return digest, st
+	}
+	a, stA := run()
+	b, stB := run()
+	if a != b {
+		t.Errorf("same-seed static digests differ: %x != %x", a, b)
+	}
+	if stA.RelaxedDimBeats() != stB.RelaxedDimBeats() {
+		t.Errorf("static dim-beats differ: %d != %d", stA.RelaxedDimBeats(), stB.RelaxedDimBeats())
+	}
+	if stA.RelaxedDims() != constraint.SoftDims() || stA.ControllerTransitions() != 0 {
+		t.Errorf("static baseline is not statically relaxed: mask %v, %d transitions",
+			stA.RelaxedDims(), stA.ControllerTransitions())
+	}
+}

@@ -1,0 +1,144 @@
+package admission
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validConfig = `{
+  "relax_threshold": 0.5,
+  "tighten_threshold": 0.2,
+  "relax_beats": 2,
+  "tighten_beats": 4,
+  "dwell_beats": 8
+}`
+
+func TestParseConfigValid(t *testing.T) {
+	cfg, err := ParseConfig([]byte(validConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{RelaxThreshold: 0.5, TightenThreshold: 0.2, RelaxBeats: 2, TightenBeats: 4, DwellBeats: 8}
+	if cfg != want {
+		t.Errorf("parsed %+v, want %+v", cfg, want)
+	}
+}
+
+// TestParseConfigAbsentFieldsKeepDefaults pins the partial-override
+// contract: a file naming only one knob inherits every other from
+// DefaultConfig.
+func TestParseConfigAbsentFieldsKeepDefaults(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"relax_beats": 5, "tighten_beats": 10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultConfig()
+	want.RelaxBeats = 5
+	want.TightenBeats = 10
+	if cfg != want {
+		t.Errorf("parsed %+v, want defaults with k=5: %+v", cfg, want)
+	}
+}
+
+func TestParseConfigErrorsAreLineAnchored(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{
+			name: "syntax error",
+			in:   "{\n  \"relax_threshold\": 0.5,\n  \"relax_beats\": }\n}",
+			want: "line 3",
+		},
+		{
+			name: "unknown field",
+			in:   "{\n  \"relax_threshold\": 0.5,\n  \"dwell\": 4\n}",
+			want: "line 3",
+		},
+		{
+			name: "type error",
+			in:   "{\n  \"relax_threshold\": 0.5,\n  \"relax_beats\": \"three\"\n}",
+			want: "line 3",
+		},
+		{
+			name: "trailing data",
+			in:   `{"relax_beats": 3}` + "\ngarbage",
+			want: "trailing data",
+		},
+		{
+			name: "inverted band fails validation",
+			in:   `{"relax_threshold": 0.1, "tighten_threshold": 0.5}`,
+			want: "hysteresis band",
+		},
+		{
+			name: "k zero fails validation",
+			in:   `{"relax_beats": 0}`,
+			want: "relax_beats",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseConfig([]byte(tc.in))
+			if err == nil {
+				t.Fatal("malformed config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "admission.json")
+	if err := os.WriteFile(path, []byte(validConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RelaxBeats != 2 {
+		t.Errorf("loaded relax_beats %d, want 2", cfg.RelaxBeats)
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"relax_beats": 0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil || !strings.Contains(err.Error(), bad) {
+		t.Errorf("invalid file error %v does not name the path", err)
+	}
+}
+
+// FuzzParseConfig asserts ParseConfig never panics and never returns both a
+// config and an error; any config it does return revalidates, so a fuzzed
+// byte soup can never smuggle an inverted band past the constructor.
+func FuzzParseConfig(f *testing.F) {
+	f.Add([]byte(validConfig))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"relax_beats": 0}`))
+	f.Add([]byte(`{"relax_threshold": 1e400}`))
+	f.Add([]byte(`{"tighten_threshold": -1}`))
+	f.Add([]byte(`{"dwell": 4}`))
+	f.Add([]byte("{\n"))
+	f.Add([]byte(`{"relax_beats": 3}garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			if cfg != (Config{}) {
+				t.Errorf("error %v returned alongside non-zero config %+v", err, cfg)
+			}
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Errorf("ParseConfig accepted a config Validate rejects: %+v: %v", cfg, verr)
+		}
+	})
+}

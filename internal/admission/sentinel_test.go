@@ -1,0 +1,162 @@
+package admission_test
+
+import (
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/admission"
+	"github.com/phoenix-sched/phoenix/internal/cluster"
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/faults"
+	"github.com/phoenix-sched/phoenix/internal/sched"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+	"github.com/phoenix-sched/phoenix/internal/trace"
+)
+
+// sentinelTrace hand-builds a workload for the supply-loss scenario: one
+// single-task job per second for 500 virtual seconds, every second job
+// constrained to the eth_speed=100 machine class the scenario's outage
+// kills. Arrivals span the whole campaign so constrained demand keeps
+// refilling the queue while the class is dark and the controller keeps
+// ticking long after it recovers.
+func sentinelTrace(cl *cluster.Cluster) *trace.Trace {
+	const jobs = 500
+	tr := &trace.Trace{
+		Name:        "sentinel",
+		NumNodes:    cl.Size(),
+		ShortCutoff: 10 * simulation.Second,
+	}
+	for i := 0; i < jobs; i++ {
+		var cs constraint.Set
+		if i%2 == 0 {
+			cs = constraint.Set{{Dim: constraint.DimEthSpeed, Op: constraint.OpEQ, Value: 100}}
+		}
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			ID:      i,
+			Arrival: simulation.Time(i) * simulation.Second,
+			Short:   true,
+			Tasks: []trace.Task{{
+				ID:          i,
+				JobID:       i,
+				Duration:    3 * simulation.Second,
+				Constraints: cs,
+			}},
+		})
+	}
+	return tr
+}
+
+// TestSupplyLossSentinelDrivesRelaxAndRecovery is the sentinel regression
+// test, run against the committed scenarios/supply-loss.json: a full
+// outage of the eth_speed=100 class pins that dimension's CRV at the
+// finite constraint.SupplyLostRatio sentinel. The controller must treat
+// the sentinel as an ordinary (very loud) "relax" reading — no overflow,
+// no NaN, no special casing — relax eth_speed while the class is dark,
+// never touch the clock dimension (whose machines are merely slowed, so
+// its supply and CRV stay healthy), and re-tighten to the exact empty set
+// once the class recovers and the queue drains.
+func TestSupplyLossSentinelDrivesRelaxAndRecovery(t *testing.T) {
+	sc, err := faults.LoadScenario("../../scenarios/supply-loss.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.GoogleProfile().GenerateCluster(120, simulation.NewRNG(1).Stream("admission/machines"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth100 := 0
+	for i := 0; i < cl.Size(); i++ {
+		if cl.Machine(i).Attrs.Get(constraint.DimEthSpeed) == 100 {
+			eth100++
+		}
+	}
+	if eth100 == 0 {
+		t.Fatal("cluster seed produced no eth_speed=100 machines; the outage would be empty")
+	}
+	tr := sentinelTrace(cl)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	type snap struct {
+		at   simulation.Time
+		mask constraint.DimMask
+	}
+	run := func() (uint64, *admission.Controller, []snap) {
+		s, err := sched.NewByName("phoenix")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sched.NewDriver(sched.DefaultConfig(), cl, tr, s, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := faults.Attach(d, sc); err != nil {
+			t.Fatal(err)
+		}
+		ctl, err := admission.Attach(d, admission.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snaps []snap
+		// Snapshot the relaxed mask each heartbeat, registered after the
+		// controller so each snapshot reads the post-Step state; the
+		// ticker self-terminates past the arrival horizon so the batch
+		// run can drain.
+		d.Every(d.Config().Heartbeat, func(now simulation.Time) bool {
+			snaps = append(snaps, snap{at: now, mask: ctl.RelaxedDims()})
+			return now < 600*simulation.Second
+		})
+		res, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Collector.Digest(), ctl, snaps
+	}
+
+	digest, ctl, snaps := run()
+
+	outageStart := 120 * simulation.Second
+	outageEnd := 360 * simulation.Second
+	relaxedDuringOutage := false
+	for _, s := range snaps {
+		if extra := s.mask &^ constraint.SoftDims(); extra != 0 {
+			t.Fatalf("t=%v: hard dimensions %v relaxed", s.at, extra)
+		}
+		if s.mask.Has(constraint.DimClock) {
+			t.Fatalf("t=%v: clock relaxed, but clock supply never went dark", s.at)
+		}
+		if s.at < outageStart && s.mask != 0 {
+			t.Fatalf("t=%v: relaxed before the outage began", s.at)
+		}
+		if s.at >= outageStart && s.at <= outageEnd && s.mask.Has(constraint.DimEthSpeed) {
+			relaxedDuringOutage = true
+		}
+	}
+	if !relaxedDuringOutage {
+		t.Error("controller never relaxed eth_speed while its whole supply was dark")
+	}
+	if last := snaps[len(snaps)-1]; last.mask != 0 {
+		t.Errorf("t=%v: still relaxed (%v) after the class recovered and the queue drained", last.at, last.mask)
+	}
+	if ctl.RelaxedDims() != 0 {
+		t.Errorf("final mask %v, want exact-set recovery to empty", ctl.RelaxedDims())
+	}
+	if ctl.ControllerTransitions() < 2 {
+		t.Errorf("%d transitions, want at least one relax and one tighten", ctl.ControllerTransitions())
+	}
+	if ctl.RelaxedDimBeats() <= 0 {
+		t.Error("no relaxed dimension-beats accrued during a 240s full outage")
+	}
+
+	// The sentinel path must also be reproducible: an identical run yields
+	// the same digest and the same controller trajectory.
+	digest2, ctl2, _ := run()
+	if digest != digest2 {
+		t.Errorf("same-seed sentinel runs diverge: %x != %x", digest, digest2)
+	}
+	if ctl.ControllerTransitions() != ctl2.ControllerTransitions() || ctl.RelaxedDimBeats() != ctl2.RelaxedDimBeats() {
+		t.Errorf("sentinel trajectories diverge: (%d,%d) != (%d,%d)",
+			ctl.ControllerTransitions(), ctl.RelaxedDimBeats(),
+			ctl2.ControllerTransitions(), ctl2.RelaxedDimBeats())
+	}
+}

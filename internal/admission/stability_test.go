@@ -1,0 +1,369 @@
+package admission
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/phoenix-sched/phoenix/internal/constraint"
+	"github.com/phoenix-sched/phoenix/internal/simulation"
+)
+
+// softList is the evaluation-order list of soft dimensions, the only ones
+// the controller may ever touch.
+var softList = func() []constraint.Dim {
+	var out []constraint.Dim
+	for _, d := range constraint.Dims {
+		if d.Soft() {
+			out = append(out, d)
+		}
+	}
+	return out
+}()
+
+// flip is one observed state transition of one dimension.
+type flip struct {
+	beat    int // 1-based beat index at which the mask changed
+	dim     constraint.Dim
+	relaxed bool // true: tight -> relaxed
+}
+
+// replay drives a fresh controller over the trace and returns every mask
+// change. It fails the test (not the property) on constructor errors, since
+// every config used here must be valid.
+func replay(t *testing.T, cfg Config, tr []constraint.Vector) (*Controller, []flip) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flips []flip
+	prev := constraint.DimMask(0)
+	for i := range tr {
+		c.Step(&tr[i])
+		cur := c.RelaxedDims()
+		if cur == prev {
+			continue
+		}
+		for _, d := range softList {
+			if cur.Has(d) != prev.Has(d) {
+				flips = append(flips, flip{beat: i + 1, dim: d, relaxed: cur.Has(d)})
+			}
+		}
+		prev = cur
+	}
+	return c, flips
+}
+
+// stabilityProperty checks every invariant the package doc promises, over
+// the given CRV trace extended with a forced-convergence coda:
+//
+//  1. Only soft dimensions ever appear in the relaxed mask.
+//  2. A dimension's first relax happens no earlier than beat RelaxBeats.
+//  3. Consecutive transitions of one dimension are separated by at least
+//     max(DwellBeats, streak) beats, where streak is RelaxBeats before a
+//     relax and TightenBeats before a tighten — i.e. at most one flip per
+//     dwell window, however adversarial the input.
+//  4. The transitions counter equals the observed flip count.
+//  5. Step response converges: after DwellBeats+RelaxBeats beats of
+//     constant high input every soft dimension is relaxed, and after a
+//     further DwellBeats+TightenBeats beats of constant low input every
+//     dimension is tight again.
+//
+// It returns nil when all hold, or a description of the first violation.
+func stabilityProperty(t *testing.T, cfg Config, tr []constraint.Vector) error {
+	t.Helper()
+	high := vectorOf(cfg.RelaxThreshold + 1)
+	low := vectorOf(0)
+	full := make([]constraint.Vector, 0, len(tr)+2*cfg.DwellBeats+cfg.RelaxBeats+cfg.TightenBeats)
+	full = append(full, tr...)
+	for i := 0; i < cfg.DwellBeats+cfg.RelaxBeats; i++ {
+		full = append(full, high)
+	}
+	relaxCheck := len(full) // mask must be all-soft after this many beats
+	for i := 0; i < cfg.DwellBeats+cfg.TightenBeats; i++ {
+		full = append(full, low)
+	}
+
+	c, flips := replay(t, cfg, full)
+
+	if got := c.RelaxedDims() &^ constraint.SoftDims(); got != 0 {
+		return fmt.Errorf("hard dimensions %v relaxed", got)
+	}
+	last := map[constraint.Dim]flip{}
+	for _, f := range flips {
+		if !f.dim.Soft() {
+			return fmt.Errorf("beat %d: hard dimension %v flipped", f.beat, f.dim)
+		}
+		prev, seen := last[f.dim]
+		if !seen {
+			if !f.relaxed {
+				return fmt.Errorf("beat %d: %v tightened before ever relaxing", f.beat, f.dim)
+			}
+			if f.beat < cfg.RelaxBeats {
+				return fmt.Errorf("beat %d: %v relaxed before %d-beat streak could complete", f.beat, f.dim, cfg.RelaxBeats)
+			}
+		} else {
+			if prev.relaxed == f.relaxed {
+				return fmt.Errorf("beat %d: %v flipped to relaxed=%v twice in a row", f.beat, f.dim, f.relaxed)
+			}
+			streak := cfg.RelaxBeats
+			if !f.relaxed {
+				streak = cfg.TightenBeats
+			}
+			minGap := cfg.DwellBeats
+			if streak > minGap {
+				minGap = streak
+			}
+			if gap := f.beat - prev.beat; gap < minGap {
+				return fmt.Errorf("beat %d: %v flipped %d beats after beat %d, dwell/streak floor is %d",
+					f.beat, f.dim, gap, prev.beat, minGap)
+			}
+		}
+		last[f.dim] = f
+	}
+	if int(c.ControllerTransitions()) != len(flips) {
+		return fmt.Errorf("transitions counter %d, observed %d flips", c.ControllerTransitions(), len(flips))
+	}
+
+	// Step-response convergence: replay the prefix alone to read the mask
+	// at the two checkpoints.
+	cm, _ := replay(t, cfg, full[:relaxCheck])
+	if got, want := cm.RelaxedDims(), constraint.SoftDims(); got != want {
+		return fmt.Errorf("after %d beats of high input mask is %v, want all soft dims %v", relaxCheck, got, want)
+	}
+	if got := c.RelaxedDims(); got != 0 {
+		return fmt.Errorf("after %d beats of low input mask is %v, want empty", cfg.DwellBeats+cfg.TightenBeats, got)
+	}
+	return nil
+}
+
+// vectorOf sets every soft dimension to x.
+func vectorOf(x float64) constraint.Vector {
+	var v constraint.Vector
+	for _, d := range softList {
+		v.Set(d, x)
+	}
+	return v
+}
+
+// randTrace draws n beats of per-dimension CRV readings from the levels the
+// controller distinguishes: zero, below-band, in-band, just-above, and the
+// supply-lost sentinel. Seeded through the simulation RNG so failures are
+// reproducible by seed.
+func randTrace(cfg Config, seed uint64, n int) []constraint.Vector {
+	st := simulation.NewRNG(seed).Stream("admission/crv")
+	levels := []float64{
+		0,
+		cfg.TightenThreshold / 2,
+		(cfg.TightenThreshold + cfg.RelaxThreshold) / 2,
+		cfg.RelaxThreshold * 1.5,
+		constraint.SupplyLostRatio,
+	}
+	tr := make([]constraint.Vector, n)
+	for i := range tr {
+		for _, d := range softList {
+			tr[i].Set(d, levels[st.Intn(len(levels))])
+		}
+	}
+	return tr
+}
+
+// shrinkTrace greedily minimizes a failing trace: it repeatedly deletes the
+// largest chunk whose removal keeps the property failing, down to single
+// beats, and returns the minimal trace plus its violation.
+func shrinkTrace(t *testing.T, cfg Config, tr []constraint.Vector) ([]constraint.Vector, error) {
+	t.Helper()
+	err := stabilityProperty(t, cfg, tr)
+	if err == nil {
+		return tr, nil
+	}
+	for chunk := len(tr) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i+chunk <= len(tr); {
+			cand := append(append([]constraint.Vector{}, tr[:i]...), tr[i+chunk:]...)
+			if cerr := stabilityProperty(t, cfg, cand); cerr != nil {
+				tr, err = cand, cerr
+				continue // retry the same offset against the shorter trace
+			}
+			i++
+		}
+	}
+	return tr, err
+}
+
+// stabilityConfigs are the tunings the randomized battery sweeps: the
+// default, a dwell-free variant (streaks alone bound oscillation), the
+// k=1 floor, and a wide slow band.
+func stabilityConfigs() map[string]Config {
+	noDwell := DefaultConfig()
+	noDwell.DwellBeats = 0
+	fast := Config{RelaxThreshold: 0.25, TightenThreshold: 0.1, RelaxBeats: 1, TightenBeats: 1, DwellBeats: 4}
+	slow := Config{RelaxThreshold: 2, TightenThreshold: 0.5, RelaxBeats: 5, TightenBeats: 9, DwellBeats: 12}
+	return map[string]Config{
+		"default": DefaultConfig(),
+		"noDwell": noDwell,
+		"fast":    fast,
+		"slow":    slow,
+	}
+}
+
+// TestStabilityUnderRandomTraces is the randomized battery: 32 seeded CRV
+// traces per config through stabilityProperty, with greedy shrinking on
+// failure so the report shows a minimal counterexample.
+func TestStabilityUnderRandomTraces(t *testing.T) {
+	for name, cfg := range stabilityConfigs() {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 32; seed++ {
+				tr := randTrace(cfg, seed, 200)
+				if err := stabilityProperty(t, cfg, tr); err != nil {
+					minTr, minErr := shrinkTrace(t, cfg, tr)
+					t.Fatalf("seed %d: %v\nshrunk to %d beats: %v\ntrace: %v",
+						seed, err, len(minTr), minErr, compact(minTr))
+				}
+			}
+		})
+	}
+}
+
+// compact renders only the soft-dimension components of a trace, the part
+// the controller reads.
+func compact(tr []constraint.Vector) []string {
+	out := make([]string, len(tr))
+	for i := range tr {
+		s := ""
+		for _, d := range softList {
+			s += fmt.Sprintf("%s=%g ", d, tr[i].Get(d))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestInBandReadingsNeverTransition pins the hysteresis contract: readings
+// inside [tighten, relax] reset both streaks, so a trace that never leaves
+// the band never flips anything.
+func TestInBandReadingsNeverTransition(t *testing.T) {
+	cfg := DefaultConfig()
+	mid := vectorOf((cfg.TightenThreshold + cfg.RelaxThreshold) / 2)
+	atRelax := vectorOf(cfg.RelaxThreshold)     // relax needs strictly above
+	atTighten := vectorOf(cfg.TightenThreshold) // tighten needs strictly below
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		switch i % 3 {
+		case 0:
+			c.Step(&mid)
+		case 1:
+			c.Step(&atRelax)
+		case 2:
+			c.Step(&atTighten)
+		}
+	}
+	if c.ControllerTransitions() != 0 || c.RelaxedDims() != 0 {
+		t.Errorf("in-band trace caused %d transitions, mask %v", c.ControllerTransitions(), c.RelaxedDims())
+	}
+	if c.Beats() != 200 {
+		t.Errorf("beats %d, want 200", c.Beats())
+	}
+}
+
+// TestStepResponseTiming pins the exact latencies: with dwell pre-seeded, a
+// constant high input relaxes every soft dimension on beat RelaxBeats
+// precisely, and a following constant low input tightens on beat
+// max(DwellBeats, TightenBeats) after the flip.
+func TestStepResponseTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := vectorOf(constraint.SupplyLostRatio) // the sentinel is just a large reading
+	low := vectorOf(0)
+	for i := 0; i < cfg.RelaxBeats-1; i++ {
+		c.Step(&high)
+	}
+	if c.RelaxedDims() != 0 {
+		t.Fatalf("relaxed after %d beats, streak floor is %d", cfg.RelaxBeats-1, cfg.RelaxBeats)
+	}
+	c.Step(&high)
+	if got, want := c.RelaxedDims(), constraint.SoftDims(); got != want {
+		t.Fatalf("mask %v on beat %d, want %v", got, cfg.RelaxBeats, want)
+	}
+	down := cfg.TightenBeats
+	if cfg.DwellBeats > down {
+		down = cfg.DwellBeats
+	}
+	for i := 0; i < down-1; i++ {
+		c.Step(&low)
+	}
+	if c.RelaxedDims() == 0 {
+		t.Fatalf("tightened after %d low beats, floor is %d", down-1, down)
+	}
+	c.Step(&low)
+	if c.RelaxedDims() != 0 {
+		t.Fatalf("still relaxed after %d low beats", down)
+	}
+	if got, want := c.ControllerTransitions(), int64(2*len(softList)); got != want {
+		t.Errorf("transitions %d, want %d", got, want)
+	}
+	// dimBeats: each soft dimension was relaxed for the `down` beats
+	// between its two flips.
+	if got, want := c.RelaxedDimBeats(), int64(down*len(softList)); got != want {
+		t.Errorf("relaxed dim-beats %d, want %d", got, want)
+	}
+}
+
+// TestFastSquareWaveNeverFlips pins that input oscillating faster than the
+// streak requirement is filtered out entirely: alternating high/low beats
+// reset each streak before it completes.
+func TestFastSquareWaveNeverFlips(t *testing.T) {
+	cfg := DefaultConfig() // RelaxBeats 3 > the 1-beat dwell of the wave
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := vectorOf(cfg.RelaxThreshold + 1)
+	low := vectorOf(0)
+	for i := 0; i < 300; i++ {
+		if i%2 == 0 {
+			c.Step(&high)
+		} else {
+			c.Step(&low)
+		}
+	}
+	if c.ControllerTransitions() != 0 {
+		t.Errorf("1-beat square wave caused %d transitions", c.ControllerTransitions())
+	}
+}
+
+// TestAdversarialFlipRateIsDwellBounded drives the worst-case input — high
+// until the controller relaxes, low until it tightens, repeatedly — and
+// checks the transition count never exceeds the dwell-window bound.
+func TestAdversarialFlipRateIsDwellBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := vectorOf(cfg.RelaxThreshold + 1)
+	low := vectorOf(0)
+	const beats = 600
+	for i := 0; i < beats; i++ {
+		if c.RelaxedDims() == 0 {
+			c.Step(&high)
+		} else {
+			c.Step(&low)
+		}
+	}
+	// One flip per dimension per dwell window is the ceiling; the streak
+	// floors make the true period longer, but the dwell bound alone must
+	// hold.
+	perDim := beats/cfg.DwellBeats + 1
+	if got, limit := c.ControllerTransitions(), int64(perDim*len(softList)); got > limit {
+		t.Errorf("%d transitions over %d beats exceeds dwell bound %d", got, beats, limit)
+	}
+	if c.ControllerTransitions() == 0 {
+		t.Error("adversarial trace caused no transitions at all; driver input is broken")
+	}
+}

@@ -250,6 +250,29 @@ func (s Set) SoftCount() int {
 	return n
 }
 
+// Without returns the subset of constraints whose dimensions are NOT in
+// mask. The receiver is never mutated; when no constraint is dropped the
+// original slice is returned unchanged (no allocation), so callers can
+// compare the result's length against the input to detect a reduction.
+func (s Set) Without(mask DimMask) Set {
+	drop := 0
+	for _, c := range s {
+		if mask.Has(c.Dim) {
+			drop++
+		}
+	}
+	if drop == 0 {
+		return s
+	}
+	out := make(Set, 0, len(s)-drop)
+	for _, c := range s {
+		if !mask.Has(c.Dim) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // Clone returns an independent copy of the set.
 func (s Set) Clone() Set {
 	if s == nil {
@@ -278,6 +301,9 @@ func (m DimMask) With(d Dim) DimMask { return m | 1<<uint(d.Index()) }
 // Has reports whether dimension d is in the mask.
 func (m DimMask) Has(d Dim) bool { return m&(1<<uint(d.Index())) != 0 }
 
+// Without returns the mask with dimension d removed.
+func (m DimMask) Without(d Dim) DimMask { return m &^ (1 << uint(d.Index())) }
+
 // Count reports the number of dimensions in the mask.
 func (m DimMask) Count() int {
 	n := 0
@@ -287,4 +313,16 @@ func (m DimMask) Count() int {
 		}
 	}
 	return n
+}
+
+// SoftDims returns the mask of all soft dimensions (clock and eth_speed,
+// paper §III-A) — the only dimensions an admission controller may relax.
+func SoftDims() DimMask {
+	var mask DimMask
+	for _, d := range Dims {
+		if d.Soft() {
+			mask = mask.With(d)
+		}
+	}
+	return mask
 }

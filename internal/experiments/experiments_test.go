@@ -56,6 +56,7 @@ func TestNewSchedulerFactory(t *testing.T) {
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{
+		"ext-admission",
 		"ext-designspace", "ext-estimator", "ext-failures", "ext-fairness",
 		"ext-faultcampaign", "ext-gang", "ext-placement", "ext-sharded",
 		"ext-steadystate",

@@ -72,6 +72,8 @@ var registry = map[string]entry{
 	"ext-sharded": {ShardScaling, seedsTimes(4)},
 	// Gang/preempt/backfill policy compositions: 4 variants per seed.
 	"ext-gang": {GangPolicies, seedsTimes(4)},
+	// Admission control: 2 modes x 2 scenarios x 2 arrival shapes per seed.
+	"ext-admission": {AdmissionControl, seedsTimes(8)},
 }
 
 // IDs lists every experiment identifier in sorted order.

@@ -65,6 +65,11 @@ type Driver struct {
 	// SetProbeFilter.
 	probeFilter func(w *Worker, js *JobState) bool
 
+	// driverPolicy, when non-nil, scopes constraint relaxation per
+	// dimension (SetDriverPolicy); nil on every plain run, preserving the
+	// legacy all-or-nothing fallback byte for byte.
+	driverPolicy DriverPolicy
+
 	// reservations is the per-worker gang-reservation record
 	// (reservation.go), lazily allocated alongside soa.resStartBy on the
 	// first ReserveWorker call; nil on every run that never reserves.
@@ -764,6 +769,16 @@ func (d *Driver) finishJob(js *JobState, now simulation.Time) {
 // per job: repeat calls neither re-count RelaxedJobs nor re-derive the
 // constraint set.
 //
+// When a DriverPolicy is installed (SetDriverPolicy), it is consulted
+// FIRST, replacing the all-or-nothing fallback with per-dimension scope:
+// the policy's mask — intersected with the soft dimensions and the job's
+// own constrained dimensions — names exactly which constraints to drop,
+// and the drop commits even when the full set still has supply (proactive
+// relaxation is what lets the admission controller shed queued demand from
+// a contended dimension). A reduced set that matches nothing is discarded
+// and the legacy ladder runs unchanged, so the policy can cost locality
+// but never progress.
+//
 // The returned set comes from the cluster's match cache and is SHARED and
 // READ-ONLY; callers that filter candidates must Clone first.
 //
@@ -778,6 +793,18 @@ func (d *Driver) CandidateWorkers(js *JobState) *bitset.Set {
 		}
 	}
 	matches := d.cl.Matches()
+	if p := d.driverPolicy; p != nil && !js.Relaxed {
+		if mask := p.RelaxDims(js) & js.ConstraintDims & constraint.SoftDims(); mask != 0 {
+			reduced := js.Constraints.Without(mask)
+			if cands, n := matches.SatisfyingWithCount(reduced); n > 0 {
+				js.Constraints = reduced
+				js.ConstraintDims = reduced.Dims()
+				js.Relaxed = true
+				d.collector.RelaxedJobs++
+				return cands
+			}
+		}
+	}
 	cands, n := matches.SatisfyingWithCount(js.Constraints)
 	if n > 0 {
 		return cands

@@ -1,0 +1,34 @@
+package sched
+
+import "github.com/phoenix-sched/phoenix/internal/constraint"
+
+// DriverPolicy scopes the driver's constraint-relaxation decisions per
+// dimension. When installed (SetDriverPolicy), CandidateWorkers consults it
+// before the legacy all-or-nothing fallback: the policy returns the mask of
+// dimensions it currently allows to be relaxed, and the driver drops exactly
+// the job's constraints on those dimensions — if (and only if) the reduced
+// set matches at least one machine. The admission-control feedback
+// controller (internal/admission) is the canonical implementation; the
+// driver itself never installs one, so plain runs are byte-identical to
+// runs before the hook existed.
+//
+// Contract: RelaxDims is called from CandidateWorkers on the simulation
+// goroutine; it must be deterministic (no wall clock, no unseeded
+// randomness) and must not mutate driver, worker, or job state. The driver
+// intersects the returned mask with constraint.SoftDims() — a policy can
+// never drop a hard constraint — and with the job's own constrained
+// dimensions.
+type DriverPolicy interface {
+	// RelaxDims returns the mask of dimensions the policy currently allows
+	// CandidateWorkers to relax for js.
+	RelaxDims(js *JobState) constraint.DimMask
+}
+
+// SetDriverPolicy installs p as the driver's relaxation policy (nil
+// uninstalls). Install before Run/RunService; swapping mid-run is not
+// supported.
+func (d *Driver) SetDriverPolicy(p DriverPolicy) { d.driverPolicy = p }
+
+// DriverPolicyInstalled reports whether a relaxation policy is installed;
+// telemetry uses it to decide whether admission columns are meaningful.
+func (d *Driver) DriverPolicyInstalled() bool { return d.driverPolicy != nil }

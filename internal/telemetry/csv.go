@@ -31,7 +31,8 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		"mean_abs_est_err_s", "finished_jobs", "reordered", "crv_reordered",
 		"probes", "probes_lost", "stolen", "rescheduled", "relaxed_jobs",
 		"placement_relaxed", "worker_failures", "commit_conflicts",
-		"gangs_waiting", "preemptions", "backfills",
+		"gangs_waiting", "preemptions", "backfills", "relaxed_dims",
+		"controller_transitions",
 	)
 	if _, err := io.WriteString(w, strings.Join(cols, ",")+"\n"); err != nil {
 		return err
@@ -77,11 +78,12 @@ func (r *Recorder) csvRow(s *Sample) string {
 		csvFloat(s.MeanWaitSeconds), csvFloat(s.MaxWaitSeconds),
 		csvFloat(s.MeanAbsEstErrSeconds), s.FinishedJobs)
 	c := &s.Counters
-	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 		c.ReorderedTasks, c.CRVReorderedTasks, c.Probes, c.ProbesLost,
 		c.StolenTasks, c.RescheduledProbes, c.RelaxedJobs,
 		c.PlacementRelaxed, c.WorkerFailures, c.CommitConflicts,
-		s.GangsWaiting, c.Preemptions, c.Backfills)
+		s.GangsWaiting, c.Preemptions, c.Backfills, s.RelaxedDims,
+		s.ControllerTransitions)
 	return b.String()
 }
 

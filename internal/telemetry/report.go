@@ -68,6 +68,7 @@ func (r *Recorder) Report(m Meta, c *metrics.Collector) string {
 	r.writeTriggerTimeline(&b)
 	r.writeContentionTable(&b)
 	r.writeGangSection(&b, c)
+	r.writeAdmissionSection(&b, c)
 	r.writeCounters(&b, c)
 	return b.String()
 }
@@ -267,6 +268,46 @@ func (r *Recorder) writeGangSection(b *strings.Builder, c *metrics.Collector) {
 		fmt.Fprintf(b, "High-priority jobs: %d, response p50 %s, p90 %s, p99 %s.\n\n",
 			n, seconds(p.P50), seconds(p.P90), seconds(p.P99))
 	}
+}
+
+// writeAdmissionSection renders the admission-controller outcome table,
+// omitted entirely for runs without an AdmissionSource — reports from
+// plain runs stay byte-identical to reports built before the admission
+// layer existed.
+func (r *Recorder) writeAdmissionSection(b *strings.Builder, c *metrics.Collector) {
+	src := r.opts.Admission
+	if src == nil {
+		return
+	}
+	b.WriteString("## Admission control\n\n")
+	b.WriteString("| signal | value |\n|---|---|\n")
+	mask := src.RelaxedDims()
+	var dims []string
+	for _, d := range constraint.Dims {
+		if mask.Has(d) {
+			dims = append(dims, dimSlug(d))
+		}
+	}
+	state := "none"
+	if len(dims) > 0 {
+		state = strings.Join(dims, ", ")
+	}
+	fmt.Fprintf(b, "| dimensions relaxed at end of run | %s |\n", state)
+	fmt.Fprintf(b, "| controller transitions | %d |\n", src.ControllerTransitions())
+	fmt.Fprintf(b, "| relaxed dimension-beats | %d |\n", src.RelaxedDimBeats())
+	fmt.Fprintf(b, "| jobs relaxed | %d |\n\n", c.Counters().RelaxedJobs)
+	// The per-interval relaxed_dims / controller_transitions series is in
+	// the CSV; summarize its extremes here.
+	peak := 0
+	var transitions int64
+	for i := range r.samples {
+		if r.samples[i].RelaxedDims > peak {
+			peak = r.samples[i].RelaxedDims
+		}
+		transitions += r.samples[i].ControllerTransitions
+	}
+	fmt.Fprintf(b, "Peak relaxed dimensions in any interval: %d; transitions captured in sampled intervals: %d.\n\n",
+		peak, transitions)
 }
 
 // writeCounters renders the end-of-run scheduler counters.

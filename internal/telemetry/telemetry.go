@@ -78,6 +78,22 @@ type GangSource interface {
 	GangsWaiting() int
 }
 
+// AdmissionSource is implemented by admission-control policies that scope
+// constraint relaxation per dimension (internal/admission's feedback
+// controller and its static baseline). When a source is supplied, each
+// sample records how many dimensions were relaxed at the sample time and
+// the interval's controller state transitions — the relaxed_dims and
+// controller_transitions CSV columns — and the report gains an admission
+// section. The methods must be read-only.
+type AdmissionSource interface {
+	// RelaxedDims returns the mask of currently relaxed dimensions.
+	RelaxedDims() constraint.DimMask
+	// ControllerTransitions returns the cumulative transition count.
+	ControllerTransitions() int64
+	// RelaxedDimBeats returns the cumulative relaxed dimension-beats.
+	RelaxedDimBeats() int64
+}
+
 // Options configure a Recorder.
 type Options struct {
 	// Interval is the sampling cadence in virtual time; zero or negative
@@ -93,6 +109,9 @@ type Options struct {
 	// Gang optionally supplies the scheduler's waiting-gang gauge (see
 	// GangSource). Nil is valid for schedulers without gang support.
 	Gang GangSource
+	// Admission optionally supplies the admission controller's state (see
+	// AdmissionSource). Nil is valid for runs without admission control.
+	Admission AdmissionSource
 	// MaxSamples bounds the retained time series: once full, each new
 	// sample overwrites the oldest (a ring), so recorder memory stays
 	// constant over an unbounded service run. Zero retains every sample
@@ -132,6 +151,14 @@ type Sample struct {
 	// GangsWaiting is the number of gang jobs waiting on reservations at
 	// the sample time, when a GangSource was supplied (0 otherwise).
 	GangsWaiting int
+	// RelaxedDims is how many constraint dimensions the admission policy
+	// held relaxed at the sample time, when an AdmissionSource was
+	// supplied (0 otherwise).
+	RelaxedDims int
+	// ControllerTransitions is the number of admission-controller state
+	// transitions in the interval since the previous sample, when an
+	// AdmissionSource was supplied (0 otherwise).
+	ControllerTransitions int64
 
 	// QueuedEntries is the total queue depth across workers.
 	QueuedEntries int
@@ -194,6 +221,9 @@ type Recorder struct {
 	finishedTotal int
 	done          bool
 	prev          metrics.CounterSnapshot
+	// prevTransitions is the admission-transition total at the previous
+	// sample, for the interval delta.
+	prevTransitions int64
 
 	// Interval accumulators, reset at each sample.
 	started   int
@@ -354,6 +384,12 @@ func (r *Recorder) sample(now simulation.Time) {
 	}
 	if r.opts.Gang != nil {
 		s.GangsWaiting = r.opts.Gang.GangsWaiting()
+	}
+	if src := r.opts.Admission; src != nil {
+		s.RelaxedDims = src.RelaxedDims().Count()
+		cur := src.ControllerTransitions()
+		s.ControllerTransitions = cur - r.prevTransitions
+		r.prevTransitions = cur
 	}
 
 	s.StartedTasks = r.started
